@@ -1,0 +1,88 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper. Expensive
+artifacts (simulated parks, fitted predictors) are session-cached so the
+suite stays within minutes. Each benchmark writes its report to
+``benchmarks/results/<name>.txt`` as well as printing it, so the regenerated
+tables survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import PawsPredictor
+from repro.data import MFNP, QENP, SWS, SWS_DRY, generate_dataset
+from repro.data.generator import ParkData
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark-scale profiles (the stock Table I-calibrated parks).
+BENCH_PROFILES = {
+    "MFNP": MFNP,
+    "QENP": QENP,
+    "SWS": SWS,
+    "SWS dry": SWS_DRY,
+}
+
+#: iWare-E ensemble sizes per park (paper: 20 for Uganda, 10 for SWS; scaled
+#: to our smaller datasets).
+N_CLASSIFIERS = {"MFNP": 10, "QENP": 10, "SWS": 4, "SWS dry": 4}
+
+#: Balanced bagging only for the extreme-imbalance SWS datasets (paper V-A).
+BALANCED = {"MFNP": False, "QENP": False, "SWS": True, "SWS dry": True}
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a regenerated table/figure and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def park_data_cache() -> dict[str, ParkData]:
+    """All four simulated parks, generated once per session."""
+    return {
+        name: generate_dataset(profile, seed=0)
+        for name, profile in BENCH_PROFILES.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def mfnp_data(park_data_cache) -> ParkData:
+    return park_data_cache["MFNP"]
+
+
+@pytest.fixture(scope="session")
+def fitted_gpb_mfnp(mfnp_data) -> PawsPredictor:
+    """A GPB-iW model fitted on MFNP's first years (shared by map benches)."""
+    split = mfnp_data.dataset.split_by_test_year(MFNP.years - 1)
+    return PawsPredictor(
+        model="gpb", iware=True, n_classifiers=8, n_estimators=3, seed=1
+    ).fit(split.train)
+
+
+def evaluable_test_years(dataset, candidates=(3, 4, 5), min_positives=2) -> list[int]:
+    """Test years where AUC is meaningfully defined.
+
+    Requires both classes in the test year and at least ``min_positives``
+    positive labels — with a single positive, AUC is a coin flip and says
+    nothing about any model.
+    """
+    years = []
+    for year in candidates:
+        try:
+            split = dataset.split_by_test_year(year)
+        except Exception:
+            continue
+        n_pos = int(split.test.labels.sum())
+        if min_positives <= n_pos < split.test.n_points \
+                and split.train.labels.sum() > 0:
+            years.append(year)
+    return years

@@ -1,0 +1,58 @@
+"""Ablation: balanced bagging under extreme imbalance (Section V-A).
+
+"we used a balanced bagging classifier to undersample negative labels ...
+This undersampling approach improved our AUC by 15% on average on the SWS
+dataset." Compared here: plain vs balanced bagging for DTB-iW and GPB-iW on
+the SWS dataset, averaged over evaluable test years.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import format_table
+from repro.evaluation.experiments import ModelSpec, evaluate_model_on_split
+
+from conftest import evaluable_test_years, write_report
+
+
+def test_ablation_balanced_bagging_on_sws(park_data_cache, benchmark):
+    dataset = park_data_cache["SWS"].dataset
+    years = evaluable_test_years(dataset)
+    assert years, "SWS simulation produced no evaluable test years"
+
+    def run():
+        rows = []
+        gains = []
+        for family in ("dtb", "gpb"):
+            for year in years:
+                split = dataset.split_by_test_year(year)
+                plain = evaluate_model_on_split(
+                    ModelSpec(family, True), split, balanced=False,
+                    n_classifiers=6, n_estimators=3, seed=0,
+                )
+                balanced = evaluate_model_on_split(
+                    ModelSpec(family, True), split, balanced=True,
+                    n_classifiers=6, n_estimators=3, seed=0,
+                )
+                rows.append([f"{family.upper()}-iW", year, plain, balanced,
+                             balanced - plain])
+                gains.append(balanced - plain)
+        return rows, float(np.mean(gains))
+
+    rows, mean_gain = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["model", "test year", "plain AUC", "balanced AUC", "gain"], rows
+    )
+    write_report(
+        "ablation_balanced_bagging",
+        table + f"\n\nMean balanced-bagging gain on SWS: {mean_gain:+.3f} "
+        "(paper: ~+15% relative AUC)",
+    )
+
+    # Balanced bagging must not collapse performance under extreme
+    # imbalance; with single-digit positive counts per year the per-year
+    # variance is large, so the claim is directional on the average.
+    assert mean_gain > -0.05
+    best_balanced = max(row[3] for row in rows)
+    assert best_balanced > 0.6

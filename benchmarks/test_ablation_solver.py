@@ -1,0 +1,73 @@
+"""Ablation: HiGHS MILP backend vs the from-scratch branch and bound.
+
+Cross-validates the two solvers on small patrol-planning instances: both
+must reach the same optimal objective, with HiGHS expected to be faster.
+This guards the MILP formulation (a bug in the model would have to fool two
+independent solvers identically).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.evaluation import format_table
+from repro.geo import Grid
+from repro.planning import (
+    BranchAndBoundSolver,
+    PatrolMILP,
+    PiecewiseLinear,
+    TimeUnrolledGraph,
+)
+
+from conftest import write_report
+
+
+def _instance(seed, height=4, width=5, horizon=5, n_breakpoints=4):
+    grid = Grid.rectangular(height, width)
+    graph = TimeUnrolledGraph(grid, source_cell=0, horizon=horizon)
+    milp = PatrolMILP(graph, n_patrols=2)
+    rng = np.random.default_rng(seed)
+    xs = np.linspace(0.0, milp.max_coverage, n_breakpoints)
+    utilities = {}
+    for v in graph.reachable_cells:
+        scale = rng.random()
+        penalty = 1 - 0.7 * rng.random() * xs / xs[-1]  # non-concave
+        utilities[int(v)] = PiecewiseLinear(xs, scale * (1 - np.exp(-0.5 * xs)) * penalty)
+    return milp, utilities
+
+
+def test_ablation_solver_crosscheck(benchmark):
+    def run():
+        rows = []
+        for seed in range(4):
+            milp, utilities = _instance(seed)
+            start = time.perf_counter()
+            highs = milp.solve(utilities)
+            t_highs = time.perf_counter() - start
+
+            model = milp.build_model(utilities)
+            solver = BranchAndBoundSolver(max_nodes=100_000)
+            start = time.perf_counter()
+            bnb = solver.solve(
+                model.objective, model.matrix, model.row_lb, model.row_ub,
+                binary_mask=model.integrality.astype(bool),
+            )
+            t_bnb = time.perf_counter() - start
+            rows.append(
+                [seed, float(highs.objective_value), float(-bnb.objective_value),
+                 float(t_highs), float(t_bnb), bnb.n_nodes_explored]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["seed", "HiGHS obj", "B&B obj", "HiGHS (s)", "B&B (s)", "B&B nodes"],
+        rows,
+        float_format="{:.4f}",
+    )
+    write_report("ablation_solver", table)
+
+    for row in rows:
+        np.testing.assert_allclose(row[1], row[2], atol=1e-4)

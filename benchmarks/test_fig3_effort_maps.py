@@ -1,0 +1,50 @@
+"""Fig. 3: historical patrol-effort maps.
+
+The paper's Fig. 3 visualises km patrolled per cell for each park, noting
+that "patrol effort is unevenly distributed around the park ... and many
+areas have never been patrolled (in white)". This benchmark renders the
+same maps (ASCII) and asserts both properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import ascii_heatmap
+
+from conftest import BENCH_PROFILES, write_report
+
+
+def test_fig3_historical_effort_maps(park_data_cache, benchmark):
+    def build_maps():
+        sections = []
+        stats = {}
+        for name in BENCH_PROFILES:
+            data = park_data_cache[name]
+            effort = data.recorded_effort.sum(axis=0)
+            sections.append(
+                ascii_heatmap(
+                    data.park.grid,
+                    effort,
+                    title=f"{name}: historical patrol effort (km/cell, "
+                    f"total {effort.sum():.0f} km)",
+                )
+            )
+            never = float((effort == 0).mean())
+            gini_like = float(effort.max() / (effort.mean() + 1e-9))
+            stats[name] = (never, gini_like)
+        return "\n\n".join(sections), stats
+
+    text, stats = benchmark.pedantic(build_maps, rounds=1, iterations=1)
+    summary = "\n".join(
+        f"{name}: never-patrolled fraction={never:.2f}, "
+        f"max/mean effort ratio={ratio:.1f}"
+        for name, (never, ratio) in stats.items()
+    )
+    write_report("fig3_effort_maps", text + "\n\n" + summary)
+
+    for name, (never_patrolled, concentration) in stats.items():
+        # "many areas have never been patrolled"
+        assert never_patrolled > 0.10, f"{name} lacks unpatrolled area"
+        # "patrol effort is unevenly distributed"
+        assert concentration > 3.0, f"{name} effort is too uniform"

@@ -1,0 +1,75 @@
+"""Fig. 6: predicted risk and uncertainty maps across effort levels (MFNP).
+
+Regenerates the paper's four-panel maps: the predicted probability of
+detecting poaching at 0.5/1/2/4 km of hypothetical patrol effort (red
+panels) and the corresponding prediction uncertainty (green panels), plus
+the historical-effort and historical-activity context maps.
+
+Shape assertions, per the paper's reading of the figure:
+* predicted detection probability generally increases with effort;
+* uncertainty increases at high effort levels ("historical data with higher
+  levels of patrol effort is more rare");
+* uncertainty is highest where historical patrolling was minimal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import ascii_heatmap
+
+from conftest import write_report
+
+EFFORT_LEVELS = (0.5, 1.0, 2.0, 4.0)
+
+
+def test_fig6_risk_and_uncertainty_maps(mfnp_data, fitted_gpb_mfnp, benchmark):
+    park = mfnp_data.park
+
+    def build_maps():
+        features = fitted_gpb_mfnp.cell_feature_matrix(
+            park, mfnp_data.recorded_effort[-1]
+        )
+        risk = {}
+        uncertainty = {}
+        for effort in EFFORT_LEVELS:
+            risk[effort] = fitted_gpb_mfnp.predict_proba(features, effort=effort)
+            uncertainty[effort] = fitted_gpb_mfnp.predict_variance(
+                features, effort=effort
+            )
+        return risk, uncertainty
+
+    risk, uncertainty = benchmark.pedantic(build_maps, rounds=1, iterations=1)
+
+    historical = mfnp_data.recorded_effort.sum(axis=0)
+    activity = mfnp_data.detections.sum(axis=0).astype(float)
+    panels = [
+        ascii_heatmap(park.grid, historical, title="(a) historical patrol effort"),
+        ascii_heatmap(park.grid, activity, title="(b) historical illegal activity"),
+    ]
+    for effort in EFFORT_LEVELS:
+        panels.append(
+            ascii_heatmap(park.grid, risk[effort],
+                          title=f"(c) predicted risk at {effort} km"))
+        panels.append(
+            ascii_heatmap(park.grid, uncertainty[effort],
+                          title=f"(c) uncertainty at {effort} km"))
+    mean_risk = {e: float(risk[e].mean()) for e in EFFORT_LEVELS}
+    mean_unc = {e: float(uncertainty[e].mean()) for e in EFFORT_LEVELS}
+    summary = (
+        f"mean risk by effort: { {e: round(v, 3) for e, v in mean_risk.items()} }\n"
+        f"mean uncertainty by effort: "
+        f"{ {e: round(v, 4) for e, v in mean_unc.items()} }"
+    )
+    write_report("fig6_riskmaps", "\n\n".join(panels) + "\n\n" + summary)
+
+    # Risk generally increases with hypothetical effort.
+    assert mean_risk[4.0] > mean_risk[0.5]
+    # Uncertainty does not shrink at high effort (training data with high
+    # patrol effort is rarer); tolerance covers sampling noise.
+    assert mean_unc[4.0] >= mean_unc[0.5] - 0.01
+    # Uncertainty concentrates where historical patrolling was minimal.
+    unc = uncertainty[1.0]
+    unpatrolled = historical == 0
+    if unpatrolled.any() and (~unpatrolled).any():
+        assert unc[unpatrolled].mean() > unc[~unpatrolled].mean()

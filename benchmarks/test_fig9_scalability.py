@@ -1,0 +1,75 @@
+"""Fig. 9: prescriptive-model runtime and utility vs PWL segments.
+
+The paper shows (a) MILP runtime growing with the number of segments in the
+PWL approximation and (b) the robust solution's utility converging by
+~20-25 segments. Regenerated on the MFNP park with the fitted GPB-iW
+predictor.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.evaluation import format_table
+from repro.planning import PatrolPlanner, RobustObjective
+
+from conftest import write_report
+
+SEGMENTS = (5, 10, 15, 20, 25)
+HORIZON = 12
+N_PATROLS = 2
+
+
+def test_fig9_runtime_and_convergence(mfnp_data, fitted_gpb_mfnp, benchmark):
+    park = mfnp_data.park
+    post = int(park.patrol_posts[0])
+    features = fitted_gpb_mfnp.cell_feature_matrix(
+        park, mfnp_data.recorded_effort[-1]
+    )
+
+    def sweep():
+        rows = []
+        for n_segments in SEGMENTS:
+            planner = PatrolPlanner(
+                park.grid, post, horizon=HORIZON,
+                n_patrols=N_PATROLS, n_segments=n_segments,
+            )
+            xs = planner.breakpoints()
+            risk, nu = fitted_gpb_mfnp.effort_response(features, xs)
+            objective = RobustObjective(xs, risk, nu, beta=1.0)
+            start = time.perf_counter()
+            plan = planner.plan(objective)
+            elapsed = time.perf_counter() - start
+            # Score every plan under a common fine-grained ground truth so
+            # utilities are comparable across segment counts.
+            fine_planner = PatrolPlanner(
+                park.grid, post, horizon=HORIZON,
+                n_patrols=N_PATROLS, n_segments=40,
+            )
+            fine_xs = fine_planner.breakpoints()
+            fine_risk, fine_nu = fitted_gpb_mfnp.effort_response(features, fine_xs)
+            fine = RobustObjective(fine_xs, fine_risk, fine_nu, beta=1.0)
+            utility = fine.evaluate_coverage(plan.coverage)
+            rows.append([n_segments, float(elapsed), float(utility)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["segments", "runtime (s)", "utility U_1(C_1)"], rows,
+        float_format="{:.4f}",
+    )
+    write_report("fig9_scalability", table)
+
+    runtimes = [row[1] for row in rows]
+    utilities = [row[2] for row in rows]
+    # Solves stay tractable (the paper reports seconds).
+    assert max(runtimes) < 60.0
+    # Utility converges with more segments: the last two settings agree
+    # far more closely than the coarsest does with the finest.
+    assert abs(utilities[-1] - utilities[-2]) <= max(
+        abs(utilities[0] - utilities[-1]), 1e-6
+    ) + 1e-6
+    # Finer approximations should not collapse the achieved utility.
+    assert utilities[-1] >= 0.8 * max(utilities)

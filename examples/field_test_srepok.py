@@ -1,0 +1,93 @@
+"""Srepok Wildlife Sanctuary field test (Section VII-B).
+
+Walks through the exact deployment protocol the paper used in Cambodia:
+train on dry-season data only (rivers make the wet season impassable),
+convolve risk into 3x3 km blocks, discard the historically well-patrolled
+half, select five blocks each at high / medium / low risk percentiles, run
+two multi-month trials, and evaluate with a chi-squared test.
+
+Run with::
+
+    python examples/field_test_srepok.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import PawsPredictor
+from repro.data import SWS_DRY, generate_dataset
+from repro.fieldtest import chi_squared_test, design_field_test, field_test_table, run_field_trial
+
+
+def main() -> None:
+    profile = SWS_DRY
+    print(f"Simulating {profile.name}: {profile.shape[0]}x{profile.shape[1]} cells, "
+          f"{profile.years} years of dry-season patrols...")
+    data = generate_dataset(profile, seed=0)
+    stats = data.dataset.statistics()
+    print(f"  dataset: {stats['n_points']} points, "
+          f"{stats['percent_positive']:.2f}% positive labels "
+          "(extreme imbalance, as in the paper)\n")
+
+    # Train the enhanced iWare-E model with GP weak learners and balanced
+    # bagging (the paper's configuration for SWS). With only ~0.5% positive
+    # labels some years contain no detected poaching at all, so pick the
+    # latest test year where AUC is defined.
+    split = None
+    for test_year in range(profile.years - 1, 2, -1):
+        candidate = data.dataset.split_by_test_year(test_year)
+        if 0 < candidate.test.labels.sum() < candidate.test.n_points \
+                and candidate.train.labels.sum() > 0:
+            split = candidate
+            break
+    if split is None:
+        raise SystemExit("no evaluable test year; try another seed")
+    predictor = PawsPredictor(
+        model="gpb", iware=True, n_classifiers=6, n_estimators=4,
+        balanced=True, seed=1,
+    ).fit(split.train)
+    print(f"Fitted {predictor.name} (balanced bagging) with test year "
+          f"{split.test_year}; held-out AUC = "
+          f"{predictor.evaluate_auc(split.test):.3f}\n")
+
+    # Risk predictions at the nominal effort rangers can realistically reach.
+    park = data.park
+    features = predictor.cell_feature_matrix(park, data.recorded_effort[-1])
+    nominal = float(np.median(data.dataset.current_effort))
+    risk = predictor.predict_proba(features, effort=nominal)
+
+    rng = np.random.default_rng(7)
+    design = design_field_test(
+        park.grid,
+        risk,
+        historical_effort=data.recorded_effort.sum(axis=0),
+        blocks_per_group=5,           # five blocks per category, as deployed
+        block_radius=1,               # 3x3 km blocks
+        rng=rng,
+    )
+    print("Selected 5 blocks each at high / medium / low predicted risk,")
+    print("all within the under-patrolled half of the park.\n")
+
+    trials = {
+        "SWS trial 1 (Dec-Jan)": run_field_trial(
+            design, data.poachers, rng, n_periods=1,
+            start_period=profile.n_periods,
+        ),
+        "SWS trial 2 (Feb-Mar)": run_field_trial(
+            design, data.poachers, rng, n_periods=1,
+            start_period=profile.n_periods + 1,
+        ),
+    }
+    print(field_test_table(trials))
+
+    for name, trial in trials.items():
+        __, p = chi_squared_test(trial)
+        verdict = "significant" if p < 0.05 else "not significant"
+        print(f"\n{name}: p = {p:.4f} ({verdict} at 0.05)")
+    print("\nIn the paper, rangers found *no* poaching in low-risk areas in")
+    print("either SWS trial while removing over 1,000 snares in one month.")
+
+
+if __name__ == "__main__":
+    main()

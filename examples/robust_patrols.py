@@ -1,0 +1,74 @@
+"""Robust patrol planning: sweeping the risk-aversion parameter beta.
+
+Demonstrates Section VI: plans computed while penalising uncertain
+predictions (Eq. 4) versus plans that trust the point predictions, evaluated
+(i) under the robust objective (the paper's Fig. 8 ratio) and (ii) against
+the simulator's ground truth via the Green Security Game — the paper's
+"detection of snares increased by an average of 30%" claim.
+
+Run with::
+
+    python examples/robust_patrols.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import PawsPredictor
+from repro.data import QENP, generate_dataset
+from repro.evaluation import format_table
+from repro.planning import GreenSecurityGame, PatrolPlanner, RobustObjective
+
+
+def main() -> None:
+    profile = QENP.scaled(0.7)
+    data = generate_dataset(profile, seed=0)
+    split = data.dataset.split_by_test_year(profile.years - 1)
+    predictor = PawsPredictor(model="gpb", iware=True, n_classifiers=6,
+                              n_estimators=3, seed=1).fit(split.train)
+    park = data.park
+    features = predictor.cell_feature_matrix(park, data.recorded_effort[-1])
+
+    game = GreenSecurityGame.from_poacher_model(data.poachers,
+                                                period_index=profile.n_periods)
+    rng = np.random.default_rng(11)
+
+    rows = []
+    for post in park.patrol_posts[:3]:
+        planner = PatrolPlanner(park.grid, int(post), horizon=12,
+                                n_patrols=2, n_segments=8)
+        xs = planner.breakpoints()
+        risk, nu = predictor.effort_response(features, xs)
+        objective = RobustObjective(xs, risk, nu, beta=0.0)
+
+        baseline = planner.plan(objective, beta=0.0)
+        for beta in (0.8, 1.0):
+            robust = planner.plan(objective, beta=beta)
+            ratio = (
+                objective.evaluate_coverage(robust.coverage, beta=beta)
+                / max(objective.evaluate_coverage(baseline.coverage, beta=beta),
+                      1e-9)
+            )
+            snares_base = game.simulate_detections(baseline.coverage, rng, 200)
+            snares_robust = game.simulate_detections(robust.coverage, rng, 200)
+            rows.append([
+                int(post),
+                beta,
+                float(ratio),
+                snares_base / 200.0,
+                snares_robust / 200.0,
+            ])
+
+    print("Robust vs risk-neutral patrol plans (per patrol post):\n")
+    print(format_table(
+        ["post", "beta", "U_b(C_b)/U_b(C_0)", "snares/period (b=0)",
+         "snares/period (robust)"],
+        rows,
+    ))
+    print("\nRatios above 1 show the value of planning with uncertainty;")
+    print("the snare columns evaluate both plans against the ground truth.")
+
+
+if __name__ == "__main__":
+    main()

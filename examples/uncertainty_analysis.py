@@ -1,0 +1,91 @@
+"""Uncertainty analysis: why Gaussian processes, not bagged trees.
+
+Reproduces the paper's Section V-B/C analysis on a synthetic park:
+
+1. risk maps and uncertainty maps across patrol-effort levels (Fig. 6);
+2. the prediction-vs-variance correlation contrast (Fig. 7): bagged decision
+   trees' variance is almost a deterministic function of the prediction
+   (Pearson r ~ 0.98 in the paper), while GP variance carries independent
+   information (r ~ -0.2).
+
+Run with::
+
+    python examples/uncertainty_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import PawsPredictor
+from repro.data import MFNP, generate_dataset
+from repro.evaluation import ascii_heatmap
+from repro.ml import BaggingClassifier, DecisionTreeClassifier, GaussianProcessClassifier
+from repro.ml.jackknife import bagging_ij_variance
+
+
+def correlation_study(seed: int = 0) -> None:
+    """Fig. 7: prediction-vs-variance correlation, GP vs bagged trees."""
+    data = generate_dataset(MFNP.scaled(0.6), seed=seed)
+    split = data.dataset.split_by_test_year(4)
+    X_train, y_train = split.train.feature_matrix, split.train.labels
+    X_test = split.test.feature_matrix
+
+    gp = GaussianProcessClassifier(rng=np.random.default_rng(1))
+    gp.fit(X_train, y_train)
+    gp_pred = gp.predict_proba(X_test)
+    gp_var = gp.predict_variance(X_test)
+
+    trees = BaggingClassifier(
+        lambda: DecisionTreeClassifier(max_depth=8, max_features="sqrt",
+                                       rng=np.random.default_rng(2)),
+        n_estimators=30,
+        rng=np.random.default_rng(3),
+    )
+    trees.fit(X_train, y_train)
+    tree_pred = trees.predict_proba(X_test)
+    tree_var = trees.predict_variance(X_test)  # between-member variance
+    tree_var_ij = bagging_ij_variance(trees, X_test)
+
+    r_gp = np.corrcoef(gp_pred, gp_var)[0, 1]
+    r_tree = np.corrcoef(tree_pred, tree_var)[0, 1]
+    r_tree_ij = np.corrcoef(tree_pred, tree_var_ij)[0, 1]
+    print("Prediction-vs-variance Pearson correlation (Fig. 7):")
+    print(f"  Gaussian process:              r = {r_gp:+.3f}  (paper: -0.198)")
+    print(f"  Bagged trees (member var):     r = {r_tree:+.3f}  (paper: +0.979)")
+    print(f"  Bagged trees (inf. jackknife): r = {r_tree_ij:+.3f}")
+    print("  -> tree variance adds little information beyond the prediction;")
+    print("     GP variance is an independent signal the planner can use.\n")
+
+
+def risk_and_uncertainty_maps(seed: int = 0) -> None:
+    """Fig. 6: risk and uncertainty maps at increasing patrol effort."""
+    data = generate_dataset(MFNP.scaled(0.6), seed=seed)
+    split = data.dataset.split_by_test_year(4)
+    predictor = PawsPredictor(model="gpb", iware=True, n_classifiers=6,
+                              n_estimators=3, seed=1).fit(split.train)
+    park = data.park
+    features = predictor.cell_feature_matrix(park, data.recorded_effort[-1])
+
+    print(ascii_heatmap(park.grid, data.recorded_effort.sum(axis=0),
+                        title="Historical patrol effort (Fig. 6a):"))
+    print()
+    for effort in (0.5, 2.0, 4.0):
+        risk = predictor.predict_proba(features, effort=effort)
+        nu = predictor.predict_variance(features, effort=effort)
+        print(ascii_heatmap(
+            park.grid, risk,
+            title=f"Predicted detection risk at {effort} km effort:"))
+        print(ascii_heatmap(
+            park.grid, nu,
+            title=f"Prediction uncertainty at {effort} km effort:"))
+        print()
+
+
+def main() -> None:
+    correlation_study()
+    risk_and_uncertainty_maps()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package,
+so PEP 517/660 editable installs (which need ``bdist_wheel``) fail. This
+shim lets ``pip install -e .`` fall back to the legacy ``setup.py develop``
+path (``--no-use-pep517`` is implied by the absence of a usable wheel
+builder on older pips; pass it explicitly if needed).
+"""
+
+from setuptools import setup
+
+setup()

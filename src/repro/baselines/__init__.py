@@ -1,0 +1,19 @@
+"""Predecessor models from the PAWS lineage (Section II).
+
+The paper builds on a decade of anti-poaching models; reimplementing the
+two landmark predecessors lets the benchmarks place the enhanced iWare-E in
+its historical context:
+
+* :mod:`repro.baselines.capture` — CAPTURE (Nguyen et al., AAMAS 2016): a
+  two-layer Bayesian network with a *latent attack* variable and an
+  explicit imperfect-detection layer, fit by EM.
+* :mod:`repro.baselines.intercept` — INTERCEPT (Kar et al., AAMAS 2017): an
+  ensemble of decision trees with boosting-style reinforcement of
+  hard positives, which "did not assume imperfect detection ... but
+  achieved better runtime and performance than CAPTURE".
+"""
+
+from repro.baselines.capture import CaptureModel
+from repro.baselines.intercept import InterceptModel
+
+__all__ = ["CaptureModel", "InterceptModel"]

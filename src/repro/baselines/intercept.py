@@ -1,0 +1,107 @@
+"""INTERCEPT: a boosted ensemble of decision trees.
+
+INTERCEPT (Kar et al. 2017) replaced CAPTURE's Bayesian network with "an
+ensemble of decision trees that did not assume imperfect detection of
+poaching activities but achieved better runtime and performance". Its
+BoostIT iterations reinforce regions the ensemble finds hard: positive
+samples the current ensemble under-scores get duplicated before the next
+round, sharpening recall on rare attacks.
+
+This reimplementation keeps the published structure — balanced tree
+ensemble + iterative hard-positive boosting — in feature space (the
+original boosted by spatial adjacency; on our synthetic parks geography is
+already encoded in the feature vector).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.ml.bagging import BalancedBaggingClassifier
+from repro.ml.base import Classifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class InterceptModel(Classifier):
+    """Balanced decision-tree ensemble with BoostIT-style iterations.
+
+    Parameters
+    ----------
+    n_trees:
+        Trees per ensemble round.
+    n_boost_iter:
+        BoostIT rounds; 0 disables boosting (plain balanced ensemble).
+    boost_quantile:
+        Positives scored below this quantile of the positive-score
+        distribution are considered "hard" and duplicated.
+    max_depth:
+        Depth limit of the member trees.
+    rng:
+        Randomness for subsampling and tree construction.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 10,
+        n_boost_iter: int = 2,
+        boost_quantile: float = 0.5,
+        max_depth: int = 8,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if n_trees < 1:
+            raise ConfigurationError(f"n_trees must be >= 1, got {n_trees}")
+        if n_boost_iter < 0:
+            raise ConfigurationError(f"n_boost_iter must be >= 0, got {n_boost_iter}")
+        if not 0.0 < boost_quantile < 1.0:
+            raise ConfigurationError(
+                f"boost_quantile must be in (0, 1), got {boost_quantile}"
+            )
+        self.n_trees = n_trees
+        self.n_boost_iter = n_boost_iter
+        self.boost_quantile = boost_quantile
+        self.max_depth = max_depth
+        self.rng = rng or np.random.default_rng()
+        self._ensemble: BalancedBaggingClassifier | None = None
+
+    def _make_ensemble(self) -> BalancedBaggingClassifier:
+        def tree_factory() -> DecisionTreeClassifier:
+            seed = int(self.rng.integers(2**31 - 1))
+            return DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                max_features="sqrt",
+                rng=np.random.default_rng(seed),
+            )
+
+        seed = int(self.rng.integers(2**31 - 1))
+        return BalancedBaggingClassifier(
+            tree_factory,
+            n_estimators=self.n_trees,
+            rng=np.random.default_rng(seed),
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "InterceptModel":
+        X, y = self._check_fit_input(X, y)
+        X_cur, y_cur = X, y
+        ensemble = self._make_ensemble().fit(X_cur, y_cur)
+        for __ in range(self.n_boost_iter):
+            scores = ensemble.predict_proba(X)
+            pos_scores = scores[y == 1]
+            if pos_scores.size == 0:
+                break
+            threshold = np.quantile(pos_scores, self.boost_quantile)
+            hard = (y == 1) & (scores <= threshold)
+            if not hard.any():
+                break
+            X_cur = np.vstack([X_cur, X[hard]])
+            y_cur = np.r_[y_cur, y[hard]]
+            ensemble = self._make_ensemble().fit(X_cur, y_cur)
+        self._ensemble = ensemble
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = self._check_predict_input(X)
+        assert self._ensemble is not None
+        return self._ensemble.predict_proba(X)

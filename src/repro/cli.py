@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+Exposes the main workflows without writing any Python::
+
+    python -m repro stats --park MFNP
+    python -m repro maps --park SWS
+    python -m repro evaluate --park QENP --model gpb --test-year 5
+    python -m repro fieldtest --park "SWS dry" --blocks 5
+    python -m repro plan --park MFNP --beta 0.8 --post 0
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import PawsPredictor
+from repro.data import generate_dataset, get_profile, list_profiles
+from repro.data.generator import dataset_statistics
+from repro.evaluation import ascii_heatmap, format_table
+from repro.fieldtest import chi_squared_test, design_field_test, field_test_table, run_field_trial
+from repro.planning import PatrolPlanner, RobustObjective
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PAWS reproduction: poaching prediction and patrol "
+        "planning under uncertainty (ICDE 2020).",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_park(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--park", default="MFNP",
+            help=f"park profile; one of {list_profiles()}",
+        )
+        p.add_argument(
+            "--scale", type=float, default=1.0,
+            help="lattice scale factor (e.g. 0.5 for a quick run)",
+        )
+
+    stats = sub.add_parser("stats", help="Table I-style dataset statistics")
+    add_park(stats)
+
+    maps = sub.add_parser("maps", help="historical effort / activity maps")
+    add_park(maps)
+
+    evaluate = sub.add_parser("evaluate", help="fit a model and report AUC")
+    add_park(evaluate)
+    evaluate.add_argument("--model", default="gpb", choices=("svb", "dtb", "gpb"))
+    evaluate.add_argument("--no-iware", action="store_true",
+                          help="fit the flat baseline instead of iWare-E")
+    evaluate.add_argument("--balanced", action="store_true",
+                          help="balanced (undersampling) bagging")
+    evaluate.add_argument("--test-year", type=int, default=None)
+    evaluate.add_argument("--n-classifiers", type=int, default=8)
+
+    fieldtest = sub.add_parser("fieldtest", help="simulate a field test")
+    add_park(fieldtest)
+    fieldtest.add_argument("--model", default="gpb", choices=("svb", "dtb", "gpb"))
+    fieldtest.add_argument("--blocks", type=int, default=5,
+                           help="blocks per risk group")
+    fieldtest.add_argument("--periods", type=int, default=2,
+                           help="trial length in time periods")
+
+    plan = sub.add_parser("plan", help="compute a robust patrol plan")
+    add_park(plan)
+    plan.add_argument("--post", type=int, default=0,
+                      help="index into the park's patrol posts")
+    plan.add_argument("--beta", type=float, default=0.8)
+    plan.add_argument("--horizon", type=int, default=10)
+    plan.add_argument("--patrols", type=int, default=2)
+    plan.add_argument("--segments", type=int, default=8)
+    return parser
+
+
+def _load(args) -> tuple:
+    profile = get_profile(args.park)
+    if args.scale != 1.0:
+        profile = profile.scaled(args.scale)
+    data = generate_dataset(profile, seed=args.seed)
+    return profile, data
+
+
+def _cmd_stats(args, out) -> int:
+    profile, data = _load(args)
+    stats = dataset_statistics(data)
+    rows = [[key, float(value)] for key, value in stats.items()]
+    out.write(f"{profile.name} dataset statistics (seed {args.seed})\n")
+    out.write(format_table(["statistic", "value"], rows, "{:.3f}") + "\n")
+    return 0
+
+
+def _cmd_maps(args, out) -> int:
+    __, data = _load(args)
+    effort = data.recorded_effort.sum(axis=0)
+    activity = data.detections.sum(axis=0).astype(float)
+    out.write(ascii_heatmap(data.park.grid, effort,
+                            title="historical patrol effort:") + "\n\n")
+    out.write(ascii_heatmap(data.park.grid, activity,
+                            title="historical detected activity:") + "\n")
+    return 0
+
+
+def _cmd_evaluate(args, out) -> int:
+    profile, data = _load(args)
+    test_year = args.test_year if args.test_year is not None else profile.years - 1
+    split = data.dataset.split_by_test_year(test_year)
+    if split.test.labels.sum() in (0, split.test.n_points):
+        out.write(
+            f"test year {test_year} has a single class; AUC undefined. "
+            "Try another --test-year or --seed.\n"
+        )
+        return 1
+    predictor = PawsPredictor(
+        model=args.model,
+        iware=not args.no_iware,
+        n_classifiers=args.n_classifiers,
+        balanced=args.balanced,
+        seed=args.seed + 1,
+    ).fit(split.train)
+    auc = predictor.evaluate_auc(split.test)
+    out.write(
+        f"{predictor.name} on {profile.name}, test year {test_year}: "
+        f"AUC = {auc:.3f}\n"
+        f"(train: {split.train.n_points} points / "
+        f"{int(split.train.labels.sum())} positives; "
+        f"test: {split.test.n_points} / {int(split.test.labels.sum())})\n"
+    )
+    return 0
+
+
+def _cmd_fieldtest(args, out) -> int:
+    profile, data = _load(args)
+    split = data.dataset.split_by_test_year(profile.years - 1)
+    predictor = PawsPredictor(
+        model=args.model, iware=True, n_classifiers=6,
+        balanced=profile.target_positive_rate is not None
+        and profile.target_positive_rate < 0.03,
+        seed=args.seed + 1,
+    ).fit(split.train)
+    features = predictor.cell_feature_matrix(data.park, data.recorded_effort[-1])
+    nominal = float(np.median(data.dataset.current_effort))
+    risk = predictor.predict_proba(features, effort=nominal)
+    rng = np.random.default_rng(args.seed + 2)
+    block_radius = 1 if data.park.n_cells >= 9 * 3 * args.blocks * 2 else 0
+    design = design_field_test(
+        data.park.grid, risk, data.recorded_effort.sum(axis=0),
+        blocks_per_group=args.blocks, block_radius=block_radius, rng=rng,
+    )
+    trial = run_field_trial(
+        design, data.poachers, rng, n_periods=args.periods,
+        start_period=profile.n_periods,
+    )
+    out.write(field_test_table({f"{profile.name} simulated trial": trial}) + "\n")
+    __, p = chi_squared_test(trial)
+    verdict = "significant" if p < 0.05 else "not significant"
+    out.write(f"chi-squared p = {p:.4f} ({verdict} at 0.05)\n")
+    return 0
+
+
+def _cmd_plan(args, out) -> int:
+    profile, data = _load(args)
+    if not 0 <= args.post < data.park.patrol_posts.size:
+        out.write(
+            f"--post must index one of {data.park.patrol_posts.size} posts\n"
+        )
+        return 1
+    split = data.dataset.split_by_test_year(profile.years - 1)
+    predictor = PawsPredictor(
+        model="gpb", iware=True, n_classifiers=6, seed=args.seed + 1
+    ).fit(split.train)
+    features = predictor.cell_feature_matrix(data.park, data.recorded_effort[-1])
+    post = int(data.park.patrol_posts[args.post])
+    planner = PatrolPlanner(
+        data.park.grid, post, horizon=args.horizon,
+        n_patrols=args.patrols, n_segments=args.segments,
+    )
+    xs = planner.breakpoints()
+    risk, nu = predictor.effort_response(features, xs)
+    objective = RobustObjective(xs, risk, nu, beta=args.beta)
+    plan = planner.plan(objective)
+    out.write(
+        f"robust plan (beta={args.beta}) for post {post} on {profile.name}: "
+        f"utility {plan.objective_value:.3f}\n"
+    )
+    out.write(ascii_heatmap(data.park.grid, plan.coverage,
+                            title="prescribed coverage:") + "\n")
+    out.write("mixed-strategy routes (weight: cells):\n")
+    for route in plan.routes[:5]:
+        out.write(f"  {route.weight:.3f}: {route.cells}\n")
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "maps": _cmd_maps,
+    "evaluate": _cmd_evaluate,
+    "fieldtest": _cmd_fieldtest,
+    "plan": _cmd_plan,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

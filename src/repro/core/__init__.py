@@ -1,0 +1,42 @@
+"""The enhanced iWare-E predictive model — the paper's first-stage contribution.
+
+iWare-E (imperfect-observation-aware Ensemble, Gholami et al. 2018) trains
+weak learners on subsets of the data filtered at increasing patrol-effort
+thresholds: negatives recorded with little effort are unreliable, so each
+subset drops negatives below its threshold while *keeping all positives*.
+This package adds the paper's three enhancements:
+
+1. **Optimal classifier weights** — 5-fold CV log-loss minimisation over the
+   ensemble simplex instead of uniform qualified voting
+   (:mod:`repro.core.weights`).
+2. **Percentile-based thresholds** — one hyperparameter (the number of
+   classifiers) instead of (theta_min, theta_max, delta)
+   (:mod:`repro.core.thresholds`).
+3. **Gaussian-process weak learners** — model-intrinsic predictive variance,
+   exposed per-cell/per-effort for the robust planner
+   (:mod:`repro.core.uncertainty`).
+
+:class:`~repro.core.predictor.PawsPredictor` is the user-facing facade: fit
+on a :class:`~repro.data.dataset.PoachingDataset`, then query ``g_v(c)``
+(detection-of-attack probability as a function of hypothetical patrol effort
+``c``) and ``nu_v(c)`` (squashed uncertainty) for every park cell.
+"""
+
+from repro.core.thresholds import equal_spaced_thresholds, percentile_thresholds
+from repro.core.filtering import filter_by_effort_threshold
+from repro.core.weights import optimize_ensemble_weights
+from repro.core.ensemble import IWareEnsemble
+from repro.core.uncertainty import UncertaintyScaler
+from repro.core.predictor import PawsPredictor, WEAK_LEARNERS, make_weak_learner
+
+__all__ = [
+    "percentile_thresholds",
+    "equal_spaced_thresholds",
+    "filter_by_effort_threshold",
+    "optimize_ensemble_weights",
+    "IWareEnsemble",
+    "UncertaintyScaler",
+    "PawsPredictor",
+    "WEAK_LEARNERS",
+    "make_weak_learner",
+]

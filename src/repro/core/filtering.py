@@ -1,0 +1,51 @@
+"""Effort-threshold dataset filtering — the heart of iWare-E.
+
+``D_{theta^-}`` keeps every positive label but drops negative labels whose
+patrol effort is below the threshold: a cell patrolled for 0.3 km with no
+snare found says little, but one patrolled for 5 km with no snare is a
+reliable negative. "Due to the label imbalance, we discard only negative
+samples and keep all positive samples ... this is one of the key insights of
+the iWare-E approach" (Section IV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import PoachingDataset
+from repro.exceptions import ConfigurationError
+
+
+def filter_by_effort_threshold(
+    dataset: PoachingDataset, threshold: float
+) -> PoachingDataset:
+    """The subset ``D_{theta^-}``: all positives + negatives with effort >= theta.
+
+    Parameters
+    ----------
+    dataset:
+        The full training dataset.
+    threshold:
+        Minimum patrol effort (km) for a negative label to be retained.
+        Zero keeps everything.
+
+    Returns
+    -------
+    PoachingDataset
+        The filtered subset (shares no arrays with the input).
+    """
+    if threshold < 0:
+        raise ConfigurationError(f"threshold must be >= 0, got {threshold}")
+    keep = (dataset.labels == 1) | (dataset.current_effort >= threshold)
+    return dataset.subset(keep)
+
+
+def filtered_sizes(
+    dataset: PoachingDataset, thresholds: np.ndarray
+) -> list[tuple[float, int, int]]:
+    """Diagnostic: (threshold, n_points, n_positives) per filtered subset."""
+    out: list[tuple[float, int, int]] = []
+    for theta in np.asarray(thresholds, dtype=float):
+        subset = filter_by_effort_threshold(dataset, float(theta))
+        out.append((float(theta), subset.n_points, int(subset.labels.sum())))
+    return out

@@ -1,0 +1,281 @@
+"""The PAWS predictive-model facade.
+
+:class:`PawsPredictor` wraps the full model zoo of Table II — SVB / DTB /
+GPB weak learners, each with or without iWare-E — behind one interface, and
+exposes the two functions the prescriptive stage consumes for every cell:
+
+* ``g_v(c)`` — probability of detecting an attack at patrol effort ``c``;
+* ``nu_v(c)`` — uncertainty of that prediction, squashed to [0, 1].
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.ensemble import IWareEnsemble
+from repro.core.uncertainty import UncertaintyScaler
+from repro.data.dataset import PoachingDataset
+from repro.data.park import SyntheticPark
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.ml.bagging import BaggingClassifier, BalancedBaggingClassifier
+from repro.ml.base import Classifier
+from repro.ml.gp import GaussianProcessClassifier
+from repro.ml.metrics import roc_auc_score
+from repro.ml.svm import LinearSVMClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+#: The three weak-learner families of the paper: bagging ensembles of SVMs,
+#: decision trees, and Gaussian-process classifiers.
+WEAK_LEARNERS = ("svb", "dtb", "gpb")
+
+
+def make_weak_learner(
+    kind: str,
+    rng: np.random.Generator,
+    balanced: bool = False,
+    n_estimators: int = 5,
+    gp_max_points: int = 250,
+) -> Callable[[], Classifier]:
+    """Factory-of-factories for the Table II weak learners.
+
+    Parameters
+    ----------
+    kind:
+        ``"svb"``, ``"dtb"``, or ``"gpb"``.
+    rng:
+        Master generator; each produced learner draws a child seed, so two
+        factories from the same master are independent but reproducible.
+    balanced:
+        Use undersampling (balanced bagging) — the paper's choice for the
+        extremely imbalanced SWS datasets.
+    n_estimators:
+        Members per bagging ensemble.
+    gp_max_points:
+        Training-point cap per GP member (exact GPs are cubic).
+    """
+    if kind not in WEAK_LEARNERS:
+        raise ConfigurationError(
+            f"unknown weak learner '{kind}'; expected one of {WEAK_LEARNERS}"
+        )
+
+    def base_factory() -> Classifier:
+        seed = int(rng.integers(2**31 - 1))
+        child = np.random.default_rng(seed)
+        if kind == "svb":
+            # Paper-faithful configuration: heavily regularised hinge loss
+            # with no class reweighting. Under label imbalance this collapses
+            # toward the majority class, reproducing Table II's finding that
+            # "SVMs are suboptimal weak learners in this domain" — iWare-E's
+            # filtered (more balanced) subsets are what rescue it.
+            return LinearSVMClassifier(
+                c=0.05, max_epochs=40, class_weight_balanced=False, rng=child
+            )
+        if kind == "dtb":
+            return DecisionTreeClassifier(
+                max_depth=8, min_samples_leaf=3, max_features="sqrt", rng=child
+            )
+        return GaussianProcessClassifier(max_points=gp_max_points, rng=child)
+
+    bagging_cls = BalancedBaggingClassifier if balanced else BaggingClassifier
+
+    def factory() -> Classifier:
+        seed = int(rng.integers(2**31 - 1))
+        return bagging_cls(
+            base_factory,
+            n_estimators=n_estimators,
+            rng=np.random.default_rng(seed),
+        )
+
+    return factory
+
+
+class PawsPredictor:
+    """Configurable PAWS stage-1 model (Table II's rows and columns).
+
+    Parameters
+    ----------
+    model:
+        Weak-learner family: ``"svb"``, ``"dtb"``, or ``"gpb"``.
+    iware:
+        Wrap the weak learner in the enhanced iWare-E ensemble (True) or fit
+        it once on the unfiltered data (the Table II baselines).
+    n_classifiers:
+        iWare-E threshold count (20 for MFNP/QENP, 10 for SWS in the paper).
+    balanced:
+        Balanced (undersampling) bagging, for extreme imbalance.
+    n_estimators:
+        Bagging members per weak learner.
+    weighting:
+        iWare-E mixing rule, ``"optimal"`` or ``"qualified"``.
+    threshold_scheme:
+        ``"percentile"`` (enhanced) or ``"equal"`` (original iWare-E).
+    seed:
+        Master seed for every stochastic component.
+    """
+
+    def __init__(
+        self,
+        model: str = "gpb",
+        iware: bool = True,
+        n_classifiers: int = 10,
+        balanced: bool = False,
+        n_estimators: int = 5,
+        weighting: str = "optimal",
+        threshold_scheme: str = "percentile",
+        gp_max_points: int = 250,
+        seed: int = 0,
+    ):
+        if model not in WEAK_LEARNERS:
+            raise ConfigurationError(
+                f"unknown model '{model}'; expected one of {WEAK_LEARNERS}"
+            )
+        self.model = model
+        self.iware = iware
+        self.n_classifiers = n_classifiers
+        self.balanced = balanced
+        self.n_estimators = n_estimators
+        self.weighting = weighting
+        self.threshold_scheme = threshold_scheme
+        self.gp_max_points = gp_max_points
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._ensemble: IWareEnsemble | None = None
+        self._flat_model: Classifier | None = None
+        self._uncertainty_scaler: UncertaintyScaler | None = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Table II-style model label, e.g. ``"GPB-iW"`` or ``"DTB"``."""
+        label = self.model.upper()
+        return f"{label}-iW" if self.iware else label
+
+    def _factory(self) -> Callable[[], Classifier]:
+        return make_weak_learner(
+            self.model,
+            rng=self._rng,
+            balanced=self.balanced,
+            n_estimators=self.n_estimators,
+            gp_max_points=self.gp_max_points,
+        )
+
+    def fit(self, dataset: PoachingDataset) -> "PawsPredictor":
+        """Fit on a training dataset (typically three years of history)."""
+        if dataset.n_points == 0:
+            raise DataError("cannot fit on an empty dataset")
+        if self.iware:
+            self._ensemble = IWareEnsemble(
+                self._factory(),
+                n_classifiers=self.n_classifiers,
+                threshold_scheme=self.threshold_scheme,
+                weighting=self.weighting,
+                rng=self._rng,
+            ).fit(dataset)
+        else:
+            X, y = dataset.feature_matrix, dataset.labels
+            if y.min() == y.max():
+                from repro.ml.base import ConstantClassifier
+
+                self._flat_model = ConstantClassifier().fit(X, y)
+            else:
+                self._flat_model = self._factory()().fit(X, y)
+        self._fitted = True
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("PawsPredictor is not fitted")
+
+    # ------------------------------------------------------------------
+    # Point predictions
+    # ------------------------------------------------------------------
+    def predict_proba(
+        self, X: np.ndarray, effort: np.ndarray | float | None = None
+    ) -> np.ndarray:
+        """Probability of detected poaching for each input row."""
+        self._check_fitted()
+        if self._ensemble is not None:
+            return self._ensemble.predict_proba(X, effort=effort)
+        assert self._flat_model is not None
+        return self._flat_model.predict_proba(X)
+
+    def predict_variance(
+        self, X: np.ndarray, effort: np.ndarray | float | None = None
+    ) -> np.ndarray:
+        """Raw (unsquashed) uncertainty of each prediction."""
+        self._check_fitted()
+        if self._ensemble is not None:
+            return self._ensemble.predict_variance(X, effort=effort)
+        assert self._flat_model is not None
+        if isinstance(self._flat_model, BaggingClassifier):
+            return self._flat_model.mean_member_variance(X)
+        return self._flat_model.predict_variance(X)
+
+    def evaluate_auc(self, test: PoachingDataset) -> float:
+        """AUC on a held-out dataset (the Table II metric)."""
+        self._check_fitted()
+        return roc_auc_score(test.labels, self.predict_proba(test.feature_matrix))
+
+    # ------------------------------------------------------------------
+    # Per-cell effort-response surfaces (inputs to the planner)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def cell_feature_matrix(
+        park: SyntheticPark, prev_effort: np.ndarray
+    ) -> np.ndarray:
+        """Model inputs for every park cell given last period's effort."""
+        prev_effort = np.asarray(prev_effort, dtype=float)
+        if prev_effort.shape != (park.n_cells,):
+            raise DataError(
+                f"prev_effort must have shape ({park.n_cells},), "
+                f"got {prev_effort.shape}"
+            )
+        return np.hstack([park.features.matrix, prev_effort[:, None]])
+
+    def effort_response(
+        self, features: np.ndarray, effort_grid: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Risk and squashed uncertainty across hypothetical effort levels.
+
+        Parameters
+        ----------
+        features:
+            ``(n_cells, k+1)`` model inputs (static + previous effort).
+        effort_grid:
+            Increasing effort levels (km) at which to evaluate the model.
+
+        Returns
+        -------
+        (risk, uncertainty):
+            Two ``(n_cells, len(effort_grid))`` arrays: ``g_v(c)`` and
+            ``nu_v(c) in [0, 1]``.
+        """
+        self._check_fitted()
+        effort_grid = np.asarray(effort_grid, dtype=float)
+        if effort_grid.ndim != 1 or effort_grid.size == 0:
+            raise ConfigurationError("effort_grid must be a non-empty 1-D array")
+        if (np.diff(effort_grid) < 0).any():
+            raise ConfigurationError("effort_grid must be nondecreasing")
+        risk = np.stack(
+            [self.predict_proba(features, effort=float(c)) for c in effort_grid],
+            axis=1,
+        )
+        raw_var = np.stack(
+            [self.predict_variance(features, effort=float(c)) for c in effort_grid],
+            axis=1,
+        )
+        # With zero patrol effort nothing can be detected: the training data
+        # only contains patrolled points, so the model has no c=0 regime and
+        # g_v(0) must be anchored at 0 (Pr[o=1 | c=0] = 0 by construction).
+        risk[:, effort_grid == 0.0] = 0.0
+        self._uncertainty_scaler = UncertaintyScaler().fit(raw_var.ravel())
+        nu = self._uncertainty_scaler.transform(raw_var)
+        return risk, nu
+
+    @property
+    def uncertainty_scaler(self) -> UncertaintyScaler | None:
+        """The scaler fitted by the last :meth:`effort_response` call."""
+        return self._uncertainty_scaler

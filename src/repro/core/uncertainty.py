@@ -1,0 +1,62 @@
+"""Uncertainty post-processing.
+
+"The uncertainty scores that we get from the GPB-iW model are scaled to the
+range [0, 1] through a logistic squashing function" (Section VI-C). The
+:class:`UncertaintyScaler` fits that squashing on a reference set of raw
+variances (centring the logistic at their median) so that downstream
+``nu in [0, 1]`` scores are comparable across cells and effort levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError, NotFittedError
+from repro.ml.scaling import logistic_squash
+
+
+class UncertaintyScaler:
+    """Logistic squashing of raw variance scores into [0, 1].
+
+    Parameters
+    ----------
+    steepness_quantiles:
+        The logistic steepness is set so that this (low, high) quantile pair
+        of the reference variances maps near (0.25, 0.75) — a robust spread
+        estimate that ignores outliers.
+    """
+
+    def __init__(self, steepness_quantiles: tuple[float, float] = (0.25, 0.75)):
+        lo, hi = steepness_quantiles
+        if not 0.0 <= lo < hi <= 1.0:
+            raise DataError(f"invalid quantile pair {steepness_quantiles}")
+        self.steepness_quantiles = steepness_quantiles
+        self.midpoint_: float | None = None
+        self.steepness_: float | None = None
+
+    def fit(self, raw_variances: np.ndarray) -> "UncertaintyScaler":
+        """Calibrate midpoint and steepness on reference variances."""
+        raw = np.asarray(raw_variances, dtype=float).ravel()
+        if raw.size == 0:
+            raise DataError("cannot fit the scaler on an empty array")
+        if not np.isfinite(raw).all():
+            raise DataError("raw variances contain non-finite values")
+        self.midpoint_ = float(np.median(raw))
+        lo_q, hi_q = self.steepness_quantiles
+        spread = float(np.quantile(raw, hi_q) - np.quantile(raw, lo_q))
+        # logistic(z) = 0.75 at z ~ 1.1; map the quantile spread onto that.
+        self.steepness_ = 2.2 / spread if spread > 1e-12 else 1.0
+        return self
+
+    def transform(self, raw_variances: np.ndarray) -> np.ndarray:
+        """Squashed uncertainty scores in (0, 1)."""
+        if self.midpoint_ is None or self.steepness_ is None:
+            raise NotFittedError("UncertaintyScaler is not fitted")
+        return logistic_squash(
+            np.asarray(raw_variances, dtype=float),
+            midpoint=self.midpoint_,
+            steepness=self.steepness_,
+        )
+
+    def fit_transform(self, raw_variances: np.ndarray) -> np.ndarray:
+        return self.fit(raw_variances).transform(raw_variances)

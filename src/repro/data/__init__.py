@@ -1,0 +1,68 @@
+"""Synthetic wildlife-crime data substrate.
+
+The paper's datasets (SMART patrol records from MFNP, QENP, SWS) are
+proprietary; this subpackage synthesises statistically equivalent data. The
+simulator reproduces the mechanisms that make the learning problem hard:
+
+* extreme class imbalance (0.25%-14.3% positives depending on the park),
+* one-sided label noise — positives are certain, negatives depend on how
+  much effort rangers spent in the cell (``P(detect|attack) = 1 - e^{-kc}``),
+* spatially biased patrol effort concentrated near posts and roads,
+* a deterrence effect of the previous quarter's coverage, and
+* wet/dry seasonality in SWS that shifts poaching north in the dry season.
+
+Every park is generated from a :class:`~repro.data.profiles.ParkProfile`
+(calibrated to Table I of the paper) and a seed.
+"""
+
+from repro.data.profiles import (
+    MFNP,
+    QENP,
+    SWS,
+    SWS_DRY,
+    ParkProfile,
+    get_profile,
+    list_profiles,
+)
+from repro.data.park import SyntheticPark
+from repro.data.poachers import PoacherModel
+from repro.data.rangers import PatrolRecord, PatrolSimulator
+from repro.data.smart import (
+    OBSERVATION_CATEGORIES,
+    POACHING_CATEGORIES,
+    ObservationRecord,
+    SmartDatabase,
+    rebuild_effort_from_waypoints,
+)
+from repro.data.dataset import PoachingDataset, YearSplit
+from repro.data.generator import dataset_statistics, generate_dataset
+from repro.data.ingest import dataset_from_csv, export_dataset_to_csv
+from repro.data.seasonality import Season, season_of_month, seasonal_risk_shift
+
+__all__ = [
+    "ParkProfile",
+    "MFNP",
+    "QENP",
+    "SWS",
+    "SWS_DRY",
+    "get_profile",
+    "list_profiles",
+    "SyntheticPark",
+    "PoacherModel",
+    "PatrolSimulator",
+    "PatrolRecord",
+    "ObservationRecord",
+    "SmartDatabase",
+    "OBSERVATION_CATEGORIES",
+    "POACHING_CATEGORIES",
+    "rebuild_effort_from_waypoints",
+    "PoachingDataset",
+    "YearSplit",
+    "generate_dataset",
+    "dataset_statistics",
+    "dataset_from_csv",
+    "export_dataset_to_csv",
+    "Season",
+    "season_of_month",
+    "seasonal_risk_shift",
+]

@@ -1,0 +1,252 @@
+"""The supervised learning dataset built from patrol history.
+
+Section III-B: records are discretised into T time steps and N locations;
+each feature vector holds the static geospatial features plus one
+time-variant covariate, ``c_{t-1,n}`` (previous-period patrol coverage,
+modelling deterrence). Current effort ``c_{t,n}`` is *not* a feature (it is
+unknown at prediction time) but is stored alongside because the iWare-E
+thresholds filter on it. Only patrolled (period, cell) pairs become data
+points — unpatrolled cells produce no record in SMART.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+
+
+@dataclass(frozen=True)
+class YearSplit:
+    """A train/test split by calendar year (train = 3 years before test)."""
+
+    train: "PoachingDataset"
+    test: "PoachingDataset"
+    test_year: int
+
+
+class PoachingDataset:
+    """Point-per-patrolled-cell-period supervised dataset.
+
+    Parameters
+    ----------
+    static_features:
+        ``(n_points, k)`` static geospatial features of each point's cell.
+    prev_effort:
+        ``(n_points,)`` patrol effort in the same cell during the previous
+        period (the deterrence covariate, part of the model input).
+    current_effort:
+        ``(n_points,)`` patrol effort during the point's own period (used
+        only for iWare-E filtering / reliability weighting, never as input).
+    labels:
+        ``(n_points,)`` 1 if poaching was *detected* in the cell-period.
+    period:
+        ``(n_points,)`` time-period index of each point.
+    cell:
+        ``(n_points,)`` cell id of each point.
+    periods_per_year:
+        Number of discretised periods per year (4 quarterly, 3 dry-season).
+    feature_names:
+        Names of the static feature columns.
+    name:
+        Dataset label, e.g. ``"MFNP"``.
+    """
+
+    def __init__(
+        self,
+        static_features: np.ndarray,
+        prev_effort: np.ndarray,
+        current_effort: np.ndarray,
+        labels: np.ndarray,
+        period: np.ndarray,
+        cell: np.ndarray,
+        periods_per_year: int,
+        feature_names: list[str] | None = None,
+        name: str = "park",
+    ):
+        self.static_features = np.asarray(static_features, dtype=float)
+        self.prev_effort = np.asarray(prev_effort, dtype=float)
+        self.current_effort = np.asarray(current_effort, dtype=float)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.period = np.asarray(period, dtype=np.int64)
+        self.cell = np.asarray(cell, dtype=np.int64)
+        self.periods_per_year = int(periods_per_year)
+        self.name = name
+        if self.static_features.ndim != 2:
+            raise DataError("static_features must be 2-D")
+        n = self.static_features.shape[0]
+        for arr, label in [
+            (self.prev_effort, "prev_effort"),
+            (self.current_effort, "current_effort"),
+            (self.labels, "labels"),
+            (self.period, "period"),
+            (self.cell, "cell"),
+        ]:
+            if arr.shape != (n,):
+                raise DataError(f"{label} must have shape ({n},), got {arr.shape}")
+        if not np.isin(np.unique(self.labels), (0, 1)).all() and n > 0:
+            raise DataError("labels must be binary")
+        if (self.current_effort < 0).any() or (self.prev_effort < 0).any():
+            raise DataError("patrol effort cannot be negative")
+        if self.periods_per_year < 1:
+            raise ConfigurationError("periods_per_year must be >= 1")
+        if feature_names is None:
+            feature_names = [f"f{i}" for i in range(self.static_features.shape[1])]
+        if len(feature_names) != self.static_features.shape[1]:
+            raise DataError("feature_names length must match feature count")
+        self.feature_names = list(feature_names)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        return self.static_features.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Model input width: static features + the prev-effort covariate."""
+        return self.static_features.shape[1] + 1
+
+    @property
+    def feature_matrix(self) -> np.ndarray:
+        """``(n_points, k+1)`` model inputs: static features + prev effort."""
+        return np.hstack([self.static_features, self.prev_effort[:, None]])
+
+    @property
+    def input_feature_names(self) -> list[str]:
+        return self.feature_names + ["prev_patrol_effort"]
+
+    @property
+    def positive_rate(self) -> float:
+        """Fraction of positive labels (Table I's "Percent positive")."""
+        if self.n_points == 0:
+            return 0.0
+        return float(self.labels.mean())
+
+    @property
+    def year(self) -> np.ndarray:
+        """Calendar-year index (0-based) of each point."""
+        return self.period // self.periods_per_year
+
+    # ------------------------------------------------------------------
+    # Subsetting and splits
+    # ------------------------------------------------------------------
+    def subset(self, mask: np.ndarray) -> "PoachingDataset":
+        """A new dataset restricted to the rows where ``mask`` is True."""
+        mask = np.asarray(mask)
+        if mask.dtype != bool or mask.shape != (self.n_points,):
+            raise DataError("mask must be a boolean array over the points")
+        return PoachingDataset(
+            static_features=self.static_features[mask],
+            prev_effort=self.prev_effort[mask],
+            current_effort=self.current_effort[mask],
+            labels=self.labels[mask],
+            period=self.period[mask],
+            cell=self.cell[mask],
+            periods_per_year=self.periods_per_year,
+            feature_names=self.feature_names,
+            name=self.name,
+        )
+
+    def split_by_test_year(self, test_year: int, train_years: int = 3) -> YearSplit:
+        """Paper-style temporal split: train on the N years before the test year.
+
+        "training on the first three years and testing on the fourth"
+        (Section V-A). Years are 0-based indices into the simulated history.
+        """
+        years = self.year
+        if test_year not in np.unique(years):
+            raise DataError(
+                f"test year {test_year} not present; available: {np.unique(years)}"
+            )
+        if test_year < train_years:
+            raise DataError(
+                f"test year {test_year} has fewer than {train_years} prior years"
+            )
+        train_mask = (years >= test_year - train_years) & (years < test_year)
+        test_mask = years == test_year
+        if not train_mask.any() or not test_mask.any():
+            raise DataError("empty train or test partition")
+        return YearSplit(
+            train=self.subset(train_mask),
+            test=self.subset(test_mask),
+            test_year=test_year,
+        )
+
+    # ------------------------------------------------------------------
+    # Paper statistics
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict[str, float]:
+        """Table I row: counts, positive rate, and mean effort."""
+        return {
+            "n_features": self.n_features,
+            "n_points": self.n_points,
+            "n_positive": int(self.labels.sum()),
+            "percent_positive": 100.0 * self.positive_rate,
+            "avg_effort_km": float(self.current_effort.mean()) if self.n_points else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_npz(self, path) -> None:
+        """Save the dataset to a compressed ``.npz`` archive."""
+        np.savez_compressed(
+            path,
+            static_features=self.static_features,
+            prev_effort=self.prev_effort,
+            current_effort=self.current_effort,
+            labels=self.labels,
+            period=self.period,
+            cell=self.cell,
+            periods_per_year=np.asarray(self.periods_per_year),
+            feature_names=np.asarray(self.feature_names, dtype="<U64"),
+            name=np.asarray(self.name, dtype="<U64"),
+        )
+
+    @classmethod
+    def from_npz(cls, path) -> "PoachingDataset":
+        """Load a dataset previously written by :meth:`to_npz`."""
+        with np.load(path, allow_pickle=False) as archive:
+            required = {
+                "static_features", "prev_effort", "current_effort",
+                "labels", "period", "cell", "periods_per_year",
+            }
+            missing = required - set(archive.files)
+            if missing:
+                raise DataError(f"archive is missing arrays: {sorted(missing)}")
+            return cls(
+                static_features=archive["static_features"],
+                prev_effort=archive["prev_effort"],
+                current_effort=archive["current_effort"],
+                labels=archive["labels"],
+                period=archive["period"],
+                cell=archive["cell"],
+                periods_per_year=int(archive["periods_per_year"]),
+                feature_names=[str(s) for s in archive["feature_names"]]
+                if "feature_names" in archive.files else None,
+                name=str(archive["name"]) if "name" in archive.files else "park",
+            )
+
+    def positive_rate_by_effort_percentile(
+        self, percentiles: np.ndarray | list[float]
+    ) -> np.ndarray:
+        """Fig. 4: % positive labels above each patrol-effort percentile.
+
+        For each percentile p, restrict to points whose current effort is at
+        least the p-th percentile of effort and report the percent of
+        positive labels among them. The curve increasing with p is the
+        empirical signature of effort-dependent detection.
+        """
+        percentiles = np.asarray(percentiles, dtype=float)
+        if ((percentiles < 0) | (percentiles > 100)).any():
+            raise ConfigurationError("percentiles must be within [0, 100]")
+        out = np.empty(percentiles.size)
+        for i, p in enumerate(percentiles):
+            threshold = np.percentile(self.current_effort, p)
+            selected = self.current_effort >= threshold
+            out[i] = 100.0 * self.labels[selected].mean() if selected.any() else np.nan
+        return out

@@ -1,0 +1,224 @@
+"""Ingesting real SMART-style exports into a :class:`PoachingDataset`.
+
+Parks that adopt this library will have their own SMART exports rather than
+our simulator. This module accepts the two CSV artifacts a SMART analyst
+can produce and assembles the same dataset object the rest of the pipeline
+consumes:
+
+* a **cell-features CSV** — one row per grid cell: ``cell_id`` followed by
+  static feature columns (the output of any GIS preprocessing);
+* an **observations CSV** — one row per (period, cell) with recorded patrol
+  effort: ``period, cell_id, effort_km, poaching`` where ``poaching`` is
+  0/1 (whether any poaching sign was recorded there that period).
+
+The previous-period effort covariate ``c_{t-1,n}`` is reconstructed from
+the observation rows themselves (cells absent from a period are treated as
+unpatrolled, effort 0 — exactly the SMART semantics).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import PoachingDataset
+from repro.exceptions import DataError
+
+
+def read_cell_features_csv(path) -> tuple[np.ndarray, list[str], dict[int, int]]:
+    """Parse a cell-features CSV.
+
+    Returns
+    -------
+    (features, feature_names, row_of_cell):
+        ``features`` is ``(n_cells, k)`` in file order; ``row_of_cell``
+        maps each ``cell_id`` to its row index.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path}: empty features file") from None
+        if not header or header[0].strip().lower() != "cell_id":
+            raise DataError(f"{path}: first column must be 'cell_id'")
+        feature_names = [name.strip() for name in header[1:]]
+        if not feature_names:
+            raise DataError(f"{path}: no feature columns")
+        rows: list[list[float]] = []
+        row_of_cell: dict[int, int] = {}
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise DataError(
+                    f"{path}:{line_no}: expected {len(header)} columns, "
+                    f"got {len(row)}"
+                )
+            try:
+                cell_id = int(row[0])
+                values = [float(v) for v in row[1:]]
+            except ValueError as exc:
+                raise DataError(f"{path}:{line_no}: {exc}") from None
+            if cell_id in row_of_cell:
+                raise DataError(f"{path}:{line_no}: duplicate cell_id {cell_id}")
+            row_of_cell[cell_id] = len(rows)
+            rows.append(values)
+    if not rows:
+        raise DataError(f"{path}: no data rows")
+    features = np.asarray(rows, dtype=float)
+    if not np.isfinite(features).all():
+        raise DataError(f"{path}: non-finite feature values")
+    return features, feature_names, row_of_cell
+
+
+def read_observations_csv(path) -> list[tuple[int, int, float, int]]:
+    """Parse an observations CSV into (period, cell, effort, poaching) rows."""
+    path = Path(path)
+    required = ["period", "cell_id", "effort_km", "poaching"]
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = [h.strip().lower() for h in next(reader)]
+        except StopIteration:
+            raise DataError(f"{path}: empty observations file") from None
+        if header != required:
+            raise DataError(
+                f"{path}: header must be {required}, got {header}"
+            )
+        out: list[tuple[int, int, float, int]] = []
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                period = int(row[0])
+                cell = int(row[1])
+                effort = float(row[2])
+                poaching = int(row[3])
+            except (ValueError, IndexError) as exc:
+                raise DataError(f"{path}:{line_no}: {exc}") from None
+            if effort < 0:
+                raise DataError(f"{path}:{line_no}: negative effort")
+            if poaching not in (0, 1):
+                raise DataError(f"{path}:{line_no}: poaching must be 0/1")
+            if period < 0:
+                raise DataError(f"{path}:{line_no}: negative period")
+            out.append((period, cell, effort, poaching))
+    if not out:
+        raise DataError(f"{path}: no observation rows")
+    return out
+
+
+def dataset_from_csv(
+    features_path,
+    observations_path,
+    periods_per_year: int = 4,
+    name: str = "imported",
+) -> PoachingDataset:
+    """Build a :class:`PoachingDataset` from the two CSV exports.
+
+    Each observation row becomes a data point (the first period is skipped,
+    since it has no previous-effort covariate). Duplicate (period, cell)
+    rows are merged: efforts summed, poaching OR-ed — multiple patrols may
+    visit the same cell in one period.
+    """
+    features, feature_names, row_of_cell = read_cell_features_csv(features_path)
+    observations = read_observations_csv(observations_path)
+
+    merged: dict[tuple[int, int], tuple[float, int]] = {}
+    for period, cell, effort, poaching in observations:
+        if cell not in row_of_cell:
+            raise DataError(
+                f"observation references cell {cell} missing from the "
+                "features file"
+            )
+        key = (period, cell)
+        prev_effort, prev_poach = merged.get(key, (0.0, 0))
+        merged[key] = (prev_effort + effort, max(prev_poach, poaching))
+
+    effort_of: dict[tuple[int, int], float] = {
+        key: value[0] for key, value in merged.items()
+    }
+    rows_static: list[np.ndarray] = []
+    prev_list: list[float] = []
+    cur_list: list[float] = []
+    labels: list[int] = []
+    periods: list[int] = []
+    cells: list[int] = []
+    first_period = min(p for p, __ in merged)
+    for (period, cell), (effort, poaching) in sorted(merged.items()):
+        if period == first_period:
+            continue  # no previous-effort covariate available
+        rows_static.append(features[row_of_cell[cell]])
+        prev_list.append(effort_of.get((period - 1, cell), 0.0))
+        cur_list.append(effort)
+        labels.append(poaching)
+        periods.append(period)
+        cells.append(cell)
+    if not rows_static:
+        raise DataError("observations cover a single period; nothing to learn")
+    return PoachingDataset(
+        static_features=np.asarray(rows_static),
+        prev_effort=np.asarray(prev_list),
+        current_effort=np.asarray(cur_list),
+        labels=np.asarray(labels),
+        period=np.asarray(periods),
+        cell=np.asarray(cells),
+        periods_per_year=periods_per_year,
+        feature_names=feature_names,
+        name=name,
+    )
+
+
+def export_dataset_to_csv(
+    dataset: PoachingDataset, features_path, observations_path
+) -> None:
+    """Write a dataset back out as the two-CSV exchange format.
+
+    Round-trips with :func:`dataset_from_csv` up to the first period (which
+    carries no data points) and per-cell feature deduplication.
+    """
+    features_path = Path(features_path)
+    observations_path = Path(observations_path)
+    seen: dict[int, np.ndarray] = {}
+    for i in range(dataset.n_points):
+        cell = int(dataset.cell[i])
+        if cell not in seen:
+            seen[cell] = dataset.static_features[i]
+    with features_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["cell_id"] + dataset.feature_names)
+        for cell in sorted(seen):
+            writer.writerow([cell] + [repr(float(v)) for v in seen[cell]])
+    with observations_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["period", "cell_id", "effort_km", "poaching"])
+        for i in range(dataset.n_points):
+            writer.writerow(
+                [
+                    int(dataset.period[i]),
+                    int(dataset.cell[i]),
+                    repr(float(dataset.current_effort[i])),
+                    int(dataset.labels[i]),
+                ]
+            )
+        # Emit the previous-period efforts of the earliest points so the
+        # importer can rebuild their c_{t-1} covariate.
+        first = int(dataset.period.min())
+        emitted: set[tuple[int, int]] = set(
+            (int(p), int(c)) for p, c in zip(dataset.period, dataset.cell)
+        )
+        for i in range(dataset.n_points):
+            if int(dataset.period[i]) != first:
+                continue
+            key = (first - 1, int(dataset.cell[i]))
+            if key in emitted or dataset.prev_effort[i] <= 0:
+                continue
+            emitted.add(key)
+            writer.writerow(
+                [first - 1, int(dataset.cell[i]),
+                 repr(float(dataset.prev_effort[i])), 0]
+            )

@@ -1,0 +1,132 @@
+"""Synthetic protected areas.
+
+A :class:`SyntheticPark` bundles everything the GIS pipeline would supply for
+a real park — grid, feature stack, landscape masks, patrol posts — generated
+procedurally from a :class:`~repro.data.profiles.ParkProfile` and a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.profiles import ParkProfile
+from repro.exceptions import ConfigurationError
+from repro.geo.features import FeatureStack
+from repro.geo.grid import Grid
+from repro.geo.raster import (
+    fractal_noise,
+    linear_feature_mask,
+    scatter_points,
+    smooth_field,
+)
+
+
+@dataclass
+class SyntheticPark:
+    """A procedurally generated protected area.
+
+    Attributes
+    ----------
+    profile:
+        The park profile this park was generated from.
+    grid:
+        Cell lattice with park mask.
+    features:
+        Static per-cell geospatial feature stack.
+    patrol_posts:
+        Cell ids of ranger patrol posts (sources/sinks of every patrol).
+    river_mask, road_mask:
+        Boolean rasters of the linear landscape features.
+    village_cells:
+        Cell ids of villages just outside/inside the boundary.
+    """
+
+    profile: ParkProfile
+    grid: Grid
+    features: FeatureStack
+    patrol_posts: np.ndarray
+    river_mask: np.ndarray
+    road_mask: np.ndarray
+    village_cells: np.ndarray
+    seed: int = 0
+
+    @property
+    def n_cells(self) -> int:
+        return self.grid.n_cells
+
+    @property
+    def n_features(self) -> int:
+        return self.features.n_features
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(cls, profile: ParkProfile, seed: int = 0) -> "SyntheticPark":
+        """Generate a park deterministically from a profile and seed."""
+        rng = np.random.default_rng(seed)
+        height, width = profile.shape
+        if profile.geometry == "ellipse":
+            grid = Grid.elliptical(height, width)
+        else:
+            grid = Grid.rectangular(height, width)
+
+        shape = grid.shape
+        river_mask = linear_feature_mask(shape, rng, n_lines=profile.n_rivers)
+        road_mask = linear_feature_mask(shape, rng, n_lines=profile.n_roads, wobble=0.6)
+        elevation = fractal_noise(shape, rng, octaves=4)
+        forest_cover = fractal_noise(shape, rng, octaves=3)
+        animal_density = smooth_field(shape, rng, scale=4)
+        npp = smooth_field(shape, rng, scale=5)
+        slope = np.abs(np.gradient(elevation)[0]) + np.abs(np.gradient(elevation)[1])
+
+        villages = cls._sample_cells(grid, rng, profile.n_villages, prefer_edge=True)
+        posts = cls._sample_cells(grid, rng, profile.n_patrol_posts, prefer_edge=True)
+
+        stack = FeatureStack(grid)
+        stack.add_direct("elevation", elevation)
+        stack.add_direct("slope", slope)
+        stack.add_direct("forest_cover", forest_cover)
+        stack.add_direct("animal_density", animal_density)
+        stack.add_direct("npp", npp)
+        stack.add_distance("dist_river", river_mask)
+        stack.add_distance("dist_road", road_mask)
+        stack.add_boundary_distance("dist_boundary")
+        stack.add_distance("dist_village", cls._cells_to_mask(grid, villages))
+        stack.add_geodesic("dist_patrol_post", posts)
+        for i in range(profile.extra_features):
+            stack.add_direct(f"eco_{i}", smooth_field(shape, rng, scale=3 + i))
+
+        return cls(
+            profile=profile,
+            grid=grid,
+            features=stack,
+            patrol_posts=posts,
+            river_mask=river_mask,
+            road_mask=road_mask,
+            village_cells=villages,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sample_cells(grid: Grid, rng: np.random.Generator, count: int,
+                      prefer_edge: bool) -> np.ndarray:
+        """Sample distinct in-park cells, optionally biased to the boundary."""
+        if count < 1:
+            raise ConfigurationError(f"need at least one cell, got {count}")
+        if prefer_edge:
+            pool = grid.boundary_cells()
+            if pool.size < count:
+                pool = np.arange(grid.n_cells)
+        else:
+            pool = np.arange(grid.n_cells)
+        return np.sort(rng.choice(pool, size=min(count, pool.size), replace=False))
+
+    @staticmethod
+    def _cells_to_mask(grid: Grid, cells: np.ndarray) -> np.ndarray:
+        mask = np.zeros(grid.shape, dtype=bool)
+        for cid in cells:
+            row, col = grid.cell_rc(int(cid))
+            mask[row, col] = True
+        return mask

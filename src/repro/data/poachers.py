@@ -1,0 +1,180 @@
+"""Ground-truth poacher behaviour model.
+
+Green Security Games model poachers as boundedly rational attackers whose
+attack propensity responds to landscape attractiveness and is deterred by
+ranger coverage. This module is the *simulator's* ground truth — the thing
+the predictive pipeline tries to learn — so it is deliberately richer than
+any single learner: a logistic model over nonlinear feature interactions
+plus seasonal modulation, deterrence from last period's patrols, and
+idiosyncratic per-cell taste shocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.profiles import ParkProfile
+from repro.data.seasonality import Season, period_season, seasonal_risk_shift
+from repro.data.park import SyntheticPark
+from repro.exceptions import ConfigurationError
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    z = np.clip(z, -60.0, 60.0)
+    return 1.0 / (1.0 + np.exp(-z))
+
+
+class PoacherModel:
+    """Boundedly rational attack model over a synthetic park.
+
+    Attack probability of cell ``n`` at period ``t``::
+
+        p = sigmoid( b + u(n) + s(n, t) - deterrence * c_{t-1,n} )
+
+    where ``u`` is a fixed attractiveness score built from park features,
+    ``s`` the seasonal shift, ``c_{t-1,n}`` the previous period's patrol
+    effort, and ``b`` an intercept calibrated so the *mean* attack
+    probability with no patrolling matches ``profile.attack_rate``.
+
+    Parameters
+    ----------
+    park:
+        The synthetic park (supplies features and geometry).
+    seed:
+        Seed for the taste-shock draw (distinct from the park seed so two
+        poacher populations can share one park).
+    """
+
+    def __init__(self, park: SyntheticPark, seed: int = 100):
+        self.park = park
+        self.profile: ParkProfile = park.profile
+        rng = np.random.default_rng(seed)
+        self._attractiveness = self._build_attractiveness(rng)
+        self._intercept = self._calibrate_intercept(self.profile.attack_rate)
+
+    # ------------------------------------------------------------------
+    def _build_attractiveness(self, rng: np.random.Generator) -> np.ndarray:
+        """Fixed per-cell attractiveness on the log-odds scale, zero mean."""
+        features = self.park.features
+        animal = self._z(features.column("animal_density"))
+        dist_boundary = self._z(features.column("dist_boundary"))
+        dist_village = self._z(features.column("dist_village"))
+        dist_road = self._z(features.column("dist_road"))
+        dist_river = self._z(features.column("dist_river"))
+        forest = self._z(features.column("forest_cover"))
+        slope = self._z(features.column("slope"))
+
+        profile = self.profile
+        score = (
+            1.2 * animal                      # poachers go where animals are
+            - profile.boundary_attraction * dist_boundary  # edges are easy
+            - 0.6 * dist_village              # close to home
+            - 0.3 * dist_road                 # accessible terrain
+            - 0.4 * dist_river                # snares near water sources
+            + 0.5 * forest                    # cover to hide snares
+            - 0.3 * slope                     # avoid steep ground
+            + 0.8 * animal * forest           # game trails under cover
+        )
+        score = score + rng.normal(0.0, profile.feature_noise, size=score.shape)
+        return score - score.mean()
+
+    @staticmethod
+    def _z(column: np.ndarray) -> np.ndarray:
+        std = column.std()
+        if std < 1e-12:
+            return np.zeros_like(column)
+        return (column - column.mean()) / std
+
+    def _calibrate_intercept(self, target_rate: float) -> float:
+        """Bisection for the intercept giving the target mean attack rate."""
+        if not 0.0 < target_rate < 1.0:
+            raise ConfigurationError(f"target rate must be in (0,1), got {target_rate}")
+        lo, hi = -30.0, 30.0
+        for _ in range(80):
+            mid = (lo + hi) / 2.0
+            mean_rate = float(_sigmoid(self._attractiveness + mid).mean())
+            if mean_rate < target_rate:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+    # ------------------------------------------------------------------
+    def shift_intercept(self, delta: float) -> None:
+        """Shift the attack-rate intercept on the log-odds scale.
+
+        Used by the dataset generator's calibration loop to steer the
+        *observed* positive-label rate onto the profile target.
+        """
+        self._intercept += float(delta)
+
+    @property
+    def attractiveness(self) -> np.ndarray:
+        """Zero-mean per-cell attractiveness (log-odds scale)."""
+        return self._attractiveness.copy()
+
+    def attack_probability(
+        self,
+        period_index: int,
+        prev_effort: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-cell attack probability at a time period.
+
+        Parameters
+        ----------
+        period_index:
+            Index of the time period (drives the seasonal term).
+        prev_effort:
+            ``(n_cells,)`` patrol effort of the *previous* period in km;
+            ``None`` means no deterrence.
+        """
+        z = self._attractiveness + self._intercept
+        if self.profile.seasonal:
+            season = period_season(
+                period_index,
+                self.profile.periods_per_year,
+                self.profile.dry_season_only,
+            )
+            z = z + seasonal_risk_shift(self.park.grid, season)
+        if prev_effort is not None:
+            prev_effort = np.asarray(prev_effort, dtype=float)
+            if prev_effort.shape != (self.park.n_cells,):
+                raise ConfigurationError(
+                    f"prev_effort must have shape ({self.park.n_cells},), "
+                    f"got {prev_effort.shape}"
+                )
+            z = z - self.profile.deterrence * prev_effort
+        return _sigmoid(z)
+
+    def sample_attacks(
+        self,
+        period_index: int,
+        rng: np.random.Generator,
+        prev_effort: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Bernoulli attack realisation, one boolean per cell."""
+        p = self.attack_probability(period_index, prev_effort)
+        return rng.random(p.shape) < p
+
+    def detection_probability(self, effort_km: np.ndarray) -> np.ndarray:
+        """P(rangers detect an attack | attack) as a function of effort.
+
+        The saturating curve ``1 - exp(-k c)`` creates the paper's one-sided
+        noise: zero effort never detects, so low-effort negative labels are
+        unreliable, and detection plateaus at high effort (Fig. 6's
+        observation that likelihood of detection plateaus).
+        """
+        effort = np.asarray(effort_km, dtype=float)
+        if (effort < 0).any():
+            raise ConfigurationError("patrol effort cannot be negative")
+        return 1.0 - np.exp(-self.profile.detect_rate * effort)
+
+    def detected_attack_probability(
+        self,
+        period_index: int,
+        effort_km: np.ndarray,
+        prev_effort: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Joint probability Pr[a=1, o=1] the paper's riskmaps display."""
+        return self.attack_probability(period_index, prev_effort) * \
+            self.detection_probability(effort_km)

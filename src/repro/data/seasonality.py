@@ -1,0 +1,82 @@
+"""Wet/dry seasonality for Southeast-Asian parks.
+
+Section VII-C of the paper: "Our predictive model identified higher poaching
+risk in the north during dry season and south during rainy season", which
+matched ranger experience — rivers in the south become impassable when dry.
+:func:`seasonal_risk_shift` implements exactly that north/south modulation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.geo.grid import Grid
+
+#: Dry-season months in Cambodia (November through April), per the paper.
+DRY_MONTHS = (11, 12, 1, 2, 3, 4)
+
+
+class Season(Enum):
+    """The two Cambodian seasons."""
+
+    DRY = "dry"
+    WET = "wet"
+
+
+def season_of_month(month: int) -> Season:
+    """Season of a calendar month (1-12)."""
+    if not 1 <= month <= 12:
+        raise ConfigurationError(f"month must be in 1..12, got {month}")
+    return Season.DRY if month in DRY_MONTHS else Season.WET
+
+
+def months_of_period(period_index: int, periods_per_year: int,
+                     dry_season_only: bool = False) -> list[int]:
+    """Calendar months covered by one discretised time period.
+
+    Full-year datasets use quarters starting in January; dry-season datasets
+    use 2-month periods starting in November (Nov-Dec, Jan-Feb, Mar-Apr),
+    matching the paper's SWS-dry discretisation.
+    """
+    if period_index < 0:
+        raise ConfigurationError("period_index must be >= 0")
+    within_year = period_index % periods_per_year
+    if dry_season_only:
+        starts = (11, 1, 3)
+        if periods_per_year != 3:
+            raise ConfigurationError(
+                "dry-season datasets use 3 two-month periods per year"
+            )
+        start = starts[within_year]
+        return [start, 1 if start == 12 else start + 1]
+    months_per_period = 12 // periods_per_year
+    start = within_year * months_per_period + 1
+    return list(range(start, start + months_per_period))
+
+
+def period_season(period_index: int, periods_per_year: int,
+                  dry_season_only: bool = False) -> Season:
+    """Dominant season of a time period."""
+    months = months_of_period(period_index, periods_per_year, dry_season_only)
+    n_dry = sum(1 for m in months if season_of_month(m) is Season.DRY)
+    return Season.DRY if n_dry * 2 >= len(months) else Season.WET
+
+
+def seasonal_risk_shift(grid: Grid, season: Season, strength: float = 0.8) -> np.ndarray:
+    """Per-cell additive log-odds shift of poaching risk for a season.
+
+    Dry season pushes risk toward the north (low row index); wet season
+    toward the south. Returns a ``(n_cells,)`` vector in
+    ``[-strength/2, +strength/2]``.
+    """
+    if strength < 0:
+        raise ConfigurationError(f"strength must be >= 0, got {strength}")
+    rows = grid.all_cell_rc()[:, 0].astype(float)
+    # 0 at the top (north) to 1 at the bottom (south).
+    southness = rows / max(1.0, grid.height - 1.0)
+    if season is Season.DRY:
+        return strength * (0.5 - southness)
+    return strength * (southness - 0.5)

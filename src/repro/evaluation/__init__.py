@@ -1,0 +1,19 @@
+"""Experiment runners and reporting shared by the benchmark suite."""
+
+from repro.evaluation.experiments import (
+    ModelSpec,
+    TABLE2_MODELS,
+    evaluate_model_on_split,
+    run_model_zoo,
+)
+from repro.evaluation.tables import format_table
+from repro.evaluation.maps import ascii_heatmap
+
+__all__ = [
+    "ModelSpec",
+    "TABLE2_MODELS",
+    "evaluate_model_on_split",
+    "run_model_zoo",
+    "format_table",
+    "ascii_heatmap",
+]

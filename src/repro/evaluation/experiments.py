@@ -1,0 +1,107 @@
+"""Model-zoo experiment runners (Table II).
+
+Table II evaluates six models (SVB, DTB, GPB, each with and without
+iWare-E) on four dataset variants across three test years. These helpers
+run any slice of that grid with consistent seeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.predictor import PawsPredictor
+from repro.data.dataset import PoachingDataset, YearSplit
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One column of Table II."""
+
+    model: str
+    iware: bool
+
+    @property
+    def name(self) -> str:
+        return f"{self.model.upper()}-iW" if self.iware else self.model.upper()
+
+
+#: The six Table II columns, in the paper's order (without, then with iWare-E).
+TABLE2_MODELS: tuple[ModelSpec, ...] = (
+    ModelSpec("svb", False),
+    ModelSpec("dtb", False),
+    ModelSpec("gpb", False),
+    ModelSpec("svb", True),
+    ModelSpec("dtb", True),
+    ModelSpec("gpb", True),
+)
+
+
+def evaluate_model_on_split(
+    spec: ModelSpec,
+    split: YearSplit,
+    balanced: bool = False,
+    n_classifiers: int = 10,
+    n_estimators: int = 4,
+    seed: int = 0,
+) -> float:
+    """AUC of one model on one train/test split."""
+    predictor = PawsPredictor(
+        model=spec.model,
+        iware=spec.iware,
+        n_classifiers=n_classifiers,
+        balanced=balanced,
+        n_estimators=n_estimators,
+        seed=seed,
+    )
+    predictor.fit(split.train)
+    return predictor.evaluate_auc(split.test)
+
+
+def run_model_zoo(
+    dataset: PoachingDataset,
+    test_years: list[int],
+    balanced: bool = False,
+    n_classifiers: int = 10,
+    n_estimators: int = 4,
+    seed: int = 0,
+    models: tuple[ModelSpec, ...] = TABLE2_MODELS,
+) -> dict[int, dict[str, float]]:
+    """Table II block for one dataset: {test_year: {model_name: AUC}}.
+
+    Parameters
+    ----------
+    dataset:
+        Full multi-year dataset for one park.
+    test_years:
+        Year indices to evaluate (each trains on the three prior years).
+    balanced:
+        Use balanced bagging (the paper's choice for SWS).
+    n_classifiers:
+        iWare-E ensemble size (20 for MFNP/QENP, 10 for SWS in the paper).
+    """
+    results: dict[int, dict[str, float]] = {}
+    for year in test_years:
+        split = dataset.split_by_test_year(year)
+        row: dict[str, float] = {}
+        for spec in models:
+            row[spec.name] = evaluate_model_on_split(
+                spec,
+                split,
+                balanced=balanced,
+                n_classifiers=n_classifiers,
+                n_estimators=n_estimators,
+                seed=seed,
+            )
+        results[year] = row
+    return results
+
+
+def average_by_model(results: dict[int, dict[str, float]]) -> dict[str, float]:
+    """Per-model mean AUC across test years (Table II's "Avg" rows)."""
+    if not results:
+        return {}
+    model_names = next(iter(results.values())).keys()
+    return {
+        name: sum(row[name] for row in results.values()) / len(results)
+        for name in model_names
+    }

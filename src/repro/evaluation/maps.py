@@ -1,0 +1,65 @@
+"""ASCII heatmap rendering of park rasters (Figs. 3 and 6).
+
+The paper presents risk maps, uncertainty maps, and historical-effort maps
+as colour rasters; the closest offline equivalent is a density-ramp ASCII
+rendering, which the benchmarks print so the spatial structure is visible
+in plain terminal output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.geo.grid import Grid
+
+#: Density ramp from empty to full.
+DEFAULT_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    grid: Grid,
+    values: np.ndarray,
+    ramp: str = DEFAULT_RAMP,
+    title: str | None = None,
+) -> str:
+    """Render per-cell values as an ASCII raster.
+
+    Off-park cells render as spaces; in-park values are min-max scaled onto
+    the character ramp.
+
+    Parameters
+    ----------
+    grid:
+        Park lattice.
+    values:
+        ``(n_cells,)`` values to visualise.
+    ramp:
+        Characters from lowest to highest density (>= 2 characters).
+    title:
+        Optional caption prepended to the map.
+    """
+    if len(ramp) < 2:
+        raise ConfigurationError("ramp needs at least 2 characters")
+    values = np.asarray(values, dtype=float)
+    if values.shape != (grid.n_cells,):
+        raise DataError(
+            f"values must have shape ({grid.n_cells},), got {values.shape}"
+        )
+    if not np.isfinite(values).all():
+        raise DataError("values contain non-finite entries")
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo < 1e-15:
+        scaled = np.zeros_like(values)
+    else:
+        scaled = (values - lo) / (hi - lo)
+    indices = np.minimum((scaled * len(ramp)).astype(int), len(ramp) - 1)
+
+    raster = np.full(grid.shape, " ", dtype="<U1")
+    for cid in range(grid.n_cells):
+        row, col = grid.cell_rc(cid)
+        raster[row, col] = ramp[indices[cid]]
+    lines = ["".join(row) for row in raster]
+    if title is not None:
+        lines.insert(0, title)
+    return "\n".join(lines)

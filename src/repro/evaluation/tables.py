@@ -1,0 +1,43 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Align a list-of-rows into a monospaced table.
+
+    Floats are rendered with ``float_format``; everything else with
+    ``str``. Column widths adapt to the longest entry.
+    """
+    if not headers:
+        raise ConfigurationError("headers must not be empty")
+    rendered: list[list[str]] = [list(headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} entries, expected {len(headers)}"
+            )
+        rendered.append(
+            [
+                float_format.format(item) if isinstance(item, float) else str(item)
+                for item in row
+            ]
+        )
+    widths = [
+        max(len(rendered[r][c]) for r in range(len(rendered)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    for r, row_items in enumerate(rendered):
+        lines.append(
+            "  ".join(item.rjust(widths[c]) for c, item in enumerate(row_items))
+        )
+        if r == 0:
+            lines.append("  ".join("-" * widths[c] for c in range(len(headers))))
+    return "\n".join(lines)

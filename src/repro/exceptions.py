@@ -1,0 +1,35 @@
+"""Exception hierarchy for the PAWS reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value or combination was supplied."""
+
+
+class DataError(ReproError):
+    """A dataset is malformed, empty, or inconsistent with its metadata."""
+
+
+class NotFittedError(ReproError):
+    """A model method requiring a fit was called before :meth:`fit`."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative optimisation failed to converge."""
+
+
+class PlanningError(ReproError):
+    """Patrol-plan construction or MILP solution failed."""
+
+
+class InfeasibleError(PlanningError):
+    """The patrol-planning program has no feasible solution."""

@@ -1,0 +1,31 @@
+"""Field-test design, simulation, and analysis (Section VII).
+
+The paper validated PAWS with real deployments in MFNP and SWS: regions at
+high / medium / low predicted risk were selected (without telling rangers
+the labels), patrolled for months, and the detected-poaching rates per risk
+group were compared with a chi-squared test. This package reproduces the
+protocol against the simulator's ground truth:
+
+* :mod:`repro.fieldtest.design` — block selection exactly as Section VII-B
+  describes (convolve the risk map into blocks, discard the historically
+  well-patrolled half, pick the 80-100 / 40-60 / 0-20 risk percentiles);
+* :mod:`repro.fieldtest.simulate` — deploys patrols into the chosen blocks
+  against the ground-truth poacher model;
+* :mod:`repro.fieldtest.analysis` — Table III statistics and the Pearson
+  chi-squared independence test.
+"""
+
+from repro.fieldtest.design import FieldTestDesign, RiskGroup, design_field_test
+from repro.fieldtest.simulate import FieldTrialResult, GroupOutcome, run_field_trial
+from repro.fieldtest.analysis import chi_squared_test, field_test_table
+
+__all__ = [
+    "RiskGroup",
+    "FieldTestDesign",
+    "design_field_test",
+    "FieldTrialResult",
+    "GroupOutcome",
+    "run_field_trial",
+    "chi_squared_test",
+    "field_test_table",
+]

@@ -1,0 +1,187 @@
+"""Field-test block selection (the Section VII-B protocol).
+
+Steps, quoting the paper:
+
+1. "we averaged the risk predictions over the adjacent cells by convolving
+   the risk map" to produce blocks;
+2. "we then discarded all blocks with historical patrol effort above the
+   50th percentile, to ensure we were assessing the ability of our model to
+   make predictions in regions with limited data";
+3. "we identified high-, medium-, and low-risk areas by considering blocks
+   with risk predictions within the 80-100, 40-60, and 0-20 percentile";
+4. a fixed number of blocks per category is selected, non-overlapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.geo.convolve import box_filter
+from repro.geo.grid import Grid
+
+
+class RiskGroup(Enum):
+    """The three experiment arms of the field tests."""
+
+    HIGH = "high"
+    MEDIUM = "medium"
+    LOW = "low"
+
+
+#: Risk-percentile window per group, per the paper.
+GROUP_PERCENTILES: dict[RiskGroup, tuple[float, float]] = {
+    RiskGroup.HIGH: (80.0, 100.0),
+    RiskGroup.MEDIUM: (40.0, 60.0),
+    RiskGroup.LOW: (0.0, 20.0),
+}
+
+
+@dataclass
+class FieldTestDesign:
+    """Selected experiment blocks for one field test.
+
+    Attributes
+    ----------
+    blocks:
+        Per risk group, a list of blocks; each block is an array of cell
+        ids (the 3x3 or 2x2 neighbourhood around a centre cell).
+    centers:
+        Per risk group, the centre cell ids of the blocks.
+    block_radius:
+        Neighbourhood radius used (1 => 3x3 blocks).
+    """
+
+    blocks: dict[RiskGroup, list[np.ndarray]]
+    centers: dict[RiskGroup, list[int]]
+    block_radius: int
+
+    def cells_of(self, group: RiskGroup) -> np.ndarray:
+        """All cell ids in a group's blocks (unique, sorted)."""
+        if not self.blocks[group]:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(self.blocks[group]))
+
+    @property
+    def n_blocks(self) -> int:
+        return sum(len(b) for b in self.blocks.values())
+
+
+def design_field_test(
+    grid: Grid,
+    risk: np.ndarray,
+    historical_effort: np.ndarray,
+    blocks_per_group: int = 5,
+    block_radius: int = 1,
+    effort_percentile_cap: float = 50.0,
+    rng: np.random.Generator | None = None,
+) -> FieldTestDesign:
+    """Select high/medium/low-risk experiment blocks.
+
+    Parameters
+    ----------
+    grid:
+        Park lattice.
+    risk:
+        ``(n_cells,)`` per-cell risk predictions at nominal effort.
+    historical_effort:
+        ``(n_cells,)`` cumulative past patrol effort (km).
+    blocks_per_group:
+        Number of blocks per risk category (the paper used 5 in SWS).
+    block_radius:
+        1 gives 3x3 blocks (SWS); the MFNP test used 2x2 regions, which
+        radius 1 approximates on our scaled-down grids.
+    effort_percentile_cap:
+        Blocks whose historical effort exceeds this percentile are dropped.
+    rng:
+        Randomness for tie-breaking among eligible centres.
+
+    Returns
+    -------
+    FieldTestDesign
+        Non-overlapping blocks per risk group.
+    """
+    if blocks_per_group < 1:
+        raise ConfigurationError(
+            f"blocks_per_group must be >= 1, got {blocks_per_group}"
+        )
+    if block_radius < 0:
+        raise ConfigurationError(f"block_radius must be >= 0, got {block_radius}")
+    risk = np.asarray(risk, dtype=float)
+    historical_effort = np.asarray(historical_effort, dtype=float)
+    if risk.shape != (grid.n_cells,) or historical_effort.shape != (grid.n_cells,):
+        raise DataError("risk and effort must be per-cell vectors")
+    rng = rng or np.random.default_rng()
+
+    # Step 1: convolve the risk map into block-averaged risk.
+    risk_raster = grid.vector_to_raster(risk)
+    block_risk = grid.raster_to_vector(box_filter(risk_raster, radius=block_radius))
+    effort_raster = grid.vector_to_raster(historical_effort)
+    block_effort = grid.raster_to_vector(
+        box_filter(effort_raster, radius=block_radius)
+    )
+
+    # Step 2: keep only historically under-patrolled blocks.
+    cap = np.percentile(block_effort, effort_percentile_cap)
+    eligible = block_effort <= cap
+
+    if eligible.sum() < 3 * blocks_per_group:
+        raise DataError(
+            f"only {int(eligible.sum())} eligible blocks for "
+            f"{3 * blocks_per_group} requested"
+        )
+
+    # Step 3: risk-percentile windows over the eligible blocks.
+    eligible_risk = block_risk[eligible]
+    eligible_ids = np.nonzero(eligible)[0]
+
+    blocks: dict[RiskGroup, list[np.ndarray]] = {g: [] for g in RiskGroup}
+    centers: dict[RiskGroup, list[int]] = {g: [] for g in RiskGroup}
+    taken = np.zeros(grid.n_cells, dtype=bool)
+
+    for group in (RiskGroup.HIGH, RiskGroup.MEDIUM, RiskGroup.LOW):
+        lo_pct, hi_pct = GROUP_PERCENTILES[group]
+        # On small (scaled-down) parks the strict 20-percentile windows may
+        # not admit enough non-overlapping blocks; widen progressively while
+        # preserving the window's anchor (high stays top-anchored, low
+        # bottom-anchored) before giving up.
+        for widen in (0.0, 5.0, 10.0, 15.0, 20.0):
+            lo = np.percentile(eligible_risk, max(0.0, lo_pct - widen))
+            hi = np.percentile(eligible_risk, min(100.0, hi_pct + widen))
+            window = eligible_ids[(block_risk[eligible_ids] >= lo)
+                                  & (block_risk[eligible_ids] <= hi)]
+            # Order by closeness to the window's anchor so widened windows
+            # still prefer the most-extreme blocks, then shuffle ties.
+            window = rng.permutation(window)
+            for center in window:
+                if len(centers[group]) >= blocks_per_group:
+                    break
+                cells = _block_cells(grid, int(center), block_radius)
+                if taken[cells].any():
+                    continue  # overlap with an already-selected block
+                taken[cells] = True
+                blocks[group].append(cells)
+                centers[group].append(int(center))
+            if len(centers[group]) >= blocks_per_group:
+                break
+        if len(centers[group]) < blocks_per_group:
+            raise DataError(
+                f"could not place {blocks_per_group} non-overlapping blocks "
+                f"for group {group.value}"
+            )
+    return FieldTestDesign(blocks=blocks, centers=centers, block_radius=block_radius)
+
+
+def _block_cells(grid: Grid, center: int, radius: int) -> np.ndarray:
+    """In-park cell ids of the (2r+1)^2 neighbourhood around a centre."""
+    row, col = grid.cell_rc(center)
+    cells: list[int] = []
+    for dr in range(-radius, radius + 1):
+        for dc in range(-radius, radius + 1):
+            r, c = row + dr, col + dc
+            if grid.contains_rc(r, c):
+                cells.append(grid.cell_id(r, c))
+    return np.asarray(sorted(cells), dtype=np.int64)

@@ -1,0 +1,34 @@
+"""Geospatial substrate: grids, rasters, distances, and feature stacks.
+
+The paper discretises each protected area into 1x1 km grid cells and attaches
+static geospatial features (terrain, landscape, ecology) to every cell. This
+subpackage provides the synthetic equivalent of the GIS pipeline: a park
+:class:`~repro.geo.grid.Grid`, procedural :class:`~repro.geo.raster.Raster`
+layers, distance transforms, and the :class:`~repro.geo.features.FeatureStack`
+used to build predictive-model inputs.
+"""
+
+from repro.geo.grid import Grid
+from repro.geo.raster import (
+    Raster,
+    fractal_noise,
+    linear_feature_mask,
+    smooth_field,
+)
+from repro.geo.distance import chamfer_distance, geodesic_distance
+from repro.geo.features import FeatureSpec, FeatureStack
+from repro.geo.convolve import block_mean, box_filter
+
+__all__ = [
+    "Grid",
+    "Raster",
+    "fractal_noise",
+    "smooth_field",
+    "linear_feature_mask",
+    "chamfer_distance",
+    "geodesic_distance",
+    "FeatureSpec",
+    "FeatureStack",
+    "block_mean",
+    "box_filter",
+]

@@ -1,0 +1,85 @@
+"""Spatial smoothing helpers.
+
+Section VII-B of the paper averages 1x1 km risk predictions over adjacent
+cells "by convolving the risk map to produce 3x3 km blocks" when designing
+field tests. :func:`box_filter` implements exactly that NaN-aware moving
+average; :func:`block_mean` aggregates a raster into non-overlapping blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def box_filter(raster: np.ndarray, radius: int = 1) -> np.ndarray:
+    """NaN-aware moving average over a ``(2*radius+1)`` square window.
+
+    Off-park cells marked with NaN neither contribute to nor receive values;
+    a cell's output is the mean of the finite values in its window.
+    """
+    raster = np.asarray(raster, dtype=float)
+    if raster.ndim != 2:
+        raise ConfigurationError(f"raster must be 2-D, got shape {raster.shape}")
+    if radius < 0:
+        raise ConfigurationError(f"radius must be >= 0, got {radius}")
+    if radius == 0:
+        return raster.copy()
+    finite = np.isfinite(raster)
+    filled = np.where(finite, raster, 0.0)
+    k = 2 * radius + 1
+    summed = _box_sum(filled, k)
+    counts = _box_sum(finite.astype(float), k)
+    out = np.full_like(raster, np.nan)
+    has_data = counts > 0
+    out[has_data] = summed[has_data] / counts[has_data]
+    out[~finite] = np.nan
+    return out
+
+
+def _box_sum(raster: np.ndarray, k: int) -> np.ndarray:
+    """Sum over a k x k window via a 2-D summed-area table (zero padding)."""
+    height, width = raster.shape
+    pad = k // 2
+    padded = np.zeros((height + 2 * pad, width + 2 * pad))
+    padded[pad : pad + height, pad : pad + width] = raster
+    # Integral image with a leading row/col of zeros for clean differencing.
+    integral = np.zeros((padded.shape[0] + 1, padded.shape[1] + 1))
+    integral[1:, 1:] = padded.cumsum(axis=0).cumsum(axis=1)
+    out = np.empty((height, width))
+    for r in range(height):
+        for c in range(width):
+            r0, c0 = r, c
+            r1, c1 = r + k, c + k
+            out[r, c] = (
+                integral[r1, c1]
+                - integral[r0, c1]
+                - integral[r1, c0]
+                + integral[r0, c0]
+            )
+    return out
+
+
+def block_mean(raster: np.ndarray, block: int) -> np.ndarray:
+    """NaN-aware mean over non-overlapping ``block x block`` tiles.
+
+    Ragged edges (when the raster size is not a multiple of ``block``) are
+    averaged over the partial tile. A tile with no finite cells yields NaN.
+    """
+    raster = np.asarray(raster, dtype=float)
+    if raster.ndim != 2:
+        raise ConfigurationError(f"raster must be 2-D, got shape {raster.shape}")
+    if block < 1:
+        raise ConfigurationError(f"block must be >= 1, got {block}")
+    height, width = raster.shape
+    out_h = (height + block - 1) // block
+    out_w = (width + block - 1) // block
+    out = np.full((out_h, out_w), np.nan)
+    for br in range(out_h):
+        for bc in range(out_w):
+            tile = raster[br * block : (br + 1) * block, bc * block : (bc + 1) * block]
+            finite = np.isfinite(tile)
+            if finite.any():
+                out[br, bc] = tile[finite].mean()
+    return out

@@ -1,0 +1,120 @@
+"""Distance transforms used to turn vector layers into per-cell features.
+
+The paper encodes landscape features "either as direct values (such as slope
+or animal density) or as distance values (such as distance to nearest
+river)". :func:`chamfer_distance` provides the raster distance-to-nearest
+transform; :func:`geodesic_distance` provides in-park travel distances on the
+4-connected cell graph, used by the patrol simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.geo.grid import ROOK_OFFSETS, Grid
+
+#: Chamfer weights approximating Euclidean distance on a lattice (3-4 mask
+#: normalised so that a rook step costs 1 cell).
+_ORTHO_COST = 1.0
+_DIAG_COST = 1.35
+
+
+def chamfer_distance(mask: np.ndarray, cell_km: float = 1.0) -> np.ndarray:
+    """Approximate Euclidean distance (km) from every cell to a feature mask.
+
+    Two-pass chamfer transform with the 3-4 mask, accurate to a few percent,
+    which is ample for synthetic features on a 1 km grid.
+
+    Parameters
+    ----------
+    mask:
+        Boolean raster; ``True`` marks feature cells (distance 0).
+    cell_km:
+        Physical size of one cell, multiplies the result.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ConfigurationError(f"mask must be 2-D, got shape {mask.shape}")
+    height, width = mask.shape
+    inf = float(height + width) * 2.0 * _DIAG_COST
+    dist = np.where(mask, 0.0, inf)
+
+    # Forward pass: scan top-left to bottom-right.
+    for r in range(height):
+        for c in range(width):
+            d = dist[r, c]
+            if r > 0:
+                d = min(d, dist[r - 1, c] + _ORTHO_COST)
+                if c > 0:
+                    d = min(d, dist[r - 1, c - 1] + _DIAG_COST)
+                if c < width - 1:
+                    d = min(d, dist[r - 1, c + 1] + _DIAG_COST)
+            if c > 0:
+                d = min(d, dist[r, c - 1] + _ORTHO_COST)
+            dist[r, c] = d
+    # Backward pass: scan bottom-right to top-left.
+    for r in range(height - 1, -1, -1):
+        for c in range(width - 1, -1, -1):
+            d = dist[r, c]
+            if r < height - 1:
+                d = min(d, dist[r + 1, c] + _ORTHO_COST)
+                if c > 0:
+                    d = min(d, dist[r + 1, c - 1] + _DIAG_COST)
+                if c < width - 1:
+                    d = min(d, dist[r + 1, c + 1] + _DIAG_COST)
+            if c < width - 1:
+                d = min(d, dist[r, c + 1] + _ORTHO_COST)
+            dist[r, c] = d
+    return dist * cell_km
+
+
+def geodesic_distance(grid: Grid, sources: np.ndarray | list[int]) -> np.ndarray:
+    """Shortest in-park travel distance (km) from a set of source cells.
+
+    Runs Dijkstra on the rook-adjacency cell graph restricted to the park
+    mask, so distances route *around* off-park holes — matching how rangers
+    actually travel. Cells unreachable from every source get ``inf``.
+
+    Parameters
+    ----------
+    grid:
+        The park grid.
+    sources:
+        Cell ids acting as distance-zero sources (e.g. patrol posts).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_cells,)`` distances in kilometres.
+    """
+    sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    if sources.size == 0:
+        raise ConfigurationError("geodesic_distance needs at least one source cell")
+    for s in sources:
+        if not (0 <= s < grid.n_cells):
+            raise ConfigurationError(f"source cell id {s} out of range")
+
+    dist = np.full(grid.n_cells, np.inf)
+    heap: list[tuple[float, int]] = []
+    for s in sources:
+        dist[s] = 0.0
+        heapq.heappush(heap, (0.0, int(s)))
+    step = grid.cell_km
+    while heap:
+        d, cid = heapq.heappop(heap)
+        if d > dist[cid]:
+            continue
+        row, col = grid.cell_rc(cid)
+        for dr, dc in ROOK_OFFSETS:
+            r, c = row + dr, col + dc
+            if not grid.contains_rc(r, c):
+                continue
+            nid = grid.cell_id(r, c)
+            nd = d + step
+            if nd < dist[nid]:
+                dist[nid] = nd
+                heapq.heappush(heap, (nd, nid))
+    return dist

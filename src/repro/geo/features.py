@@ -1,0 +1,138 @@
+"""Static geospatial feature stacks.
+
+Mirrors the paper's Section III-B: each 1x1 km cell carries a vector of
+time-invariant geospatial features, encoded either as direct raster values
+(slope, animal density, net primary productivity) or as distances to the
+nearest instance of a vector layer (river, road, village, patrol post, park
+boundary). Longitude/latitude are deliberately *not* encoded, matching the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.geo.distance import chamfer_distance, geodesic_distance
+from repro.geo.grid import Grid
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Descriptor of one feature column.
+
+    Attributes
+    ----------
+    name:
+        Column name, e.g. ``"dist_river"`` or ``"elevation"``.
+    kind:
+        ``"direct"`` (raster value at the cell), ``"distance"`` (chamfer
+        distance to a mask) or ``"geodesic"`` (in-park travel distance to
+        source cells).
+    """
+
+    name: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("direct", "distance", "geodesic"):
+            raise ConfigurationError(f"unknown feature kind '{self.kind}'")
+
+
+class FeatureStack:
+    """An ordered collection of per-cell feature columns for one park.
+
+    Columns are appended through the ``add_*`` methods and then exported as a
+    dense ``(n_cells, k)`` matrix via :attr:`matrix`. The stack remembers the
+    spec of each column so datasets can report feature provenance.
+    """
+
+    def __init__(self, grid: Grid):
+        self.grid = grid
+        self._specs: list[FeatureSpec] = []
+        self._columns: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def add_direct(self, name: str, raster: np.ndarray) -> "FeatureStack":
+        """Append a feature that reads the raster value at each cell."""
+        column = self.grid.raster_to_vector(np.asarray(raster, dtype=float))
+        self._append(FeatureSpec(name, "direct"), column)
+        return self
+
+    def add_distance(self, name: str, mask: np.ndarray) -> "FeatureStack":
+        """Append distance-to-nearest-``mask``-cell (chamfer, km)."""
+        mask = np.asarray(mask, dtype=bool)
+        if not mask.any():
+            raise DataError(f"feature '{name}': mask has no feature cells")
+        dist = chamfer_distance(mask, cell_km=self.grid.cell_km)
+        self._append(FeatureSpec(name, "distance"), self.grid.raster_to_vector(dist))
+        return self
+
+    def add_geodesic(self, name: str, source_cells: np.ndarray) -> "FeatureStack":
+        """Append in-park travel distance to the nearest source cell (km)."""
+        dist = geodesic_distance(self.grid, source_cells)
+        # Unreachable pockets get the park diameter as a finite sentinel so
+        # downstream models never see inf.
+        finite = np.isfinite(dist)
+        if not finite.all():
+            dist = dist.copy()
+            dist[~finite] = (self.grid.height + self.grid.width) * self.grid.cell_km
+        self._append(FeatureSpec(name, "geodesic"), dist)
+        return self
+
+    def add_boundary_distance(self, name: str = "dist_boundary") -> "FeatureStack":
+        """Append distance to the park boundary, a key MFNP/QENP covariate."""
+        boundary = np.zeros(self.grid.shape, dtype=bool)
+        for cid in self.grid.boundary_cells():
+            row, col = self.grid.cell_rc(int(cid))
+            boundary[row, col] = True
+        return self.add_distance(name, boundary)
+
+    def _append(self, spec: FeatureSpec, column: np.ndarray) -> None:
+        if any(existing.name == spec.name for existing in self._specs):
+            raise ConfigurationError(f"duplicate feature name '{spec.name}'")
+        if not np.isfinite(column).all():
+            raise DataError(f"feature '{spec.name}' contains non-finite values")
+        self._specs.append(spec)
+        self._columns.append(column.astype(float))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def n_features(self) -> int:
+        return len(self._specs)
+
+    @property
+    def names(self) -> list[str]:
+        return [spec.name for spec in self._specs]
+
+    @property
+    def specs(self) -> list[FeatureSpec]:
+        return list(self._specs)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Dense ``(n_cells, k)`` feature matrix in insertion order."""
+        if not self._columns:
+            raise DataError("feature stack is empty")
+        return np.stack(self._columns, axis=1)
+
+    def column(self, name: str) -> np.ndarray:
+        """Return one feature column by name."""
+        for spec, col in zip(self._specs, self._columns):
+            if spec.name == name:
+                return col.copy()
+        raise ConfigurationError(f"no feature named '{name}'")
+
+    def standardized_matrix(self) -> np.ndarray:
+        """Z-scored copy of :attr:`matrix` (constant columns stay zero)."""
+        matrix = self.matrix
+        mean = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        std[std < 1e-12] = 1.0
+        return (matrix - mean) / std

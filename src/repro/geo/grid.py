@@ -1,0 +1,225 @@
+"""Discretisation of a protected area into a grid of 1x1 km cells.
+
+The paper (Section III-B) discretises each park into 1x1 km cells; every
+downstream component (features, labels, patrol effort, planning graph)
+addresses cells through the :class:`Grid`.
+
+A grid is a ``height x width`` lattice with an optional boolean *park mask*
+selecting the cells that lie inside the protected-area boundary. Cells inside
+the mask get contiguous integer ids ``0..n_cells-1`` in row-major order, which
+is the index space used by datasets and planners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Offsets of the 4-connected (rook) neighbourhood.
+ROOK_OFFSETS = ((-1, 0), (1, 0), (0, -1), (0, 1))
+
+#: Offsets of the 8-connected (queen) neighbourhood.
+QUEEN_OFFSETS = ROOK_OFFSETS + ((-1, -1), (-1, 1), (1, -1), (1, 1))
+
+
+@dataclass
+class Grid:
+    """A rectangular lattice of square cells with an optional park mask.
+
+    Parameters
+    ----------
+    height, width:
+        Lattice dimensions in cells.
+    cell_km:
+        Side length of one cell in kilometres (the paper uses 1.0).
+    mask:
+        Boolean ``(height, width)`` array; ``True`` marks cells inside the
+        park boundary. ``None`` means the whole rectangle is in the park.
+    """
+
+    height: int
+    width: int
+    cell_km: float = 1.0
+    mask: np.ndarray | None = None
+
+    _ids: np.ndarray = field(init=False, repr=False)
+    _cells: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.height <= 0 or self.width <= 0:
+            raise ConfigurationError(
+                f"grid dimensions must be positive, got {self.height}x{self.width}"
+            )
+        if self.cell_km <= 0:
+            raise ConfigurationError(f"cell_km must be positive, got {self.cell_km}")
+        if self.mask is None:
+            self.mask = np.ones((self.height, self.width), dtype=bool)
+        else:
+            self.mask = np.asarray(self.mask, dtype=bool)
+            if self.mask.shape != (self.height, self.width):
+                raise ConfigurationError(
+                    f"mask shape {self.mask.shape} does not match grid "
+                    f"{self.height}x{self.width}"
+                )
+            if not self.mask.any():
+                raise ConfigurationError("park mask selects no cells")
+        # Row-major contiguous ids for in-park cells; -1 elsewhere.
+        self._ids = np.full((self.height, self.width), -1, dtype=np.int64)
+        rows, cols = np.nonzero(self.mask)
+        self._ids[rows, cols] = np.arange(rows.size)
+        self._cells = np.stack([rows, cols], axis=1)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        """Number of cells inside the park boundary."""
+        return self._cells.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Lattice shape ``(height, width)``."""
+        return (self.height, self.width)
+
+    @property
+    def area_sq_km(self) -> float:
+        """Total in-park area in square kilometres."""
+        return self.n_cells * self.cell_km**2
+
+    # ------------------------------------------------------------------
+    # Index conversion
+    # ------------------------------------------------------------------
+    def cell_id(self, row: int, col: int) -> int:
+        """Return the contiguous id of cell ``(row, col)``.
+
+        Raises
+        ------
+        ConfigurationError
+            If the cell is outside the lattice or outside the park mask.
+        """
+        if not (0 <= row < self.height and 0 <= col < self.width):
+            raise ConfigurationError(f"cell ({row}, {col}) outside {self.shape} lattice")
+        cid = int(self._ids[row, col])
+        if cid < 0:
+            raise ConfigurationError(f"cell ({row}, {col}) is outside the park mask")
+        return cid
+
+    def cell_rc(self, cell_id: int) -> tuple[int, int]:
+        """Return the ``(row, col)`` of an in-park cell id."""
+        if not (0 <= cell_id < self.n_cells):
+            raise ConfigurationError(
+                f"cell id {cell_id} out of range [0, {self.n_cells})"
+            )
+        row, col = self._cells[cell_id]
+        return int(row), int(col)
+
+    def contains_rc(self, row: int, col: int) -> bool:
+        """Whether ``(row, col)`` lies inside the lattice and the park mask."""
+        inside = 0 <= row < self.height and 0 <= col < self.width
+        return bool(inside and self.mask[row, col])
+
+    def all_cell_rc(self) -> np.ndarray:
+        """``(n_cells, 2)`` array of the row/col of every in-park cell."""
+        return self._cells.copy()
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def cell_center_km(self, cell_id: int) -> tuple[float, float]:
+        """Centre of a cell in kilometres from the lattice origin ``(y, x)``."""
+        row, col = self.cell_rc(cell_id)
+        half = self.cell_km / 2.0
+        return (row * self.cell_km + half, col * self.cell_km + half)
+
+    def neighbors(self, cell_id: int, connectivity: int = 4) -> list[int]:
+        """In-park neighbours of a cell.
+
+        Parameters
+        ----------
+        connectivity:
+            4 for rook adjacency (used by the planning graph, where one time
+            step crosses one cell edge) or 8 for queen adjacency.
+        """
+        if connectivity == 4:
+            offsets = ROOK_OFFSETS
+        elif connectivity == 8:
+            offsets = QUEEN_OFFSETS
+        else:
+            raise ConfigurationError(f"connectivity must be 4 or 8, got {connectivity}")
+        row, col = self.cell_rc(cell_id)
+        out: list[int] = []
+        for dr, dc in offsets:
+            r, c = row + dr, col + dc
+            if self.contains_rc(r, c):
+                out.append(int(self._ids[r, c]))
+        return out
+
+    def boundary_cells(self) -> np.ndarray:
+        """Ids of in-park cells adjacent (rook) to outside-the-park area."""
+        out: list[int] = []
+        for cid in range(self.n_cells):
+            row, col = self.cell_rc(cid)
+            on_edge = False
+            for dr, dc in ROOK_OFFSETS:
+                r, c = row + dr, col + dc
+                inside_lattice = 0 <= r < self.height and 0 <= c < self.width
+                if not inside_lattice or not self.mask[r, c]:
+                    on_edge = True
+                    break
+            if on_edge:
+                out.append(cid)
+        return np.asarray(out, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Vector <-> raster plumbing
+    # ------------------------------------------------------------------
+    def vector_to_raster(self, values: np.ndarray, fill: float = np.nan) -> np.ndarray:
+        """Scatter per-cell values onto the full lattice (off-park = ``fill``)."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.n_cells,):
+            raise ConfigurationError(
+                f"expected {self.n_cells} values, got shape {values.shape}"
+            )
+        out = np.full(self.shape, fill, dtype=float)
+        out[self._cells[:, 0], self._cells[:, 1]] = values
+        return out
+
+    def raster_to_vector(self, raster: np.ndarray) -> np.ndarray:
+        """Gather lattice values at every in-park cell, in cell-id order."""
+        raster = np.asarray(raster)
+        if raster.shape != self.shape:
+            raise ConfigurationError(
+                f"raster shape {raster.shape} does not match grid {self.shape}"
+            )
+        return raster[self._cells[:, 0], self._cells[:, 1]].astype(float)
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def elliptical(
+        cls, height: int, width: int, cell_km: float = 1.0, fullness: float = 1.0
+    ) -> "Grid":
+        """A grid whose park mask is an ellipse inscribed in the lattice.
+
+        ``fullness`` in (0, 1] scales the ellipse axes; 1.0 touches the
+        lattice edges. Used to model round parks such as MFNP ("circular with
+        a more protected core").
+        """
+        if not 0 < fullness <= 1.0:
+            raise ConfigurationError(f"fullness must be in (0, 1], got {fullness}")
+        rows = np.arange(height)[:, None]
+        cols = np.arange(width)[None, :]
+        cy, cx = (height - 1) / 2.0, (width - 1) / 2.0
+        ry, rx = fullness * height / 2.0, fullness * width / 2.0
+        mask = ((rows - cy) / ry) ** 2 + ((cols - cx) / rx) ** 2 <= 1.0
+        return cls(height=height, width=width, cell_km=cell_km, mask=mask)
+
+    @classmethod
+    def rectangular(cls, height: int, width: int, cell_km: float = 1.0) -> "Grid":
+        """A grid whose park covers the full lattice (long parks like QENP)."""
+        return cls(height=height, width=width, cell_km=cell_km)

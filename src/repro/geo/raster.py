@@ -1,0 +1,166 @@
+"""Procedural raster layers standing in for GIS shapefiles and GeoTIFFs.
+
+The paper's data specialists supplied terrain (rivers, elevation, forest
+cover), landscape (roads, boundary, villages, patrol posts), and ecological
+(animal density, net primary productivity) layers. Offline we synthesise
+equivalent layers with deterministic fractal noise and simple geometric
+primitives, seeded per park so every run is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Raster:
+    """A named single-band raster aligned to a park lattice."""
+
+    name: str
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim != 2:
+            raise ConfigurationError(
+                f"raster '{self.name}' must be 2-D, got shape {values.shape}"
+            )
+        object.__setattr__(self, "values", values)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.values.shape  # type: ignore[return-value]
+
+    def normalized(self) -> "Raster":
+        """Min-max rescale to [0, 1]; constant rasters map to all zeros."""
+        lo = float(np.nanmin(self.values))
+        hi = float(np.nanmax(self.values))
+        if hi - lo < 1e-12:
+            return Raster(self.name, np.zeros_like(self.values))
+        return Raster(self.name, (self.values - lo) / (hi - lo))
+
+
+def _value_noise(shape: tuple[int, int], cells: int, rng: np.random.Generator) -> np.ndarray:
+    """Bilinear-interpolated lattice noise at a given coarse resolution."""
+    height, width = shape
+    coarse = rng.standard_normal((cells + 1, cells + 1))
+    row_pos = np.linspace(0, cells, height)
+    col_pos = np.linspace(0, cells, width)
+    r0 = np.clip(row_pos.astype(int), 0, cells - 1)
+    c0 = np.clip(col_pos.astype(int), 0, cells - 1)
+    fr = (row_pos - r0)[:, None]
+    fc = (col_pos - c0)[None, :]
+    top = coarse[np.ix_(r0, c0)] * (1 - fc) + coarse[np.ix_(r0, c0 + 1)] * fc
+    bot = coarse[np.ix_(r0 + 1, c0)] * (1 - fc) + coarse[np.ix_(r0 + 1, c0 + 1)] * fc
+    return top * (1 - fr) + bot * fr
+
+
+def fractal_noise(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+    octaves: int = 4,
+    base_cells: int = 4,
+    persistence: float = 0.5,
+) -> np.ndarray:
+    """Multi-octave value noise in [0, 1], the backbone of terrain synthesis.
+
+    Parameters
+    ----------
+    shape:
+        Output raster shape.
+    rng:
+        Source of randomness (seeded by the caller for determinism).
+    octaves:
+        Number of noise layers; each doubles the spatial frequency.
+    base_cells:
+        Coarse lattice resolution of the first octave.
+    persistence:
+        Amplitude decay per octave in (0, 1).
+    """
+    if octaves < 1:
+        raise ConfigurationError(f"octaves must be >= 1, got {octaves}")
+    if not 0 < persistence < 1:
+        raise ConfigurationError(f"persistence must be in (0, 1), got {persistence}")
+    total = np.zeros(shape, dtype=float)
+    amplitude = 1.0
+    cells = base_cells
+    for _ in range(octaves):
+        total += amplitude * _value_noise(shape, cells, rng)
+        amplitude *= persistence
+        cells *= 2
+    lo, hi = total.min(), total.max()
+    if hi - lo < 1e-12:
+        return np.zeros(shape)
+    return (total - lo) / (hi - lo)
+
+
+def smooth_field(
+    shape: tuple[int, int], rng: np.random.Generator, scale: int = 6
+) -> np.ndarray:
+    """A single-octave smooth random field in [0, 1] (e.g. animal density)."""
+    field = _value_noise(shape, max(2, scale), rng)
+    lo, hi = field.min(), field.max()
+    if hi - lo < 1e-12:
+        return np.zeros(shape)
+    return (field - lo) / (hi - lo)
+
+
+def linear_feature_mask(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+    n_lines: int = 2,
+    wobble: float = 1.5,
+) -> np.ndarray:
+    """Boolean mask of meandering linear features (rivers, roads).
+
+    Each line starts on a random edge and random-walks across the raster with
+    a persistent heading plus Gaussian wobble, marking every cell it visits.
+    """
+    if n_lines < 0:
+        raise ConfigurationError(f"n_lines must be >= 0, got {n_lines}")
+    height, width = shape
+    mask = np.zeros(shape, dtype=bool)
+    for _ in range(n_lines):
+        side = rng.integers(4)
+        if side == 0:  # enter from top, head down
+            r, c = 0.0, float(rng.uniform(0, width - 1))
+            heading = np.pi / 2
+        elif side == 1:  # bottom, head up
+            r, c = float(height - 1), float(rng.uniform(0, width - 1))
+            heading = -np.pi / 2
+        elif side == 2:  # left, head right
+            r, c = float(rng.uniform(0, height - 1)), 0.0
+            heading = 0.0
+        else:  # right, head left
+            r, c = float(rng.uniform(0, height - 1)), float(width - 1)
+            heading = np.pi
+        for _ in range(2 * (height + width)):
+            ri, ci = int(round(r)), int(round(c))
+            if not (0 <= ri < height and 0 <= ci < width):
+                break
+            mask[ri, ci] = True
+            heading += rng.normal(0.0, wobble / 10.0)
+            c += np.cos(heading)
+            r += np.sin(heading)
+    return mask
+
+
+def scatter_points(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+    n_points: int,
+    margin: int = 0,
+) -> np.ndarray:
+    """``(n_points, 2)`` random (row, col) sites, e.g. villages or posts."""
+    height, width = shape
+    if n_points < 0:
+        raise ConfigurationError(f"n_points must be >= 0, got {n_points}")
+    if height - 2 * margin <= 0 or width - 2 * margin <= 0:
+        raise ConfigurationError("margin leaves no room for points")
+    rows = rng.integers(margin, height - margin, size=n_points)
+    cols = rng.integers(margin, width - margin, size=n_points)
+    return np.stack([rows, cols], axis=1)

@@ -1,0 +1,79 @@
+"""From-scratch machine-learning substrate.
+
+The paper builds iWare-E ensembles out of bagging ensembles of SVMs, decision
+trees, or Gaussian-process classifiers (scikit-learn / imbalanced-learn in
+the original). None of those libraries are available offline, so this
+subpackage implements the needed pieces directly:
+
+* :mod:`repro.ml.tree` — CART decision-tree classifier.
+* :mod:`repro.ml.bagging` — bagging and *balanced* bagging (negative-class
+  undersampling, the paper's answer to SWS's 0.36% positive rate).
+* :mod:`repro.ml.svm` — linear SVM via dual coordinate descent with Platt
+  scaling for probabilities.
+* :mod:`repro.ml.gp` — binary Gaussian-process classifier with the Laplace
+  approximation, exposing the latent predictive variance the paper exploits.
+* :mod:`repro.ml.metrics` — AUC, log-loss, and friends.
+* :mod:`repro.ml.model_selection` — k-fold and stratified k-fold CV.
+* :mod:`repro.ml.jackknife` — infinitesimal-jackknife variance for bagged
+  trees (Wager, Hastie & Efron 2014), the paper's Fig. 7 comparison.
+"""
+
+from repro.ml.base import Classifier, check_binary_labels
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.bagging import BaggingClassifier, BalancedBaggingClassifier
+from repro.ml.svm import LinearSVMClassifier
+from repro.ml.kernels import RBFKernel
+from repro.ml.gp import GaussianProcessClassifier
+from repro.ml.calibration import PlattScaler
+from repro.ml.isotonic import IsotonicCalibrator, pava
+from repro.ml.linear import LogisticRegression, PUWeightedLogisticRegression
+from repro.ml.metrics import (
+    average_precision_score,
+    brier_score,
+    calibration_curve,
+    confusion_counts,
+    expected_calibration_error,
+    f1_score,
+    log_loss,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+from repro.ml.model_selection import KFold, StratifiedKFold, train_test_split
+from repro.ml.scaling import MinMaxScaler, StandardScaler, logistic_squash
+from repro.ml.jackknife import infinitesimal_jackknife_variance
+
+__all__ = [
+    "Classifier",
+    "check_binary_labels",
+    "DecisionTreeClassifier",
+    "BaggingClassifier",
+    "BalancedBaggingClassifier",
+    "LinearSVMClassifier",
+    "RBFKernel",
+    "GaussianProcessClassifier",
+    "PlattScaler",
+    "IsotonicCalibrator",
+    "pava",
+    "LogisticRegression",
+    "PUWeightedLogisticRegression",
+    "calibration_curve",
+    "expected_calibration_error",
+    "roc_auc_score",
+    "roc_curve",
+    "log_loss",
+    "brier_score",
+    "confusion_counts",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "average_precision_score",
+    "KFold",
+    "StratifiedKFold",
+    "train_test_split",
+    "StandardScaler",
+    "MinMaxScaler",
+    "logistic_squash",
+    "infinitesimal_jackknife_variance",
+]

@@ -1,0 +1,129 @@
+"""Shared classifier interface.
+
+Every model in :mod:`repro.ml` is a binary probabilistic classifier with the
+same contract: ``fit(X, y)`` with ``y`` in {0, 1}, ``predict_proba(X)``
+returning the probability of the positive class, and (for models that can)
+``predict_variance(X)`` returning a per-point uncertainty score. The iWare-E
+ensemble in :mod:`repro.core` composes models only through this interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import DataError, NotFittedError
+
+
+def check_binary_labels(y: np.ndarray) -> np.ndarray:
+    """Validate and coerce a {0, 1} label vector.
+
+    Raises
+    ------
+    DataError
+        If labels are not a 1-D array with values in {0, 1}, or contain only
+        one class (a classifier cannot be fit without both classes).
+    """
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise DataError(f"labels must be 1-D, got shape {y.shape}")
+    values = np.unique(y)
+    if not np.isin(values, (0, 1)).all():
+        raise DataError(f"labels must be in {{0, 1}}, got values {values}")
+    return y.astype(np.int64)
+
+
+def check_features(X: np.ndarray) -> np.ndarray:
+    """Validate a 2-D finite feature matrix."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise DataError(f"features must be 2-D, got shape {X.shape}")
+    if not np.isfinite(X).all():
+        raise DataError("feature matrix contains non-finite values")
+    return X
+
+
+class Classifier(ABC):
+    """Abstract binary probabilistic classifier."""
+
+    #: Whether :meth:`predict_variance` returns a model-intrinsic uncertainty
+    #: (Gaussian processes) rather than a surrogate or nothing.
+    supports_variance: bool = False
+
+    def __init__(self) -> None:
+        self._fitted = False
+        self._n_features: int | None = None
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Fit on features ``X`` (n, k) and labels ``y`` in {0, 1}."""
+
+    @abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each row of ``X``."""
+
+    def predict_variance(self, X: np.ndarray) -> np.ndarray:
+        """Per-point uncertainty score; zero unless a subclass overrides."""
+        X = self._check_predict_input(X)
+        return np.zeros(X.shape[0])
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard {0, 1} predictions at a probability threshold."""
+        return (self.predict_proba(X) >= threshold).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Fit-state plumbing shared by subclasses
+    # ------------------------------------------------------------------
+    def _check_fit_input(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        X = check_features(X)
+        y = check_binary_labels(y)
+        if X.shape[0] != y.shape[0]:
+            raise DataError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} labels"
+            )
+        if X.shape[0] == 0:
+            raise DataError("cannot fit on an empty dataset")
+        self._n_features = X.shape[1]
+        return X, y
+
+    def _mark_fitted(self) -> None:
+        self._fitted = True
+
+    def _check_predict_input(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+        X = check_features(X)
+        if self._n_features is not None and X.shape[1] != self._n_features:
+            raise DataError(
+                f"model was fit with {self._n_features} features, "
+                f"got {X.shape[1]}"
+            )
+        return X
+
+
+class ConstantClassifier(Classifier):
+    """Predicts a constant probability; the degenerate one-class fallback.
+
+    When an effort-threshold filter leaves a training subset with a single
+    class (common at extreme imbalance), ensembles fall back to this model so
+    the pipeline never crashes on real-world-shaped data.
+    """
+
+    def __init__(self, probability: float = 0.5):
+        super().__init__()
+        self.probability = float(probability)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ConstantClassifier":
+        X = check_features(X)
+        y = np.asarray(y)
+        if y.size:
+            self.probability = float(np.mean(y))
+        self._n_features = X.shape[1]
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = self._check_predict_input(X)
+        return np.full(X.shape[0], self.probability)

@@ -1,0 +1,102 @@
+"""Probability calibration.
+
+:class:`PlattScaler` fits a sigmoid ``P(y=1|s) = 1 / (1 + exp(A*s + B))`` to
+decision scores (Platt 1999), used to turn SVM margins into probabilities.
+The fit follows Lin, Lin & Weng (2007): Newton's method with backtracking on
+the regularised target probabilities, which is numerically stable even with
+very few positives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError, NotFittedError
+
+
+class PlattScaler:
+    """Sigmoid calibration of real-valued decision scores."""
+
+    def __init__(self, max_iter: int = 100, tol: float = 1e-10):
+        self.max_iter = max_iter
+        self.tol = tol
+        self.a_: float | None = None
+        self.b_: float | None = None
+
+    def fit(self, scores: np.ndarray, y: np.ndarray) -> "PlattScaler":
+        """Fit the sigmoid on scores and {0, 1} labels."""
+        scores = np.asarray(scores, dtype=float).ravel()
+        y = np.asarray(y).ravel()
+        if scores.shape != y.shape:
+            raise DataError("scores and labels must have the same length")
+        if scores.size == 0:
+            raise DataError("cannot calibrate on an empty set")
+        n_pos = float(np.sum(y == 1))
+        n_neg = float(np.sum(y == 0))
+        # Regularised targets (avoid 0/1 so the log-likelihood stays finite).
+        hi = (n_pos + 1.0) / (n_pos + 2.0)
+        lo = 1.0 / (n_neg + 2.0)
+        t = np.where(y == 1, hi, lo)
+
+        a, b = 0.0, float(np.log((n_neg + 1.0) / (n_pos + 1.0)))
+        fval = self._objective(scores, t, a, b)
+        for _ in range(self.max_iter):
+            fapb = a * scores + b
+            p = _stable_sigmoid(-fapb)  # P(y=1) = sigma(-(a*s+b)) in Platt's sign convention
+            # Gradient and Hessian of the negative log-likelihood.
+            d1 = t - p
+            d2 = p * (1 - p) + 1e-12
+            g1 = float(np.sum(scores * d1))
+            g0 = float(np.sum(d1))
+            if abs(g1) < self.tol and abs(g0) < self.tol:
+                break
+            h11 = float(np.sum(scores * scores * d2)) + 1e-12
+            h22 = float(np.sum(d2)) + 1e-12
+            h21 = float(np.sum(scores * d2))
+            det = h11 * h22 - h21 * h21
+            if abs(det) < 1e-18:
+                break
+            da = -(h22 * g1 - h21 * g0) / det
+            db = -(-h21 * g1 + h11 * g0) / det
+            # Backtracking line search.
+            step = 1.0
+            improved = False
+            for _ in range(20):
+                na, nb = a + step * da, b + step * db
+                nval = self._objective(scores, t, na, nb)
+                if nval < fval + 1e-12:
+                    a, b, fval = na, nb, nval
+                    improved = True
+                    break
+                step /= 2.0
+            if not improved:
+                break
+        # Like the reference implementation, accept the best iterate found if
+        # the gradient tolerance was not reached within max_iter (common on
+        # separable data, where A diverges while the fit keeps improving).
+        self.a_, self.b_ = a, b
+        return self
+
+    @staticmethod
+    def _objective(scores: np.ndarray, t: np.ndarray, a: float, b: float) -> float:
+        fapb = a * scores + b
+        p = np.clip(_stable_sigmoid(-fapb), 1e-15, 1 - 1e-15)
+        return float(-np.sum(t * np.log(p) + (1 - t) * np.log(1 - p)))
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Calibrated P(y=1) for decision scores."""
+        if self.a_ is None or self.b_ is None:
+            raise NotFittedError("PlattScaler is not fitted")
+        scores = np.asarray(scores, dtype=float)
+        return _stable_sigmoid(-(self.a_ * scores + self.b_))
+
+
+def _stable_sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    z = np.asarray(z, dtype=float)
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out

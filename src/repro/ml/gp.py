@@ -1,0 +1,176 @@
+"""Binary Gaussian-process classifier with the Laplace approximation.
+
+The paper's key enhancement (Section IV): GP weak learners "compute a
+variance value associated with each prediction based on confidence from the
+training data", which downstream becomes the uncertainty score exploited by
+the robust patrol planner.
+
+This implementation follows Rasmussen & Williams (2006) Algorithms 3.1
+(Newton mode finding for the latent posterior) and 3.2 (prediction), with a
+logistic likelihood. :meth:`predict_variance` exposes the *latent predictive
+variance* — the model-intrinsic uncertainty the paper contrasts with the
+surrogate variance of bagged trees (Fig. 7).
+
+Exact GPs are cubic in the training size; weak learners inside bagging
+ensembles see small bootstraps, and a ``max_points`` cap (uniform subsample)
+keeps stand-alone fits tractable, mirroring the sparse-data regime of the
+real deployments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.ml.base import Classifier
+from repro.ml.calibration import _stable_sigmoid
+from repro.ml.kernels import RBFKernel
+from repro.ml.scaling import StandardScaler
+
+
+class GaussianProcessClassifier(Classifier):
+    """Laplace-approximated binary GP classifier.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance function; defaults to an RBF whose lengthscale is set by
+        the median-distance heuristic at fit time.
+    max_points:
+        Cap on training points (uniform subsample beyond it). Exact GP cost
+        is O(n^3); the default keeps a fit under ~50 ms.
+    max_newton_iter:
+        Newton iterations for the posterior mode.
+    tol:
+        Convergence tolerance on the mode objective.
+    jitter:
+        Diagonal regularisation added to the kernel matrix.
+    rng:
+        Randomness for the ``max_points`` subsample.
+    """
+
+    supports_variance = True
+
+    def __init__(
+        self,
+        kernel: RBFKernel | None = None,
+        max_points: int = 400,
+        max_newton_iter: int = 50,
+        tol: float = 1e-6,
+        jitter: float = 1e-6,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if max_points < 2:
+            raise ConfigurationError(f"max_points must be >= 2, got {max_points}")
+        self.kernel = kernel
+        self.max_points = max_points
+        self.max_newton_iter = max_newton_iter
+        self.tol = tol
+        self.jitter = jitter
+        self.rng = rng or np.random.default_rng()
+        self._scaler = StandardScaler()
+        self._X_train: np.ndarray | None = None
+        self._grad_at_mode: np.ndarray | None = None
+        self._sqrt_w: np.ndarray | None = None
+        self._chol_b: np.ndarray | None = None
+        self._fitted_kernel: RBFKernel | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessClassifier":
+        X, y01 = self._check_fit_input(X, y)
+        if X.shape[0] > self.max_points:
+            keep = self.rng.choice(X.shape[0], size=self.max_points, replace=False)
+            X, y01 = X[keep], y01[keep]
+        Xs = self._scaler.fit_transform(X)
+        signs = np.where(y01 == 1, 1.0, -1.0)
+
+        kernel = self.kernel or RBFKernel(
+            lengthscale=self._median_heuristic(Xs), variance=1.0
+        )
+        K = kernel(Xs)
+        K[np.diag_indices_from(K)] += self.jitter
+
+        f = self._find_mode(K, signs)
+
+        pi = _stable_sigmoid(f)
+        w = pi * (1.0 - pi)
+        sqrt_w = np.sqrt(np.maximum(w, 1e-12))
+        B = np.eye(K.shape[0]) + sqrt_w[:, None] * K * sqrt_w[None, :]
+        self._chol_b = np.linalg.cholesky(B)
+        self._grad_at_mode = (signs + 1.0) / 2.0 - pi
+        self._sqrt_w = sqrt_w
+        self._X_train = Xs
+        self._fitted_kernel = kernel
+        self._mark_fitted()
+        return self
+
+    @staticmethod
+    def _median_heuristic(Xs: np.ndarray) -> float:
+        """Median pairwise distance on (a subsample of) the training set."""
+        n = Xs.shape[0]
+        sample = Xs if n <= 200 else Xs[:: max(1, n // 200)]
+        sq = np.einsum("ij,ij->i", sample, sample)
+        d2 = np.maximum(sq[:, None] + sq[None, :] - 2 * sample @ sample.T, 0.0)
+        upper = d2[np.triu_indices_from(d2, k=1)]
+        if upper.size == 0:
+            return 1.0
+        median = float(np.sqrt(np.median(upper)))
+        return median if median > 1e-6 else 1.0
+
+    def _find_mode(self, K: np.ndarray, signs: np.ndarray) -> np.ndarray:
+        """Newton iteration for the Laplace posterior mode (R&W Alg. 3.1)."""
+        n = K.shape[0]
+        f = np.zeros(n)
+        identity = np.eye(n)
+        last_objective = -np.inf
+        for _ in range(self.max_newton_iter):
+            pi = _stable_sigmoid(f)
+            w = np.maximum(pi * (1.0 - pi), 1e-12)
+            sqrt_w = np.sqrt(w)
+            B = identity + sqrt_w[:, None] * K * sqrt_w[None, :]
+            L = np.linalg.cholesky(B)
+            grad = (signs + 1.0) / 2.0 - pi
+            b = w * f + grad
+            rhs = sqrt_w * (K @ b)
+            solved = np.linalg.solve(L.T, np.linalg.solve(L, rhs))
+            a = b - sqrt_w * solved
+            f = K @ a
+            # Laplace objective: log p(y|f) - 0.5 a^T f
+            log_lik = -np.sum(np.logaddexp(0.0, -signs * f))
+            objective = float(log_lik - 0.5 * a @ f)
+            if abs(objective - last_objective) < self.tol:
+                return f
+            last_objective = objective
+        raise ConvergenceError(
+            f"GP Laplace mode finding did not converge in {self.max_newton_iter} iterations"
+        )
+
+    # ------------------------------------------------------------------
+    def _latent_moments(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Latent predictive mean and variance (R&W Alg. 3.2)."""
+        X = self._check_predict_input(X)
+        assert self._X_train is not None and self._fitted_kernel is not None
+        assert self._grad_at_mode is not None and self._sqrt_w is not None
+        assert self._chol_b is not None
+        Xs = self._scaler.transform(X)
+        k_star = self._fitted_kernel(self._X_train, Xs)  # (n_train, n_test)
+        mean = k_star.T @ self._grad_at_mode
+        v = np.linalg.solve(self._chol_b, self._sqrt_w[:, None] * k_star)
+        var = self._fitted_kernel.diag(Xs) + self.jitter - np.einsum("ij,ij->j", v, v)
+        return mean, np.maximum(var, 0.0)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Averaged predictive probability via the probit approximation.
+
+        ``E[sigma(f*)] ~= sigma(mean / sqrt(1 + pi * var / 8))`` (MacKay 1992)
+        integrates the logistic over the latent Gaussian.
+        """
+        mean, var = self._latent_moments(X)
+        kappa = 1.0 / np.sqrt(1.0 + np.pi * var / 8.0)
+        return _stable_sigmoid(kappa * mean)
+
+    def predict_variance(self, X: np.ndarray) -> np.ndarray:
+        """Latent predictive variance — the paper's uncertainty metric."""
+        __, var = self._latent_moments(X)
+        return var

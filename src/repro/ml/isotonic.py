@@ -1,0 +1,99 @@
+"""Isotonic regression calibration (pool-adjacent-violators).
+
+A nonparametric alternative to Platt scaling: fits the best monotone
+nondecreasing map from scores to probabilities. Useful when a model's
+scores are well-ordered but the sigmoid shape assumption of Platt scaling
+does not hold — e.g. the output of the iWare-E mixture, whose prior
+corrections bend the calibration curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError, NotFittedError
+
+
+def pava(values: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+    """Pool-adjacent-violators: the L2-optimal nondecreasing fit.
+
+    Parameters
+    ----------
+    values:
+        Sequence to be monotonised (in the given order).
+    weights:
+        Optional positive weights.
+
+    Returns
+    -------
+    numpy.ndarray
+        Nondecreasing sequence minimising the weighted squared error.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise DataError("pava expects a 1-D array")
+    n = values.size
+    if n == 0:
+        raise DataError("pava needs at least one value")
+    if weights is None:
+        weights = np.ones(n)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != values.shape:
+            raise DataError("weights must match values")
+        if (weights <= 0).any():
+            raise DataError("weights must be positive")
+
+    # Stack of (block mean, block weight, block length).
+    means: list[float] = []
+    wsums: list[float] = []
+    sizes: list[int] = []
+    for value, weight in zip(values, weights):
+        means.append(float(value))
+        wsums.append(float(weight))
+        sizes.append(1)
+        while len(means) > 1 and means[-2] > means[-1]:
+            m2, w2, s2 = means.pop(), wsums.pop(), sizes.pop()
+            m1, w1, s1 = means.pop(), wsums.pop(), sizes.pop()
+            total = w1 + w2
+            means.append((m1 * w1 + m2 * w2) / total)
+            wsums.append(total)
+            sizes.append(s1 + s2)
+    out = np.empty(n)
+    i = 0
+    for mean, size in zip(means, sizes):
+        out[i : i + size] = mean
+        i += size
+    return out
+
+
+class IsotonicCalibrator:
+    """Monotone score-to-probability calibration."""
+
+    def __init__(self) -> None:
+        self._xs: np.ndarray | None = None
+        self._ys: np.ndarray | None = None
+
+    def fit(self, scores: np.ndarray, y: np.ndarray) -> "IsotonicCalibrator":
+        """Fit the isotonic map on scores and {0,1} labels."""
+        scores = np.asarray(scores, dtype=float).ravel()
+        y = np.asarray(y, dtype=float).ravel()
+        if scores.shape != y.shape:
+            raise DataError("scores and labels must have the same length")
+        if scores.size == 0:
+            raise DataError("cannot calibrate on an empty set")
+        order = np.argsort(scores, kind="mergesort")
+        fitted = pava(y[order])
+        self._xs = scores[order]
+        self._ys = fitted
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Calibrated probabilities (flat extrapolation at the ends)."""
+        if self._xs is None or self._ys is None:
+            raise NotFittedError("IsotonicCalibrator is not fitted")
+        scores = np.asarray(scores, dtype=float)
+        return np.interp(scores, self._xs, self._ys)
+
+    def fit_transform(self, scores: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self.fit(scores, y).transform(scores)

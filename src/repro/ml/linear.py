@@ -1,0 +1,167 @@
+"""Logistic regression and positive-unlabeled (PU) weighted variants.
+
+Section II-c of the paper situates its data problem in the PU-learning
+literature: "Introduced in [Lee & Liu 2003], PU learning focuses on
+unreliable negative labels, taking a semi-supervised approach to binary
+classification." This module provides:
+
+* :class:`LogisticRegression` — L2-regularised MLE via Newton's method with
+  optional per-sample weights (also the M-step workhorse of the CAPTURE
+  baseline);
+* :class:`PUWeightedLogisticRegression` — the weighted-logistic-regression
+  PU scheme: positives keep weight 1, "negatives" (really unlabeled) are
+  down-weighted by how unreliable they are, which in the poaching domain is
+  a decreasing function of patrol effort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.ml.base import Classifier
+from repro.ml.calibration import _stable_sigmoid
+from repro.ml.scaling import StandardScaler
+
+
+class LogisticRegression(Classifier):
+    """L2-regularised logistic regression fit by damped Newton iterations.
+
+    Parameters
+    ----------
+    l2:
+        Ridge penalty on the weights (not the intercept).
+    max_iter:
+        Newton iteration cap.
+    tol:
+        Stop when the gradient's infinity norm falls below this.
+    """
+
+    def __init__(self, l2: float = 1.0, max_iter: int = 100, tol: float = 1e-8):
+        super().__init__()
+        if l2 < 0:
+            raise ConfigurationError(f"l2 must be >= 0, got {l2}")
+        if max_iter < 1:
+            raise ConfigurationError(f"max_iter must be >= 1, got {max_iter}")
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.tol = tol
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._scaler = StandardScaler()
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "LogisticRegression":
+        """Fit on features and {0,1} labels, optionally weighted per sample."""
+        X, y = self._check_fit_input(X, y)
+        if sample_weight is None:
+            weights = np.ones(y.size)
+        else:
+            weights = np.asarray(sample_weight, dtype=float)
+            if weights.shape != (y.size,):
+                raise DataError(
+                    f"sample_weight must have shape ({y.size},), got {weights.shape}"
+                )
+            if (weights < 0).any():
+                raise DataError("sample weights cannot be negative")
+            if weights.sum() <= 0:
+                raise DataError("sample weights sum to zero")
+        Xs = self._scaler.fit_transform(X)
+        Xa = np.hstack([Xs, np.ones((Xs.shape[0], 1))])
+        n, d = Xa.shape
+        beta = np.zeros(d)
+        ridge = np.full(d, self.l2)
+        ridge[-1] = 0.0  # do not penalise the intercept
+        for _ in range(self.max_iter):
+            p = _stable_sigmoid(Xa @ beta)
+            grad = Xa.T @ (weights * (p - y)) + ridge * beta
+            if np.abs(grad).max() < self.tol:
+                break
+            w_irls = np.maximum(weights * p * (1 - p), 1e-10)
+            hessian = (Xa * w_irls[:, None]).T @ Xa + np.diag(ridge + 1e-10)
+            step = np.linalg.solve(hessian, grad)
+            # Damp oversized Newton steps for stability on separable data.
+            norm = np.abs(step).max()
+            if norm > 10.0:
+                step *= 10.0 / norm
+            beta -= step
+        self.coef_ = beta[:-1]
+        self.intercept_ = float(beta[-1])
+        self._mark_fitted()
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Log-odds of the positive class."""
+        X = self._check_predict_input(X)
+        assert self.coef_ is not None
+        return self._scaler.transform(X) @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return _stable_sigmoid(self.decision_function(X))
+
+
+class PUWeightedLogisticRegression(Classifier):
+    """Weighted logistic regression for positive-unlabeled data.
+
+    Positive labels are trusted (weight 1). Each "negative" is really an
+    unlabeled example; it enters with weight equal to its estimated
+    reliability. In the poaching domain, a negative recorded under heavy
+    patrol effort is nearly certainly a true negative, while one under
+    little effort is almost uninformative — so the reliability is the
+    detection curve ``1 - e^{-k c}`` evaluated at the sample's patrol effort
+    (the same structural assumption iWare-E discretises into thresholds).
+
+    Parameters
+    ----------
+    reliability_rate:
+        Steepness ``k`` of the reliability curve.
+    l2, max_iter:
+        Passed to the underlying :class:`LogisticRegression`.
+    """
+
+    def __init__(self, reliability_rate: float = 0.5, l2: float = 1.0,
+                 max_iter: int = 100):
+        super().__init__()
+        if reliability_rate <= 0:
+            raise ConfigurationError(
+                f"reliability_rate must be positive, got {reliability_rate}"
+            )
+        self.reliability_rate = reliability_rate
+        self._model = LogisticRegression(l2=l2, max_iter=max_iter)
+
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, effort: np.ndarray | None = None
+    ) -> "PUWeightedLogisticRegression":
+        """Fit with negative-sample weights from patrol effort.
+
+        Parameters
+        ----------
+        effort:
+            ``(n,)`` patrol effort per sample; ``None`` assumes the last
+            feature column is the effort proxy (the dataset's
+            ``prev_patrol_effort`` convention).
+        """
+        X, y = self._check_fit_input(X, y)
+        if effort is None:
+            effort = X[:, -1]
+        effort = np.asarray(effort, dtype=float)
+        if effort.shape != (y.size,):
+            raise DataError(
+                f"effort must have shape ({y.size},), got {effort.shape}"
+            )
+        if (effort < 0).any():
+            raise DataError("patrol effort cannot be negative")
+        reliability = 1.0 - np.exp(-self.reliability_rate * effort)
+        weights = np.where(y == 1, 1.0, np.maximum(reliability, 1e-3))
+        self._model.fit(X, y, sample_weight=weights)
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = self._check_predict_input(X)
+        return self._model.predict_proba(X)

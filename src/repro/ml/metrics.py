@@ -1,0 +1,184 @@
+"""Binary-classification metrics.
+
+The paper reports AUC (Table II) and selects iWare-E classifier weights by
+minimising log-loss (Section IV). Implemented from scratch on numpy; AUC uses
+the rank statistic (equivalent to the Mann-Whitney U), with tie handling via
+midranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+_EPS = 1e-15
+
+
+def _check_pair(y_true: np.ndarray, y_score: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel()
+    y_score = np.asarray(y_score, dtype=float).ravel()
+    if y_true.shape != y_score.shape:
+        raise DataError(
+            f"y_true and y_score lengths differ: {y_true.shape} vs {y_score.shape}"
+        )
+    if y_true.size == 0:
+        raise DataError("metrics need at least one sample")
+    if not np.isin(np.unique(y_true), (0, 1)).all():
+        raise DataError("y_true must contain only 0/1 labels")
+    if not np.isfinite(y_score).all():
+        raise DataError("y_score contains non-finite values")
+    return y_true.astype(np.int64), y_score
+
+
+def roc_auc_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve via midrank statistics (handles ties).
+
+    Raises
+    ------
+    DataError
+        If ``y_true`` contains a single class (AUC undefined).
+    """
+    y_true, y_score = _check_pair(y_true, y_score)
+    n_pos = int(y_true.sum())
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise DataError("AUC is undefined with a single class in y_true")
+    ranks = _midranks(y_score)
+    rank_sum_pos = ranks[y_true == 1].sum()
+    u_statistic = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u_statistic / (n_pos * n_neg))
+
+
+def _midranks(values: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties assigned the average rank of their group."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=float)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+def roc_curve(
+    y_true: np.ndarray, y_score: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve as (fpr, tpr, thresholds), thresholds descending."""
+    y_true, y_score = _check_pair(y_true, y_score)
+    n_pos = int(y_true.sum())
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise DataError("ROC curve is undefined with a single class")
+    order = np.argsort(-y_score, kind="mergesort")
+    sorted_true = y_true[order]
+    sorted_score = y_score[order]
+    tps = np.cumsum(sorted_true)
+    fps = np.cumsum(1 - sorted_true)
+    # Keep only the last index of each distinct threshold.
+    distinct = np.nonzero(np.diff(sorted_score))[0]
+    idx = np.r_[distinct, sorted_true.size - 1]
+    tpr = np.r_[0.0, tps[idx] / n_pos]
+    fpr = np.r_[0.0, fps[idx] / n_neg]
+    thresholds = np.r_[sorted_score[0] + 1.0, sorted_score[idx]]
+    return fpr, tpr, thresholds
+
+
+def log_loss(y_true: np.ndarray, y_prob: np.ndarray) -> float:
+    """Mean negative log-likelihood with probability clipping."""
+    y_true, y_prob = _check_pair(y_true, y_prob)
+    p = np.clip(y_prob, _EPS, 1.0 - _EPS)
+    return float(-np.mean(y_true * np.log(p) + (1 - y_true) * np.log(1 - p)))
+
+
+def brier_score(y_true: np.ndarray, y_prob: np.ndarray) -> float:
+    """Mean squared error between labels and predicted probabilities."""
+    y_true, y_prob = _check_pair(y_true, y_prob)
+    return float(np.mean((y_prob - y_true) ** 2))
+
+
+def confusion_counts(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> tuple[int, int, int, int]:
+    """Return (tn, fp, fn, tp) for hard 0/1 predictions."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    y_pred = y_pred.astype(np.int64)
+    if not np.isin(np.unique(y_pred), (0, 1)).all():
+        raise DataError("y_pred must contain only 0/1 labels")
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    return tn, fp, fn, tp
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Positive predictive value; 0.0 when nothing is predicted positive."""
+    __, fp, __, tp = confusion_counts(y_true, y_pred)
+    return tp / (tp + fp) if tp + fp > 0 else 0.0
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """True-positive rate; 0.0 when there are no positives."""
+    __, __, fn, tp = confusion_counts(y_true, y_pred)
+    return tp / (tp + fn) if tp + fn > 0 else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision_score(y_true, y_pred)
+    r = recall_score(y_true, y_pred)
+    return 2 * p * r / (p + r) if p + r > 0 else 0.0
+
+
+def calibration_curve(
+    y_true: np.ndarray, y_prob: np.ndarray, n_bins: int = 10
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reliability diagram data: (mean predicted, observed rate, counts).
+
+    Probabilities are binned on a uniform [0, 1] grid; empty bins are
+    dropped. Bin boundaries are half-open except the last.
+    """
+    y_true, y_prob = _check_pair(y_true, y_prob)
+    if n_bins < 1:
+        raise DataError(f"n_bins must be >= 1, got {n_bins}")
+    if (y_prob < 0).any() or (y_prob > 1).any():
+        raise DataError("probabilities must lie in [0, 1]")
+    bin_idx = np.minimum((y_prob * n_bins).astype(int), n_bins - 1)
+    mean_pred, observed, counts = [], [], []
+    for b in range(n_bins):
+        mask = bin_idx == b
+        if not mask.any():
+            continue
+        mean_pred.append(float(y_prob[mask].mean()))
+        observed.append(float(y_true[mask].mean()))
+        counts.append(int(mask.sum()))
+    return np.asarray(mean_pred), np.asarray(observed), np.asarray(counts)
+
+
+def expected_calibration_error(
+    y_true: np.ndarray, y_prob: np.ndarray, n_bins: int = 10
+) -> float:
+    """ECE: count-weighted mean |observed - predicted| across bins."""
+    mean_pred, observed, counts = calibration_curve(y_true, y_prob, n_bins)
+    weights = counts / counts.sum()
+    return float(np.sum(weights * np.abs(observed - mean_pred)))
+
+
+def average_precision_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the precision-recall curve (step-function integral)."""
+    y_true, y_score = _check_pair(y_true, y_score)
+    n_pos = int(y_true.sum())
+    if n_pos == 0:
+        raise DataError("average precision is undefined without positives")
+    order = np.argsort(-y_score, kind="mergesort")
+    sorted_true = y_true[order]
+    tps = np.cumsum(sorted_true)
+    precision = tps / np.arange(1, y_true.size + 1)
+    recall = tps / n_pos
+    recall_steps = np.diff(np.r_[0.0, recall])
+    return float(np.sum(precision * recall_steps))

@@ -1,0 +1,85 @@
+"""Feature scaling and score squashing.
+
+The GP and SVM weak learners need standardised inputs; the planner squashes
+GP variance to [0, 1] "through a logistic squashing function" (Section VI-C)
+before it enters the robust objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError, NotFittedError
+
+
+class StandardScaler:
+    """Column-wise z-scoring; constant columns are passed through centred."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise DataError(f"expected 2-D features, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler is not fitted")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class MinMaxScaler:
+    """Column-wise rescaling to [0, 1]; constant columns map to zero."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise DataError(f"expected 2-D features, got shape {X.shape}")
+        self.min_ = X.min(axis=0)
+        spread = X.max(axis=0) - self.min_
+        spread[spread < 1e-12] = 1.0
+        self.range_ = spread
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise NotFittedError("MinMaxScaler is not fitted")
+        X = np.asarray(X, dtype=float)
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def logistic_squash(values: np.ndarray, midpoint: float = 0.0,
+                    steepness: float = 1.0) -> np.ndarray:
+    """Map arbitrary real scores into (0, 1) with a logistic curve.
+
+    Used to normalise GP variance into an uncertainty score ``nu in [0, 1]``
+    before it enters the robust planning objective (Eq. 4).
+    """
+    values = np.asarray(values, dtype=float)
+    if steepness <= 0:
+        raise DataError(f"steepness must be positive, got {steepness}")
+    z = steepness * (values - midpoint)
+    # Clip to keep exp() in range; the logistic saturates far before 500.
+    z = np.clip(z, -500.0, 500.0)
+    out = 1.0 / (1.0 + np.exp(-z))
+    # Keep the output strictly inside (0, 1) even where float64 saturates,
+    # so downstream log / division never sees an exact 0 or 1.
+    return np.clip(out, 1e-12, 1.0 - 1e-12)

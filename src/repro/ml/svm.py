@@ -1,0 +1,122 @@
+"""Linear support-vector machine with probability calibration.
+
+The SVB weak learner of the paper (bagging ensembles of SVMs). Training uses
+dual coordinate descent for the L2-regularised L1-loss SVM (Hsieh et al.
+2008), which converges quickly on the small bootstrap subsets produced by
+bagging; probabilities come from Platt scaling fitted on the training scores.
+
+The paper finds SVMs "suboptimal weak learners in this domain" (Table II
+shows SVB near 0.5 AUC without iWare-E); this implementation reproduces the
+model faithfully rather than trying to fix it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.ml.base import Classifier
+from repro.ml.calibration import PlattScaler
+from repro.ml.scaling import StandardScaler
+
+
+class LinearSVMClassifier(Classifier):
+    """L2-regularised hinge-loss linear SVM with Platt-scaled probabilities.
+
+    Parameters
+    ----------
+    c:
+        Inverse regularisation strength (larger = less regularised).
+    max_epochs:
+        Maximum passes of dual coordinate descent over the training set.
+    tol:
+        Stop when the largest projected-gradient violation in an epoch falls
+        below this value.
+    class_weight_balanced:
+        Scale each class's box constraint by the inverse class frequency,
+        mitigating (but not solving) label imbalance.
+    rng:
+        Randomness for coordinate-order shuffling.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        max_epochs: int = 200,
+        tol: float = 1e-4,
+        class_weight_balanced: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if c <= 0:
+            raise ConfigurationError(f"c must be positive, got {c}")
+        if max_epochs < 1:
+            raise ConfigurationError(f"max_epochs must be >= 1, got {max_epochs}")
+        self.c = c
+        self.max_epochs = max_epochs
+        self.tol = tol
+        self.class_weight_balanced = class_weight_balanced
+        self.rng = rng or np.random.default_rng()
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+        self._scaler = StandardScaler()
+        self._platt = PlattScaler()
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVMClassifier":
+        X, y = self._check_fit_input(X, y)
+        Xs = self._scaler.fit_transform(X)
+        # Augment with a constant column so the bias is regularised jointly —
+        # standard practice for dual coordinate descent.
+        Xa = np.hstack([Xs, np.ones((Xs.shape[0], 1))])
+        signs = np.where(y == 1, 1.0, -1.0)
+
+        n, d = Xa.shape
+        upper = np.full(n, self.c)
+        if self.class_weight_balanced:
+            n_pos = max(1, int((signs > 0).sum()))
+            n_neg = max(1, int((signs < 0).sum()))
+            upper = np.where(signs > 0, self.c * n / (2.0 * n_pos),
+                             self.c * n / (2.0 * n_neg))
+
+        alpha = np.zeros(n)
+        w = np.zeros(d)
+        sq_norms = np.einsum("ij,ij->i", Xa, Xa)
+        for _ in range(self.max_epochs):
+            max_violation = 0.0
+            for i in self.rng.permutation(n):
+                if sq_norms[i] < 1e-12:
+                    continue
+                margin = signs[i] * float(Xa[i] @ w)
+                grad = margin - 1.0
+                # Projected gradient for the box constraint 0 <= alpha <= U.
+                if alpha[i] <= 0:
+                    pg = min(grad, 0.0)
+                elif alpha[i] >= upper[i]:
+                    pg = max(grad, 0.0)
+                else:
+                    pg = grad
+                if abs(pg) > max_violation:
+                    max_violation = abs(pg)
+                if abs(pg) > 1e-12:
+                    old = alpha[i]
+                    alpha[i] = min(max(old - grad / sq_norms[i], 0.0), upper[i])
+                    w += (alpha[i] - old) * signs[i] * Xa[i]
+            if max_violation < self.tol:
+                break
+
+        self.weights_ = w[:-1]
+        self.bias_ = float(w[-1])
+        scores = Xs @ self.weights_ + self.bias_
+        self._platt.fit(scores, y)
+        self._mark_fitted()
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed margin for each row (positive = positive class)."""
+        X = self._check_predict_input(X)
+        assert self.weights_ is not None
+        return self._scaler.transform(X) @ self.weights_ + self.bias_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return self._platt.transform(self.decision_function(X))

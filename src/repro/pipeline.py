@@ -1,0 +1,213 @@
+"""The end-to-end data-to-deployment pipeline.
+
+The paper's thesis is that data, prediction, prescription, and deployment
+should be designed together. :class:`DataToDeploymentPipeline` wires the
+whole chain in one object: generate/ingest data, fit the enhanced iWare-E
+predictor, plan risk-aware patrols for every post, and (optionally) run a
+simulated field test — the complete Section I workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.predictor import PawsPredictor
+from repro.data.generator import ParkData, generate_dataset
+from repro.data.profiles import ParkProfile
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.fieldtest.analysis import chi_squared_test
+from repro.fieldtest.design import FieldTestDesign, design_field_test
+from repro.fieldtest.simulate import FieldTrialResult, run_field_trial
+from repro.planning.planner import PatrolPlan, PatrolPlanner
+from repro.planning.robust import RobustObjective
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline produced for one park.
+
+    Attributes
+    ----------
+    data:
+        The park simulation bundle (or ingested data).
+    predictor:
+        The fitted stage-1 model.
+    test_auc:
+        Held-out AUC of the predictor.
+    plans:
+        One robust patrol plan per patrol post.
+    field_design:
+        Selected experiment blocks (None unless a field test was run).
+    field_result:
+        Simulated trial outcome (None unless a field test was run).
+    field_p_value:
+        Chi-squared p-value of the trial (None unless a field test was run).
+    """
+
+    data: ParkData
+    predictor: PawsPredictor
+    test_auc: float
+    plans: dict[int, PatrolPlan] = field(default_factory=dict)
+    field_design: FieldTestDesign | None = None
+    field_result: FieldTrialResult | None = None
+    field_p_value: float | None = None
+
+
+class DataToDeploymentPipeline:
+    """End-to-end PAWS: data -> prediction -> prescription -> deployment.
+
+    Parameters
+    ----------
+    profile:
+        Park profile to simulate (or whose data to interpret).
+    model:
+        Stage-1 weak learner family (``"gpb"`` recommended: it is the one
+        that quantifies uncertainty).
+    beta:
+        Robustness weight for patrol planning (Eq. 4).
+    horizon, n_patrols, n_segments:
+        Planner parameters (patrol length T, patrols per period K, PWL
+        segments m).
+    n_classifiers:
+        iWare-E ensemble size.
+    balanced:
+        Balanced bagging (use for extreme-imbalance parks like SWS).
+    seed:
+        Master seed.
+    """
+
+    def __init__(
+        self,
+        profile: ParkProfile,
+        model: str = "gpb",
+        beta: float = 0.8,
+        horizon: int = 10,
+        n_patrols: int = 2,
+        n_segments: int = 8,
+        n_classifiers: int = 8,
+        n_estimators: int = 4,
+        balanced: bool = False,
+        seed: int = 0,
+    ):
+        if not 0.0 <= beta <= 1.0:
+            raise ConfigurationError(f"beta must be in [0, 1], got {beta}")
+        self.profile = profile
+        self.model = model
+        self.beta = beta
+        self.horizon = horizon
+        self.n_patrols = n_patrols
+        self.n_segments = n_segments
+        self.n_classifiers = n_classifiers
+        self.n_estimators = n_estimators
+        self.balanced = balanced
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        test_year: int | None = None,
+        field_test: bool = False,
+        blocks_per_group: int = 3,
+    ) -> PipelineResult:
+        """Execute the full pipeline.
+
+        Parameters
+        ----------
+        test_year:
+            Held-out evaluation year (defaults to the last simulated year).
+        field_test:
+            Also design and simulate a field test after planning.
+        blocks_per_group:
+            Field-test blocks per risk category.
+        """
+        data = generate_dataset(self.profile, seed=self.seed)
+        if test_year is None:
+            test_year = self.profile.years - 1
+        split = data.dataset.split_by_test_year(test_year)
+
+        predictor = PawsPredictor(
+            model=self.model,
+            iware=True,
+            n_classifiers=self.n_classifiers,
+            n_estimators=self.n_estimators,
+            balanced=self.balanced,
+            seed=self.seed + 17,
+        ).fit(split.train)
+        test_auc = predictor.evaluate_auc(split.test)
+
+        plans = self._plan_all_posts(data, predictor)
+
+        result = PipelineResult(
+            data=data, predictor=predictor, test_auc=test_auc, plans=plans
+        )
+        if field_test:
+            self._attach_field_test(result, blocks_per_group)
+        return result
+
+    # ------------------------------------------------------------------
+    def _plan_all_posts(
+        self, data: ParkData, predictor: PawsPredictor
+    ) -> dict[int, PatrolPlan]:
+        park = data.park
+        features = predictor.cell_feature_matrix(park, data.recorded_effort[-1])
+        plans: dict[int, PatrolPlan] = {}
+        for post in park.patrol_posts:
+            planner = PatrolPlanner(
+                park.grid,
+                int(post),
+                horizon=self.horizon,
+                n_patrols=self.n_patrols,
+                n_segments=self.n_segments,
+            )
+            xs = planner.breakpoints()
+            risk, nu = predictor.effort_response(features, xs)
+            objective = RobustObjective(xs, risk, nu, beta=self.beta)
+            plans[int(post)] = planner.plan(objective)
+        return plans
+
+    def _attach_field_test(
+        self, result: PipelineResult, blocks_per_group: int
+    ) -> None:
+        data = result.data
+        park = data.park
+        features = result.predictor.cell_feature_matrix(
+            park, data.recorded_effort[-1]
+        )
+        nominal_effort = float(np.median(data.dataset.current_effort))
+        risk = result.predictor.predict_proba(features, effort=nominal_effort)
+        historical = data.recorded_effort.sum(axis=0)
+        rng = np.random.default_rng(self.seed + 23)
+        # 3x3 blocks need ~9 disjoint cells each; on small scaled-down parks
+        # fall back to single-cell blocks so the three groups fit.
+        block_radius = 1 if park.n_cells >= 9 * 3 * blocks_per_group * 2 else 0
+        design = design_field_test(
+            park.grid,
+            risk,
+            historical,
+            blocks_per_group=blocks_per_group,
+            block_radius=block_radius,
+            rng=rng,
+        )
+        trial = run_field_trial(
+            design,
+            data.poachers,
+            rng,
+            n_periods=2,
+            start_period=self.profile.n_periods,
+        )
+        __, p_value = chi_squared_test(trial)
+        result.field_design = design
+        result.field_result = trial
+        result.field_p_value = p_value
+
+    # ------------------------------------------------------------------
+    def combined_coverage(self, result: PipelineResult) -> np.ndarray:
+        """Total prescribed effort per cell across all posts' plans."""
+        if not result.plans:
+            raise NotFittedError("pipeline result contains no plans")
+        coverage = np.zeros(result.data.park.n_cells)
+        for plan in result.plans.values():
+            coverage += plan.coverage
+        return coverage

@@ -1,0 +1,51 @@
+"""Game-theoretic patrol planning (the paper's prescriptive stage).
+
+Planning is a single-defender resource-allocation game on the park graph
+(Section VI): rangers pick a mixed strategy over patrol routes — paths on a
+*time-unrolled* copy of the park graph that start and end at a patrol post —
+to maximise expected detections of boundedly rational poachers' snares.
+
+The optimisation problem (P) maximises a piecewise-linear approximation of
+the black-box prediction ``g_v(c_v)`` subject to flow constraints; the
+paper's contribution makes it *robust* by penalising predictions by their
+GP-derived uncertainty: ``U_v(c) = g_v(c) - beta * g_v(c) * nu_v(c)``.
+
+Modules
+-------
+* :mod:`repro.planning.graph` — time-unrolled graph and the flow polytope F.
+* :mod:`repro.planning.pwl` — piecewise-linear approximations of g and nu.
+* :mod:`repro.planning.robust` — the uncertainty-penalised objective (Eq. 4).
+* :mod:`repro.planning.milp` — the MILP formulation solved with HiGHS.
+* :mod:`repro.planning.branch_and_bound` — a from-scratch B&B solver used to
+  cross-validate the MILP backend on small instances.
+* :mod:`repro.planning.paths` — flow decomposition into ranger routes.
+* :mod:`repro.planning.planner` — the :class:`PatrolPlanner` facade.
+* :mod:`repro.planning.game` — Green Security Game evaluation utilities.
+"""
+
+from repro.planning.graph import TimeUnrolledGraph
+from repro.planning.pwl import PiecewiseLinear, sample_breakpoints
+from repro.planning.robust import RobustObjective, robust_utility
+from repro.planning.milp import PatrolMILP, MILPSolution
+from repro.planning.branch_and_bound import BranchAndBoundSolver
+from repro.planning.paths import decompose_flow_into_routes
+from repro.planning.planner import PatrolPlan, PatrolPlanner
+from repro.planning.game import GreenSecurityGame
+from repro.planning.online import Exp3StrategySelector, run_online_deployment
+
+__all__ = [
+    "TimeUnrolledGraph",
+    "PiecewiseLinear",
+    "sample_breakpoints",
+    "RobustObjective",
+    "robust_utility",
+    "PatrolMILP",
+    "MILPSolution",
+    "BranchAndBoundSolver",
+    "decompose_flow_into_routes",
+    "PatrolPlan",
+    "PatrolPlanner",
+    "GreenSecurityGame",
+    "Exp3StrategySelector",
+    "run_online_deployment",
+]

@@ -1,0 +1,126 @@
+"""Green Security Game evaluation layer.
+
+The paper's game model (Section VI-A): one defender (the ranger team)
+against N boundedly rational adversaries, one per cell. The defender's
+expected utility is the probability of detecting snares summed over cells
+(Eq. 3). This module evaluates deployed coverage vectors against a ground
+truth — either the simulator's :class:`~repro.data.poachers.PoacherModel`
+or explicit attack probabilities — with a quantal-response adversary that
+shifts attacks away from covered cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class GreenSecurityGame:
+    """Defender-vs-boundedly-rational-poachers payoff evaluation.
+
+    Parameters
+    ----------
+    base_attack_logits:
+        ``(n_cells,)`` attack attractiveness on the log-odds scale (before
+        coverage response).
+    detect_rate:
+        Detection-curve steepness: ``P(detect|attack, c) = 1 - e^{-k c}``.
+    response_rationality:
+        Quantal-response deterrence strength — how sharply adversaries shift
+        probability away from patrolled cells. 0 = oblivious poachers.
+    """
+
+    def __init__(
+        self,
+        base_attack_logits: np.ndarray,
+        detect_rate: float = 0.5,
+        response_rationality: float = 0.5,
+    ):
+        self.base_attack_logits = np.asarray(base_attack_logits, dtype=float)
+        if self.base_attack_logits.ndim != 1:
+            raise ConfigurationError("base_attack_logits must be 1-D")
+        if detect_rate <= 0:
+            raise ConfigurationError(f"detect_rate must be positive, got {detect_rate}")
+        if response_rationality < 0:
+            raise ConfigurationError("response_rationality must be >= 0")
+        self.detect_rate = float(detect_rate)
+        self.response_rationality = float(response_rationality)
+
+    @property
+    def n_cells(self) -> int:
+        return self.base_attack_logits.size
+
+    # ------------------------------------------------------------------
+    def _check_coverage(self, coverage: np.ndarray) -> np.ndarray:
+        coverage = np.asarray(coverage, dtype=float)
+        if coverage.shape != (self.n_cells,):
+            raise ConfigurationError(
+                f"coverage must have shape ({self.n_cells},), got {coverage.shape}"
+            )
+        if (coverage < -1e-9).any():
+            raise ConfigurationError("coverage cannot be negative")
+        return np.clip(coverage, 0.0, None)
+
+    def attack_probabilities(self, coverage: np.ndarray) -> np.ndarray:
+        """Adversary quantal response: attack odds fall with coverage."""
+        coverage = self._check_coverage(coverage)
+        logits = self.base_attack_logits - self.response_rationality * coverage
+        logits = np.clip(logits, -60, 60)
+        return 1.0 / (1.0 + np.exp(-logits))
+
+    def detection_probabilities(self, coverage: np.ndarray) -> np.ndarray:
+        """P(detect | attack) per cell."""
+        coverage = self._check_coverage(coverage)
+        return 1.0 - np.exp(-self.detect_rate * coverage)
+
+    def defender_utility(self, coverage: np.ndarray) -> float:
+        """Eq. 3: expected number of detected attacks across the park."""
+        attack = self.attack_probabilities(coverage)
+        detect = self.detection_probabilities(coverage)
+        return float(np.sum(attack * detect))
+
+    def adversary_utility(self, coverage: np.ndarray) -> float:
+        """Total adversary payoff: expected *undetected* attacks."""
+        attack = self.attack_probabilities(coverage)
+        detect = self.detection_probabilities(coverage)
+        return float(np.sum(attack * (1.0 - detect)))
+
+    # ------------------------------------------------------------------
+    def simulate_detections(
+        self, coverage: np.ndarray, rng: np.random.Generator, n_rounds: int = 1
+    ) -> int:
+        """Monte-Carlo count of snares found under a coverage vector.
+
+        Each round: adversaries attack (Bernoulli per cell under the quantal
+        response), rangers detect with the effort-dependent probability.
+        """
+        if n_rounds < 1:
+            raise ConfigurationError(f"n_rounds must be >= 1, got {n_rounds}")
+        attack_p = self.attack_probabilities(coverage)
+        detect_p = self.detection_probabilities(coverage)
+        total = 0
+        for __ in range(n_rounds):
+            attacks = rng.random(self.n_cells) < attack_p
+            detected = attacks & (rng.random(self.n_cells) < detect_p)
+            total += int(detected.sum())
+        return total
+
+    @classmethod
+    def from_poacher_model(cls, poachers, period_index: int = 0,
+                           response_rationality: float | None = None
+                           ) -> "GreenSecurityGame":
+        """Build the game straight from a simulator ground truth."""
+        p = poachers.attack_probability(period_index)
+        p = np.clip(p, 1e-9, 1 - 1e-9)
+        logits = np.log(p / (1 - p))
+        rationality = (
+            poachers.profile.deterrence
+            if response_rationality is None
+            else response_rationality
+        )
+        return cls(
+            base_attack_logits=logits,
+            detect_rate=poachers.profile.detect_rate,
+            response_rationality=rationality,
+        )

@@ -1,0 +1,288 @@
+"""The patrol-planning MILP (problem (P), Section VI-B).
+
+Decision variables:
+
+* ``f_e`` — flow on each edge of the time-unrolled graph (continuous; one
+  unit of flow = the defender's mixed strategy over patrol routes);
+* ``lambda_{v,j}`` — PWL convex-combination weights per cell and breakpoint;
+* ``z_{v,s}`` — binary segment selectors enforcing the SOS2 condition (the
+  robust objective is generally non-concave, so segment binaries are needed
+  for a correct PWL encoding).
+
+Constraints: unit flow out of the source and into the sink, conservation at
+interior nodes, coverage linking ``c_v = K * (inflow(v) + [v = source])``
+expressed through the lambda representation, and the SOS2 adjacency rows.
+Solved with ``scipy.optimize.milp`` (HiGHS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import LinearConstraint, Bounds, milp
+
+from repro.exceptions import ConfigurationError, InfeasibleError, PlanningError
+from repro.planning.graph import TimeUnrolledGraph
+from repro.planning.pwl import PiecewiseLinear
+
+
+@dataclass
+class MILPModel:
+    """Assembled matrices of one problem (P) instance.
+
+    Exposed so alternative solvers (e.g. the from-scratch branch and bound)
+    can consume exactly the same model HiGHS sees.
+    """
+
+    objective: np.ndarray
+    matrix: sparse.csc_matrix
+    row_lb: np.ndarray
+    row_ub: np.ndarray
+    integrality: np.ndarray
+    cells: list[int]
+    visit_edges: dict[int, list[int]]
+
+
+@dataclass
+class MILPSolution:
+    """Result of one patrol-planning solve.
+
+    Attributes
+    ----------
+    objective_value:
+        Total PWL utility of the optimal coverage.
+    coverage:
+        ``(n_cells,)`` optimal patrol effort per park cell (km/period).
+    edge_flows:
+        ``(n_edges,)`` flow on each time-unrolled edge (unit total).
+    status:
+        Solver status string.
+    """
+
+    objective_value: float
+    coverage: np.ndarray
+    edge_flows: np.ndarray
+    status: str
+
+
+class PatrolMILP:
+    """Builder/solver for problem (P) on one patrol post.
+
+    Parameters
+    ----------
+    graph:
+        Time-unrolled patrol graph for the post.
+    n_patrols:
+        K — number of patrols per period; scales flow into km of coverage.
+    time_limit:
+        HiGHS wall-clock limit in seconds.
+    mip_gap:
+        Relative optimality gap at which HiGHS may stop.
+    """
+
+    def __init__(
+        self,
+        graph: TimeUnrolledGraph,
+        n_patrols: int = 4,
+        time_limit: float = 60.0,
+        mip_gap: float = 1e-4,
+    ):
+        if n_patrols < 1:
+            raise ConfigurationError(f"n_patrols must be >= 1, got {n_patrols}")
+        self.graph = graph
+        self.n_patrols = int(n_patrols)
+        self.time_limit = time_limit
+        self.mip_gap = mip_gap
+
+    # ------------------------------------------------------------------
+    @property
+    def max_coverage(self) -> float:
+        """Coverage if every patrol spent every step in one cell: T*K."""
+        return float(self.graph.horizon * self.n_patrols)
+
+    def _check_utilities(
+        self, utilities: dict[int, PiecewiseLinear]
+    ) -> list[int]:
+        cells = sorted(utilities)
+        reachable = set(int(v) for v in self.graph.reachable_cells)
+        for v in cells:
+            if v not in reachable:
+                raise ConfigurationError(
+                    f"utility given for unreachable cell {v}"
+                )
+            pwl = utilities[v]
+            if pwl.xs[0] > 1e-9:
+                raise ConfigurationError(
+                    f"cell {v}: PWL domain must start at 0, got {pwl.xs[0]}"
+                )
+            if pwl.xs[-1] < self.max_coverage - 1e-9:
+                raise ConfigurationError(
+                    f"cell {v}: PWL domain must reach T*K={self.max_coverage}, "
+                    f"got {pwl.xs[-1]}"
+                )
+        missing = reachable - set(cells)
+        if missing:
+            raise ConfigurationError(
+                f"utilities missing for reachable cells {sorted(missing)[:5]}..."
+                if len(missing) > 5
+                else f"utilities missing for reachable cells {sorted(missing)}"
+            )
+        return cells
+
+    # ------------------------------------------------------------------
+    def build_model(self, utilities: dict[int, PiecewiseLinear]) -> MILPModel:
+        """Assemble the constraint matrices of problem (P).
+
+        Parameters
+        ----------
+        utilities:
+            Per-reachable-cell PWL utility functions of coverage, each with
+            domain [0, T*K].
+        """
+        cells = self._check_utilities(utilities)
+        graph = self.graph
+        n_edges = graph.n_edges
+        # Variable layout: [f (n_edges) | lambda blocks | z blocks].
+        lam_offset: dict[int, int] = {}
+        z_offset: dict[int, int] = {}
+        cursor = n_edges
+        for v in cells:
+            lam_offset[v] = cursor
+            cursor += utilities[v].xs.size
+        for v in cells:
+            z_offset[v] = cursor
+            cursor += utilities[v].n_segments
+        n_vars = cursor
+
+        objective = np.zeros(n_vars)
+        for v in cells:
+            ys = utilities[v].ys
+            objective[lam_offset[v] : lam_offset[v] + ys.size] = -ys  # maximise
+
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        vals: list[np.ndarray] = []
+        lbs: list[float] = []
+        ubs: list[float] = []
+        row_id = 0
+
+        def add_row(col_idx: list[int], coeffs: list[float], lo: float, hi: float) -> None:
+            nonlocal row_id
+            rows.append(np.full(len(col_idx), row_id))
+            cols.append(np.asarray(col_idx))
+            vals.append(np.asarray(coeffs, dtype=float))
+            lbs.append(lo)
+            ubs.append(hi)
+            row_id += 1
+
+        out_edges, in_edges = graph.incidence_lists()
+
+        # Unit flow out of the source and into the sink; conservation inside.
+        src, snk = graph.source_node, graph.sink_node
+        add_row(out_edges[src], [1.0] * len(out_edges[src]), 1.0, 1.0)
+        add_row(in_edges[snk], [1.0] * len(in_edges[snk]), 1.0, 1.0)
+        for node in range(graph.n_nodes):
+            if node in (src, snk):
+                continue
+            idx = in_edges[node] + out_edges[node]
+            coef = [1.0] * len(in_edges[node]) + [-1.0] * len(out_edges[node])
+            if idx:
+                add_row(idx, coef, 0.0, 0.0)
+
+        # Coverage linking: sum_j lambda_vj x_j - K*(inflow_v + 1{v=src}) = 0.
+        visit_edges = graph.cell_visit_edges()
+        K = float(self.n_patrols)
+        for v in cells:
+            xs = utilities[v].xs
+            lam_idx = list(range(lam_offset[v], lam_offset[v] + xs.size))
+            edge_idx = visit_edges.get(v, [])
+            col_idx = lam_idx + edge_idx
+            coeffs = list(xs) + [-K] * len(edge_idx)
+            rhs = K if v == graph.source_cell else 0.0
+            add_row(col_idx, coeffs, rhs, rhs)
+
+        # Convexity and SOS2 adjacency.
+        for v in cells:
+            m = utilities[v].n_segments
+            lam_idx = list(range(lam_offset[v], lam_offset[v] + m + 1))
+            add_row(lam_idx, [1.0] * (m + 1), 1.0, 1.0)
+            z_idx = list(range(z_offset[v], z_offset[v] + m))
+            add_row(z_idx, [1.0] * m, 1.0, 1.0)
+            for j in range(m + 1):
+                adjacent = []
+                if j > 0:
+                    adjacent.append(z_idx[j - 1])
+                if j < m:
+                    adjacent.append(z_idx[j])
+                add_row(
+                    [lam_idx[j]] + adjacent,
+                    [1.0] + [-1.0] * len(adjacent),
+                    -np.inf,
+                    0.0,
+                )
+
+        matrix = sparse.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(row_id, n_vars),
+        ).tocsc()
+
+        integrality = np.zeros(n_vars)
+        for v in cells:
+            z0 = z_offset[v]
+            integrality[z0 : z0 + utilities[v].n_segments] = 1
+
+        return MILPModel(
+            objective=objective,
+            matrix=matrix,
+            row_lb=np.asarray(lbs),
+            row_ub=np.asarray(ubs),
+            integrality=integrality,
+            cells=cells,
+            visit_edges=visit_edges,
+        )
+
+    def solve(self, utilities: dict[int, PiecewiseLinear]) -> MILPSolution:
+        """Maximise total PWL utility over the flow polytope (HiGHS)."""
+        model = self.build_model(utilities)
+        n_vars = model.objective.size
+        constraints = LinearConstraint(model.matrix, model.row_lb, model.row_ub)
+        result = milp(
+            c=model.objective,
+            constraints=constraints,
+            bounds=Bounds(np.zeros(n_vars), np.ones(n_vars)),
+            integrality=model.integrality,
+            options={"time_limit": self.time_limit, "mip_rel_gap": self.mip_gap},
+        )
+        if result.status == 2:
+            raise InfeasibleError("patrol-planning MILP is infeasible")
+        if result.x is None:
+            raise PlanningError(f"MILP solve failed: {result.message}")
+        return self.extract_solution(model, result.x, float(-result.fun),
+                                     str(result.message))
+
+    def extract_solution(
+        self,
+        model: MILPModel,
+        x: np.ndarray,
+        objective_value: float,
+        status: str,
+    ) -> MILPSolution:
+        """Turn a raw variable vector into coverage and flows."""
+        n_edges = self.graph.n_edges
+        flows = np.asarray(x[:n_edges], dtype=float)
+        coverage = np.zeros(self.graph.grid.n_cells)
+        K = float(self.n_patrols)
+        for v in model.cells:
+            edge_idx = model.visit_edges.get(v, [])
+            inflow = float(flows[edge_idx].sum()) if edge_idx else 0.0
+            if v == self.graph.source_cell:
+                inflow += 1.0
+            coverage[v] = K * inflow
+        return MILPSolution(
+            objective_value=objective_value,
+            coverage=coverage,
+            edge_flows=flows,
+            status=status,
+        )

@@ -1,0 +1,124 @@
+"""Decomposing an optimal flow into deployable patrol routes.
+
+The MILP returns a *mixed strategy*: one unit of (possibly fractional) flow
+through the time-unrolled graph. Rangers need concrete routes, so the flow
+is decomposed into weighted source-to-sink paths (flow decomposition
+theorem: an acyclic unit flow splits into at most ``n_edges`` paths), from
+which K routes per period can be sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, PlanningError
+from repro.planning.graph import TimeUnrolledGraph
+
+
+@dataclass(frozen=True)
+class PatrolRoute:
+    """A single deployable route with its strategy weight.
+
+    Attributes
+    ----------
+    cells:
+        Sequence of cell ids, one per time step (starts and ends at the
+        post).
+    weight:
+        Probability mass of this route in the mixed strategy.
+    """
+
+    cells: tuple[int, ...]
+    weight: float
+
+
+def decompose_flow_into_routes(
+    graph: TimeUnrolledGraph,
+    edge_flows: np.ndarray,
+    min_weight: float = 1e-6,
+) -> list[PatrolRoute]:
+    """Greedy bottleneck path extraction from an acyclic unit flow.
+
+    Repeatedly follows the largest-flow outgoing edge from the source,
+    subtracts the bottleneck along the path, and records the route, until
+    the residual source outflow drops below ``min_weight``.
+
+    Returns routes sorted by descending weight; weights sum to ~1.
+    """
+    edge_flows = np.asarray(edge_flows, dtype=float)
+    if edge_flows.shape != (graph.n_edges,):
+        raise ConfigurationError(
+            f"edge_flows must have shape ({graph.n_edges},), got {edge_flows.shape}"
+        )
+    if (edge_flows < -1e-6).any():
+        raise ConfigurationError("edge flows must be nonnegative")
+    residual = np.clip(edge_flows, 0.0, None)
+    out_edges, __ = graph.incidence_lists()
+    edges = graph.edges
+    nodes = graph.nodes
+    routes: list[PatrolRoute] = []
+    for __ in range(graph.n_edges + 1):
+        node = graph.source_node
+        path_nodes = [node]
+        path_edges: list[int] = []
+        while node != graph.sink_node:
+            candidates = out_edges[node]
+            if not candidates:
+                raise PlanningError("flow decomposition hit a dead end")
+            flows_here = residual[candidates]
+            best = int(np.argmax(flows_here))
+            if flows_here[best] <= min_weight:
+                break
+            e = candidates[best]
+            path_edges.append(e)
+            node = int(edges[e, 1])
+            path_nodes.append(node)
+        if node != graph.sink_node or not path_edges:
+            break
+        bottleneck = float(residual[path_edges].min())
+        if bottleneck <= min_weight:
+            break
+        residual[path_edges] -= bottleneck
+        cells = tuple(int(nodes[i][0]) for i in path_nodes)
+        routes.append(PatrolRoute(cells=cells, weight=bottleneck))
+    routes.sort(key=lambda r: -r.weight)
+    return routes
+
+
+def sample_routes(
+    routes: list[PatrolRoute],
+    n_patrols: int,
+    rng: np.random.Generator,
+) -> list[PatrolRoute]:
+    """Draw K concrete patrols from the mixed strategy.
+
+    Parameters
+    ----------
+    routes:
+        Weighted routes from :func:`decompose_flow_into_routes`.
+    n_patrols:
+        Number of patrols K to deploy this period.
+    rng:
+        Randomness for the categorical draw.
+    """
+    if not routes:
+        raise ConfigurationError("no routes to sample from")
+    if n_patrols < 1:
+        raise ConfigurationError(f"n_patrols must be >= 1, got {n_patrols}")
+    weights = np.array([r.weight for r in routes], dtype=float)
+    weights = weights / weights.sum()
+    picks = rng.choice(len(routes), size=n_patrols, p=weights)
+    return [routes[i] for i in picks]
+
+
+def coverage_of_routes(
+    graph: TimeUnrolledGraph, routes: list[PatrolRoute]
+) -> np.ndarray:
+    """Km of effort per cell implied by a set of concrete routes."""
+    coverage = np.zeros(graph.grid.n_cells)
+    for route in routes:
+        for cell in route.cells:
+            coverage[cell] += 1.0
+    return coverage

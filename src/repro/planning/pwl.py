@@ -1,0 +1,99 @@
+"""Piecewise-linear approximation of black-box model responses.
+
+The planner can only reason about the predictive model through sampled
+points: "piecewise linear (PWL) approximations to these functions g_v are
+constructed using m x N sampled points" (Section VI-B). The number of
+segments trades approximation quality against MILP size — the paper's
+Figs. 8(d-f) and 9 sweep it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class PiecewiseLinear:
+    """A continuous piecewise-linear function on [x_0, x_m].
+
+    Parameters
+    ----------
+    xs:
+        Strictly increasing breakpoint abscissae.
+    ys:
+        Function values at the breakpoints.
+    """
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray):
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.ndim != 1 or xs.shape != ys.shape:
+            raise ConfigurationError("xs and ys must be equal-length 1-D arrays")
+        if xs.size < 2:
+            raise ConfigurationError("a PWL function needs at least 2 breakpoints")
+        if (np.diff(xs) <= 0).any():
+            raise ConfigurationError("breakpoints must be strictly increasing")
+        if not (np.isfinite(xs).all() and np.isfinite(ys).all()):
+            raise ConfigurationError("breakpoints must be finite")
+        self.xs = xs
+        self.ys = ys
+
+    @property
+    def n_segments(self) -> int:
+        return self.xs.size - 1
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate with flat extrapolation outside the breakpoint range."""
+        scalar = np.isscalar(x)
+        x_arr = np.clip(np.atleast_1d(np.asarray(x, dtype=float)),
+                        self.xs[0], self.xs[-1])
+        out = np.interp(x_arr, self.xs, self.ys)
+        return float(out[0]) if scalar else out
+
+    def max_value(self) -> float:
+        """Largest breakpoint value (PWL maxima occur at breakpoints)."""
+        return float(self.ys.max())
+
+    def is_concave(self, tol: float = 1e-9) -> bool:
+        """Whether segment slopes are nonincreasing."""
+        slopes = np.diff(self.ys) / np.diff(self.xs)
+        return bool((np.diff(slopes) <= tol).all())
+
+
+def sample_breakpoints(
+    max_effort: float, n_segments: int, spacing: str = "uniform"
+) -> np.ndarray:
+    """Breakpoint abscissae in [0, max_effort].
+
+    Parameters
+    ----------
+    max_effort:
+        Upper end of the effort domain (typically T*K, the coverage a fully
+        concentrated strategy could place on one cell).
+    n_segments:
+        Number of PWL segments m (breakpoints = m + 1).
+    spacing:
+        ``"uniform"`` or ``"sqrt"`` (denser near zero, where detection
+        curves bend the most).
+    """
+    if max_effort <= 0:
+        raise ConfigurationError(f"max_effort must be positive, got {max_effort}")
+    if n_segments < 1:
+        raise ConfigurationError(f"n_segments must be >= 1, got {n_segments}")
+    if spacing == "uniform":
+        return np.linspace(0.0, max_effort, n_segments + 1)
+    if spacing == "sqrt":
+        u = np.linspace(0.0, 1.0, n_segments + 1)
+        return max_effort * u**2
+    raise ConfigurationError(f"unknown spacing '{spacing}'")
+
+
+def pwl_from_samples(xs: np.ndarray, values: np.ndarray) -> list[PiecewiseLinear]:
+    """One PWL function per row of a ``(n_cells, len(xs))`` sample matrix."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2 or values.shape[1] != np.asarray(xs).size:
+        raise ConfigurationError(
+            f"values must be (n_cells, {np.asarray(xs).size}), got {values.shape}"
+        )
+    return [PiecewiseLinear(xs, row) for row in values]

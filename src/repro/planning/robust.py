@@ -1,0 +1,118 @@
+"""The uncertainty-penalised (robust) planning objective.
+
+Equation 4 of the paper::
+
+    U_v(c) = g_v(c) - beta * g_v(c) * nu_v(c)
+
+``beta = 0`` trusts the point predictions; ``beta = 1`` is fully robust,
+discounting every prediction by its (squashed, [0,1]) uncertainty. Because
+``nu <= 1``, the objective stays nonnegative whenever ``g`` is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.planning.pwl import PiecewiseLinear, pwl_from_samples
+
+
+def robust_utility(
+    risk: np.ndarray, uncertainty: np.ndarray, beta: float
+) -> np.ndarray:
+    """Elementwise Eq. 4 utility.
+
+    Parameters
+    ----------
+    risk:
+        ``g`` values (any shape).
+    uncertainty:
+        ``nu`` values in [0, 1], same shape.
+    beta:
+        Robustness weight in [0, 1].
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise ConfigurationError(f"beta must be in [0, 1], got {beta}")
+    risk = np.asarray(risk, dtype=float)
+    uncertainty = np.asarray(uncertainty, dtype=float)
+    if risk.shape != uncertainty.shape:
+        raise ConfigurationError(
+            f"risk {risk.shape} and uncertainty {uncertainty.shape} differ"
+        )
+    if (uncertainty < -1e-9).any() or (uncertainty > 1 + 1e-9).any():
+        raise ConfigurationError("uncertainty scores must lie in [0, 1]")
+    return risk * (1.0 - beta * uncertainty)
+
+
+@dataclass
+class RobustObjective:
+    """Per-cell robust utility surfaces sampled on an effort grid.
+
+    Attributes
+    ----------
+    effort_grid:
+        Shared breakpoint abscissae (km of coverage).
+    risk:
+        ``(n_cells, m+1)`` sampled ``g_v`` values.
+    uncertainty:
+        ``(n_cells, m+1)`` sampled ``nu_v`` values in [0, 1].
+    beta:
+        Robustness weight.
+    """
+
+    effort_grid: np.ndarray
+    risk: np.ndarray
+    uncertainty: np.ndarray
+    beta: float
+
+    def __post_init__(self) -> None:
+        self.effort_grid = np.asarray(self.effort_grid, dtype=float)
+        self.risk = np.asarray(self.risk, dtype=float)
+        self.uncertainty = np.asarray(self.uncertainty, dtype=float)
+        if self.risk.shape != self.uncertainty.shape:
+            raise ConfigurationError("risk/uncertainty shape mismatch")
+        if self.risk.ndim != 2 or self.risk.shape[1] != self.effort_grid.size:
+            raise ConfigurationError(
+                "risk must be (n_cells, len(effort_grid))"
+            )
+        if not 0.0 <= self.beta <= 1.0:
+            raise ConfigurationError(f"beta must be in [0, 1], got {self.beta}")
+
+    @property
+    def n_cells(self) -> int:
+        return self.risk.shape[0]
+
+    def utility_samples(self, beta: float | None = None) -> np.ndarray:
+        """``(n_cells, m+1)`` Eq. 4 utilities at the grid points."""
+        b = self.beta if beta is None else beta
+        return robust_utility(self.risk, self.uncertainty, b)
+
+    def utility_functions(self, beta: float | None = None) -> list[PiecewiseLinear]:
+        """Per-cell PWL utility functions U_v^PWL (inputs to the MILP)."""
+        return pwl_from_samples(self.effort_grid, self.utility_samples(beta))
+
+    def evaluate_coverage(self, coverage: np.ndarray, beta: float | None = None) -> float:
+        """Total utility ``U_beta(C)`` of a coverage vector (Section VI-D).
+
+        Used both as the planning objective and as the "ground truth given
+        by the objective with uncertainty" when scoring plans computed at a
+        different beta.
+        """
+        coverage = np.asarray(coverage, dtype=float)
+        if coverage.shape != (self.n_cells,):
+            raise ConfigurationError(
+                f"coverage must have shape ({self.n_cells},), got {coverage.shape}"
+            )
+        functions = self.utility_functions(beta)
+        return float(sum(f(c) for f, c in zip(functions, coverage)))
+
+    def with_beta(self, beta: float) -> "RobustObjective":
+        """A copy sharing the samples but with a different beta."""
+        return RobustObjective(
+            effort_grid=self.effort_grid,
+            risk=self.risk,
+            uncertainty=self.uncertainty,
+            beta=beta,
+        )

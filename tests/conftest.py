@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geo import Grid
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_grid() -> Grid:
+    """A 6x8 full-rectangle park grid."""
+    return Grid.rectangular(6, 8)
+
+
+@pytest.fixture
+def masked_grid() -> Grid:
+    """A 10x10 elliptical park grid with off-park corners."""
+    return Grid.elliptical(10, 10, fullness=0.9)
+
+
+def make_blobs(
+    rng: np.random.Generator, n_per_class: int = 60, spread: float = 0.8,
+    n_features: int = 2, separation: float = 2.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two Gaussian blobs: an easy, linearly separable binary problem."""
+    center = np.zeros(n_features)
+    center[0] = separation
+    neg = rng.normal(0.0, spread, size=(n_per_class, n_features))
+    pos = rng.normal(0.0, spread, size=(n_per_class, n_features)) + center
+    X = np.vstack([neg, pos])
+    y = np.r_[np.zeros(n_per_class, dtype=int), np.ones(n_per_class, dtype=int)]
+    perm = rng.permutation(X.shape[0])
+    return X[perm], y[perm]

@@ -1,0 +1,22 @@
+"""Test helper: solve a patrol MILP with the from-scratch B&B solver."""
+
+from __future__ import annotations
+
+from repro.planning.branch_and_bound import BranchAndBoundSolver
+from repro.planning.milp import PatrolMILP
+from repro.planning.pwl import PiecewiseLinear
+
+
+def solve_patrol_with_bnb(
+    milp: PatrolMILP, utilities: dict[int, PiecewiseLinear]
+) -> float:
+    """Objective value of problem (P) solved by branch and bound."""
+    model = milp.build_model(utilities)
+    result = BranchAndBoundSolver(max_nodes=50_000).solve(
+        model.objective,
+        model.matrix,
+        model.row_lb,
+        model.row_ub,
+        binary_mask=model.integrality.astype(bool),
+    )
+    return -result.objective_value

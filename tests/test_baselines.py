@@ -1,0 +1,126 @@
+"""Tests for repro.baselines (CAPTURE and INTERCEPT)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import CaptureModel, InterceptModel
+from repro.data import MFNP, generate_dataset
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.ml.metrics import roc_auc_score
+
+SMALL = MFNP.scaled(0.5)
+
+
+@pytest.fixture(scope="module")
+def pu_data():
+    """PU-structured synthetic data with known ground truth."""
+    rng = np.random.default_rng(0)
+    n = 2000
+    X = rng.normal(size=(n, 3))
+    attack_p = 1 / (1 + np.exp(-(1.2 * X[:, 0] - 0.8 * X[:, 1] - 0.5)))
+    attacks = rng.random(n) < attack_p
+    effort = rng.exponential(2.0, size=n)
+    detect_p = 1 - np.exp(-0.5 * effort)
+    observed = attacks & (rng.random(n) < detect_p)
+    return X, observed.astype(int), effort, attacks, attack_p
+
+
+class TestCapture:
+    def test_fit_and_predict(self, pu_data):
+        X, y, effort, attacks, __ = pu_data
+        model = CaptureModel(n_em_iter=10).fit(X, y, effort)
+        p = model.predict_proba(X, effort=2.0)
+        assert (p >= 0).all() and (p <= 1).all()
+        assert roc_auc_score(y, model.predict_proba(X, effort)) > 0.7
+
+    def test_latent_attack_layer_recovers_truth(self, pu_data):
+        """The point of CAPTURE: P(a=1) should track the *attack* truth,
+        not just the detection-confounded observations."""
+        X, y, effort, attacks, attack_p = pu_data
+        model = CaptureModel(n_em_iter=12).fit(X, y, effort)
+        latent = model.predict_attack_proba(X)
+        assert roc_auc_score(attacks.astype(int), latent) > 0.75
+        assert np.corrcoef(latent, attack_p)[0, 1] > 0.7
+
+    def test_detection_layer_uses_effort(self, pu_data):
+        X, y, effort, __, __p = pu_data
+        model = CaptureModel(n_em_iter=8).fit(X, y, effort)
+        low = model.predict_detection_proba(X[:50], np.full(50, 0.2))
+        high = model.predict_detection_proba(X[:50], np.full(50, 6.0))
+        assert high.mean() > low.mean()
+
+    def test_em_converges(self, pu_data):
+        X, y, effort, __, __p = pu_data
+        model = CaptureModel(n_em_iter=50, tol=1e-3).fit(X, y, effort)
+        assert model.n_em_used_ < 50
+
+    def test_joint_bounded_by_attack(self, pu_data):
+        X, y, effort, __, __p = pu_data
+        model = CaptureModel(n_em_iter=5).fit(X, y, effort)
+        joint = model.predict_proba(X, effort)
+        attack = model.predict_attack_proba(X)
+        assert (joint <= attack + 1e-12).all()
+
+    def test_validation(self, pu_data):
+        X, y, effort, __, __p = pu_data
+        with pytest.raises(ConfigurationError):
+            CaptureModel(n_em_iter=0)
+        with pytest.raises(DataError):
+            CaptureModel().fit(X, y[:5], effort)
+        with pytest.raises(DataError):
+            CaptureModel().fit(X, np.zeros(len(y), dtype=int), effort)
+        with pytest.raises(DataError):
+            CaptureModel().fit(X, y, -effort)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            CaptureModel().predict_attack_proba(np.zeros((2, 2)))
+
+
+class TestIntercept:
+    def test_fit_and_predict(self, pu_data):
+        X, y, __, __a, __p = pu_data
+        model = InterceptModel(n_trees=8, n_boost_iter=2,
+                               rng=np.random.default_rng(1)).fit(X, y)
+        assert roc_auc_score(y, model.predict_proba(X)) > 0.75
+
+    def test_boosting_changes_model(self, pu_data):
+        X, y, __, __a, __p = pu_data
+        plain = InterceptModel(n_trees=8, n_boost_iter=0,
+                               rng=np.random.default_rng(1)).fit(X, y)
+        boosted = InterceptModel(n_trees=8, n_boost_iter=3,
+                                 rng=np.random.default_rng(1)).fit(X, y)
+        assert not np.allclose(plain.predict_proba(X), boosted.predict_proba(X))
+
+    def test_boosting_raises_positive_scores(self, pu_data):
+        X, y, __, __a, __p = pu_data
+        plain = InterceptModel(n_trees=10, n_boost_iter=0,
+                               rng=np.random.default_rng(2)).fit(X, y)
+        boosted = InterceptModel(n_trees=10, n_boost_iter=3,
+                                 rng=np.random.default_rng(2)).fit(X, y)
+        assert boosted.predict_proba(X)[y == 1].mean() >= \
+            plain.predict_proba(X)[y == 1].mean() - 0.02
+
+    def test_on_park_data(self):
+        data = generate_dataset(SMALL, seed=0)
+        split = data.dataset.split_by_test_year(4)
+        model = InterceptModel(n_trees=8, rng=np.random.default_rng(3))
+        model.fit(split.train.feature_matrix, split.train.labels)
+        auc = roc_auc_score(
+            split.test.labels, model.predict_proba(split.test.feature_matrix)
+        )
+        assert auc > 0.55
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InterceptModel(n_trees=0)
+        with pytest.raises(ConfigurationError):
+            InterceptModel(n_boost_iter=-1)
+        with pytest.raises(ConfigurationError):
+            InterceptModel(boost_quantile=1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            InterceptModel().predict_proba(np.zeros((2, 2)))

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv: list[str]) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_park_profile_fails_cleanly(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_cli(["stats", "--park", "yellowstone"])
+
+    def test_model_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--model", "xgboost"])
+
+
+class TestStats:
+    def test_reports_table(self):
+        code, text = run_cli(["stats", "--park", "MFNP", "--scale", "0.4"])
+        assert code == 0
+        assert "n_points" in text
+        assert "percent_positive" in text
+        assert "MFNP" in text
+
+
+class TestMaps:
+    def test_renders_two_maps(self):
+        code, text = run_cli(["maps", "--park", "QENP", "--scale", "0.4"])
+        assert code == 0
+        assert "historical patrol effort:" in text
+        assert "historical detected activity:" in text
+
+
+class TestEvaluate:
+    def test_reports_auc(self):
+        code, text = run_cli(
+            ["evaluate", "--park", "MFNP", "--scale", "0.4",
+             "--model", "dtb", "--n-classifiers", "4"]
+        )
+        assert code == 0
+        assert "AUC = " in text
+        assert "DTB-iW" in text
+
+    def test_flat_baseline_flag(self):
+        code, text = run_cli(
+            ["evaluate", "--park", "MFNP", "--scale", "0.4",
+             "--model", "dtb", "--no-iware"]
+        )
+        assert code == 0
+        assert "DTB on" in text
+        assert "-iW" not in text
+
+
+class TestPlan:
+    def test_produces_routes(self):
+        code, text = run_cli(
+            ["plan", "--park", "MFNP", "--scale", "0.4",
+             "--horizon", "8", "--segments", "5"]
+        )
+        assert code == 0
+        assert "prescribed coverage:" in text
+        assert "mixed-strategy routes" in text
+
+    def test_bad_post_index(self):
+        code, text = run_cli(
+            ["plan", "--park", "MFNP", "--scale", "0.4", "--post", "99"]
+        )
+        assert code == 1
+        assert "--post" in text
+
+
+class TestFieldTest:
+    def test_runs_trial(self):
+        code, text = run_cli(
+            ["fieldtest", "--park", "MFNP", "--scale", "0.5",
+             "--blocks", "3", "--model", "dtb"]
+        )
+        assert code == 0
+        assert "Risk group" in text
+        assert "chi-squared p" in text

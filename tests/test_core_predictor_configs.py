@@ -1,0 +1,110 @@
+"""Configuration-matrix tests for PawsPredictor variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PawsPredictor
+from repro.data import MFNP, SWS, generate_dataset
+
+SMALL = MFNP.scaled(0.5)
+
+
+@pytest.fixture(scope="module")
+def split():
+    return generate_dataset(SMALL, seed=0).dataset.split_by_test_year(4)
+
+
+@pytest.fixture(scope="module")
+def sws_split():
+    data = generate_dataset(SWS.scaled(0.8), seed=0)
+    for year in (5, 4, 3):
+        candidate = data.dataset.split_by_test_year(year)
+        if candidate.test.labels.sum() > 0 and candidate.train.labels.sum() > 1:
+            return candidate
+    pytest.skip("no evaluable SWS test year at this seed")
+
+
+class TestWeightingModes:
+    def test_qualified_mode_works_end_to_end(self, split):
+        predictor = PawsPredictor(
+            model="dtb", iware=True, weighting="qualified",
+            n_classifiers=5, n_estimators=2, seed=0,
+        ).fit(split.train)
+        auc = predictor.evaluate_auc(split.test)
+        assert 0.4 < auc <= 1.0
+
+    def test_equal_threshold_scheme_via_predictor(self, split):
+        predictor = PawsPredictor(
+            model="dtb", iware=True, threshold_scheme="equal",
+            n_classifiers=5, n_estimators=2, seed=0,
+        ).fit(split.train)
+        assert predictor._ensemble is not None
+        diffs = np.diff(predictor._ensemble.thresholds_)
+        np.testing.assert_allclose(diffs, diffs[0])
+
+    def test_small_sample_weight_fallback(self, sws_split):
+        """Below the positive-count floor, learned weights are uniform."""
+        predictor = PawsPredictor(
+            model="dtb", iware=True, n_classifiers=4, n_estimators=2, seed=0,
+        ).fit(sws_split.train)
+        ensemble = predictor._ensemble
+        if int(sws_split.train.labels.sum()) < ensemble.MIN_POSITIVES_FOR_WEIGHTS:
+            np.testing.assert_allclose(
+                ensemble.weights_, 1.0 / ensemble.n_thresholds
+            )
+
+
+class TestBalancedVariants:
+    def test_balanced_gpb_runs(self, sws_split):
+        predictor = PawsPredictor(
+            model="gpb", iware=True, balanced=True,
+            n_classifiers=3, n_estimators=2, seed=0,
+        ).fit(sws_split.train)
+        p = predictor.predict_proba(sws_split.test.feature_matrix)
+        assert np.isfinite(p).all()
+
+    def test_balanced_flat_baseline(self, sws_split):
+        predictor = PawsPredictor(
+            model="dtb", iware=False, balanced=True, n_estimators=3, seed=0,
+        ).fit(sws_split.train)
+        p = predictor.predict_proba(sws_split.test.feature_matrix)
+        assert (p >= 0).all() and (p <= 1).all()
+
+
+class TestSeedIsolation:
+    def test_same_seed_same_model(self, split):
+        a = PawsPredictor(model="dtb", iware=True, n_classifiers=4,
+                          n_estimators=2, seed=7).fit(split.train)
+        b = PawsPredictor(model="dtb", iware=True, n_classifiers=4,
+                          n_estimators=2, seed=7).fit(split.train)
+        X = split.test.feature_matrix[:30]
+        np.testing.assert_allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_different_seed_different_model(self, split):
+        a = PawsPredictor(model="dtb", iware=True, n_classifiers=4,
+                          n_estimators=2, seed=7).fit(split.train)
+        b = PawsPredictor(model="dtb", iware=True, n_classifiers=4,
+                          n_estimators=2, seed=8).fit(split.train)
+        X = split.test.feature_matrix[:30]
+        assert not np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+
+class TestEffortResponseShape:
+    def test_risk_zero_at_zero_effort(self, split):
+        predictor = PawsPredictor(model="gpb", iware=True, n_classifiers=4,
+                                  n_estimators=2, seed=1).fit(split.train)
+        X = split.test.feature_matrix[:10]
+        grid = np.array([0.0, 1.0, 3.0])
+        risk, nu = predictor.effort_response(X, grid)
+        np.testing.assert_allclose(risk[:, 0], 0.0)
+        assert (risk[:, 1:] >= 0).all()
+
+    def test_risk_grows_from_zero(self, split):
+        predictor = PawsPredictor(model="gpb", iware=True, n_classifiers=4,
+                                  n_estimators=2, seed=1).fit(split.train)
+        X = split.test.feature_matrix[:10]
+        grid = np.array([0.0, 2.0])
+        risk, __ = predictor.effort_response(X, grid)
+        assert risk[:, 1].max() > 0.0

@@ -1,0 +1,172 @@
+"""Tests for CSV ingestion of SMART-style exports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import MFNP, generate_dataset
+from repro.data.ingest import (
+    dataset_from_csv,
+    export_dataset_to_csv,
+    read_cell_features_csv,
+    read_observations_csv,
+)
+from repro.exceptions import DataError
+
+
+def write(path, text):
+    path.write_text(text)
+    return path
+
+
+class TestFeaturesCSV:
+    def test_basic_parse(self, tmp_path):
+        path = write(tmp_path / "f.csv",
+                     "cell_id,elev,dist_river\n0,1.5,2.0\n3,0.5,4.0\n")
+        features, names, row_of = read_cell_features_csv(path)
+        assert names == ["elev", "dist_river"]
+        assert row_of == {0: 0, 3: 1}
+        np.testing.assert_allclose(features, [[1.5, 2.0], [0.5, 4.0]])
+
+    def test_missing_cell_id_header(self, tmp_path):
+        path = write(tmp_path / "f.csv", "id,elev\n0,1\n")
+        with pytest.raises(DataError):
+            read_cell_features_csv(path)
+
+    def test_duplicate_cell(self, tmp_path):
+        path = write(tmp_path / "f.csv", "cell_id,e\n0,1\n0,2\n")
+        with pytest.raises(DataError):
+            read_cell_features_csv(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = write(tmp_path / "f.csv", "cell_id,e\n0,1,9\n")
+        with pytest.raises(DataError):
+            read_cell_features_csv(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = write(tmp_path / "f.csv", "cell_id,e\n0,banana\n")
+        with pytest.raises(DataError):
+            read_cell_features_csv(path)
+
+    def test_empty(self, tmp_path):
+        path = write(tmp_path / "f.csv", "")
+        with pytest.raises(DataError):
+            read_cell_features_csv(path)
+
+
+class TestObservationsCSV:
+    def test_basic_parse(self, tmp_path):
+        path = write(tmp_path / "o.csv",
+                     "period,cell_id,effort_km,poaching\n0,1,2.5,0\n1,1,3.0,1\n")
+        rows = read_observations_csv(path)
+        assert rows == [(0, 1, 2.5, 0), (1, 1, 3.0, 1)]
+
+    def test_wrong_header(self, tmp_path):
+        path = write(tmp_path / "o.csv", "t,cell,e,y\n0,1,2.5,0\n")
+        with pytest.raises(DataError):
+            read_observations_csv(path)
+
+    def test_negative_effort(self, tmp_path):
+        path = write(tmp_path / "o.csv",
+                     "period,cell_id,effort_km,poaching\n0,1,-2.5,0\n")
+        with pytest.raises(DataError):
+            read_observations_csv(path)
+
+    def test_bad_label(self, tmp_path):
+        path = write(tmp_path / "o.csv",
+                     "period,cell_id,effort_km,poaching\n0,1,2.5,7\n")
+        with pytest.raises(DataError):
+            read_observations_csv(path)
+
+
+class TestDatasetFromCSV:
+    def make_pair(self, tmp_path):
+        f = write(tmp_path / "f.csv",
+                  "cell_id,elev\n0,1.0\n1,2.0\n2,3.0\n")
+        o = write(
+            tmp_path / "o.csv",
+            "period,cell_id,effort_km,poaching\n"
+            "0,0,2.0,0\n0,1,1.0,0\n"
+            "1,0,3.0,1\n1,2,1.5,0\n"
+            "2,0,1.0,0\n",
+        )
+        return f, o
+
+    def test_first_period_skipped(self, tmp_path):
+        f, o = self.make_pair(tmp_path)
+        ds = dataset_from_csv(f, o)
+        assert ds.period.min() == 1
+        assert ds.n_points == 3
+
+    def test_prev_effort_reconstructed(self, tmp_path):
+        f, o = self.make_pair(tmp_path)
+        ds = dataset_from_csv(f, o)
+        # (period 1, cell 0): previous effort was 2.0 in period 0.
+        idx = int(np.nonzero((ds.period == 1) & (ds.cell == 0))[0][0])
+        assert ds.prev_effort[idx] == 2.0
+        # (period 1, cell 2): never patrolled before -> 0.
+        idx = int(np.nonzero((ds.period == 1) & (ds.cell == 2))[0][0])
+        assert ds.prev_effort[idx] == 0.0
+
+    def test_duplicate_rows_merged(self, tmp_path):
+        f = write(tmp_path / "f.csv", "cell_id,e\n0,1.0\n")
+        o = write(
+            tmp_path / "o.csv",
+            "period,cell_id,effort_km,poaching\n"
+            "0,0,1.0,0\n1,0,2.0,0\n1,0,3.0,1\n",
+        )
+        ds = dataset_from_csv(f, o)
+        assert ds.n_points == 1
+        assert ds.current_effort[0] == 5.0
+        assert ds.labels[0] == 1
+
+    def test_unknown_cell_rejected(self, tmp_path):
+        f = write(tmp_path / "f.csv", "cell_id,e\n0,1.0\n")
+        o = write(tmp_path / "o.csv",
+                  "period,cell_id,effort_km,poaching\n0,9,1.0,0\n1,9,1.0,0\n")
+        with pytest.raises(DataError):
+            dataset_from_csv(f, o)
+
+    def test_single_period_rejected(self, tmp_path):
+        f = write(tmp_path / "f.csv", "cell_id,e\n0,1.0\n")
+        o = write(tmp_path / "o.csv",
+                  "period,cell_id,effort_km,poaching\n0,0,1.0,0\n")
+        with pytest.raises(DataError):
+            dataset_from_csv(f, o)
+
+
+class TestRoundTrip:
+    def test_simulated_dataset_roundtrips(self, tmp_path):
+        original = generate_dataset(MFNP.scaled(0.4), seed=0).dataset
+        f = tmp_path / "features.csv"
+        o = tmp_path / "observations.csv"
+        export_dataset_to_csv(original, f, o)
+        loaded = dataset_from_csv(f, o, periods_per_year=4, name=original.name)
+        assert loaded.n_points == original.n_points
+        # Align on (period, cell) and compare the learning-relevant columns.
+        key = lambda ds: list(zip(ds.period.tolist(), ds.cell.tolist()))  # noqa: E731
+        order_orig = np.argsort(np.lexsort((original.cell, original.period)))
+        assert sorted(key(loaded)) == sorted(key(original))
+        lookup = {k: i for i, k in enumerate(key(loaded))}
+        for i in range(0, original.n_points, 53):
+            j = lookup[(int(original.period[i]), int(original.cell[i]))]
+            assert loaded.labels[j] == original.labels[i]
+            assert loaded.current_effort[j] == pytest.approx(
+                float(original.current_effort[i])
+            )
+            assert loaded.prev_effort[j] == pytest.approx(
+                float(original.prev_effort[i])
+            )
+
+    def test_imported_dataset_trains_a_model(self, tmp_path):
+        from repro.core import PawsPredictor
+
+        original = generate_dataset(MFNP.scaled(0.4), seed=0).dataset
+        f, o = tmp_path / "f.csv", tmp_path / "o.csv"
+        export_dataset_to_csv(original, f, o)
+        loaded = dataset_from_csv(f, o, periods_per_year=4)
+        split = loaded.split_by_test_year(4)
+        predictor = PawsPredictor(model="dtb", iware=True, n_classifiers=4,
+                                  n_estimators=2, seed=0).fit(split.train)
+        assert predictor.evaluate_auc(split.test) > 0.5

@@ -1,0 +1,126 @@
+"""Tests for repro.data.park and repro.data.poachers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import MFNP, QENP, SWS, PoacherModel, SyntheticPark
+from repro.exceptions import ConfigurationError
+
+SMALL = MFNP.scaled(0.5)
+
+
+@pytest.fixture(scope="module")
+def park() -> SyntheticPark:
+    return SyntheticPark.generate(SMALL, seed=3)
+
+
+@pytest.fixture(scope="module")
+def poachers(park) -> PoacherModel:
+    return PoacherModel(park, seed=4)
+
+
+class TestSyntheticPark:
+    def test_deterministic(self):
+        a = SyntheticPark.generate(SMALL, seed=11)
+        b = SyntheticPark.generate(SMALL, seed=11)
+        np.testing.assert_array_equal(a.features.matrix, b.features.matrix)
+        np.testing.assert_array_equal(a.patrol_posts, b.patrol_posts)
+
+    def test_seed_changes_layout(self):
+        a = SyntheticPark.generate(SMALL, seed=1)
+        b = SyntheticPark.generate(SMALL, seed=2)
+        assert not np.array_equal(a.features.matrix, b.features.matrix)
+
+    def test_ellipse_geometry(self, park):
+        assert park.grid.n_cells < SMALL.shape[0] * SMALL.shape[1]
+
+    def test_rectangle_geometry(self):
+        qpark = SyntheticPark.generate(QENP.scaled(0.5), seed=0)
+        assert qpark.grid.n_cells == qpark.grid.height * qpark.grid.width
+
+    def test_feature_count_matches_profile(self, park):
+        # 10 standard features + extra ecological rasters.
+        assert park.n_features == 10 + SMALL.extra_features
+
+    def test_patrol_posts_inside_park(self, park):
+        assert (park.patrol_posts >= 0).all()
+        assert (park.patrol_posts < park.n_cells).all()
+        assert np.unique(park.patrol_posts).size == park.patrol_posts.size
+
+    def test_features_finite(self, park):
+        assert np.isfinite(park.features.matrix).all()
+
+    def test_expected_feature_names(self, park):
+        names = park.features.names
+        for expected in ("elevation", "dist_river", "dist_boundary",
+                         "dist_patrol_post", "animal_density"):
+            assert expected in names
+
+
+class TestPoacherModel:
+    def test_attack_probability_in_unit_interval(self, poachers):
+        p = poachers.attack_probability(0)
+        assert (p > 0).all() and (p < 1).all()
+
+    def test_calibrated_base_rate(self, park):
+        model = PoacherModel(park, seed=9)
+        p = model.attack_probability(0)
+        assert p.mean() == pytest.approx(SMALL.attack_rate, rel=0.05)
+
+    def test_deterrence_reduces_probability(self, poachers, park):
+        effort = np.full(park.n_cells, 3.0)
+        base = poachers.attack_probability(1)
+        deterred = poachers.attack_probability(1, prev_effort=effort)
+        assert (deterred < base).all()
+
+    def test_deterrence_shape_check(self, poachers):
+        with pytest.raises(ConfigurationError):
+            poachers.attack_probability(0, prev_effort=np.zeros(3))
+
+    def test_attractiveness_zero_mean(self, poachers):
+        assert abs(poachers.attractiveness.mean()) < 1e-9
+
+    def test_sample_attacks_matches_probability(self, poachers, park, rng):
+        p = poachers.attack_probability(0)
+        draws = np.stack([poachers.sample_attacks(0, rng) for _ in range(300)])
+        observed = draws.mean(axis=0)
+        # Cells with high p should be attacked much more often.
+        top = p > np.percentile(p, 90)
+        bottom = p < np.percentile(p, 10)
+        assert observed[top].mean() > observed[bottom].mean()
+
+    def test_detection_probability_saturating(self, poachers):
+        efforts = np.array([0.0, 1.0, 2.0, 10.0, 11.0])
+        p = poachers.detection_probability(efforts)
+        assert p[0] == 0.0
+        assert (np.diff(p) > 0).all()
+        assert p[-1] < 1.0
+        # Diminishing returns: equal-width increments shrink with effort.
+        assert p[1] - p[0] > p[4] - p[3]
+
+    def test_detection_rejects_negative_effort(self, poachers):
+        with pytest.raises(ConfigurationError):
+            poachers.detection_probability(np.array([-1.0]))
+
+    def test_joint_probability_bounded_by_attack(self, poachers, park):
+        effort = np.full(park.n_cells, 2.0)
+        joint = poachers.detected_attack_probability(0, effort)
+        attack = poachers.attack_probability(0)
+        assert (joint <= attack + 1e-12).all()
+
+    def test_shift_intercept_moves_rate(self, park):
+        model = PoacherModel(park, seed=5)
+        before = model.attack_probability(0).mean()
+        model.shift_intercept(1.0)
+        after = model.attack_probability(0).mean()
+        assert after > before
+
+    def test_seasonal_park_varies_by_period(self):
+        spark = SyntheticPark.generate(SWS.scaled(0.6), seed=0)
+        model = PoacherModel(spark, seed=1)
+        # Period 0 (Jan-Mar, dry) vs period 2 (Jul-Sep, wet).
+        p_dry = model.attack_probability(0)
+        p_wet = model.attack_probability(2)
+        assert not np.allclose(p_dry, p_wet)

@@ -1,0 +1,65 @@
+"""Property-based tests for evaluation helpers and game-model invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import ascii_heatmap, format_table
+from repro.geo import Grid
+from repro.planning import GreenSecurityGame
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 9999), height=st.integers(2, 8), width=st.integers(2, 8))
+def test_heatmap_dimensions_always_match_grid(seed, height, width):
+    rng = np.random.default_rng(seed)
+    grid = Grid.rectangular(height, width)
+    art = ascii_heatmap(grid, rng.random(grid.n_cells))
+    lines = art.splitlines()
+    assert len(lines) == height
+    assert all(len(line) == width for line in lines)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 9999))
+def test_format_table_row_count_and_width(seed):
+    rng = np.random.default_rng(seed)
+    n_rows = int(rng.integers(1, 6))
+    rows = [[f"r{i}", float(rng.random()), int(rng.integers(100))]
+            for i in range(n_rows)]
+    text = format_table(["name", "value", "count"], rows)
+    lines = text.splitlines()
+    assert len(lines) == n_rows + 2  # header + rule + rows
+    assert len(set(len(line) for line in lines)) == 1  # perfectly aligned
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 9999), scale=st.floats(0.1, 5.0))
+def test_defender_utility_positive_iff_patrolling(seed, scale):
+    """No patrols detect nothing; any patrolling detects a positive amount.
+
+    (Utility is *not* globally monotone in coverage — past some point the
+    deterrence response outweighs the detection gain, which is precisely why
+    the planner optimises instead of saturating effort.)
+    """
+    rng = np.random.default_rng(seed)
+    game = GreenSecurityGame(
+        rng.normal(-1.0, 1.0, size=20),
+        detect_rate=0.7,
+        response_rationality=0.3,
+    )
+    assert game.defender_utility(np.zeros(20)) == 0.0
+    assert game.defender_utility(np.full(20, scale)) > 0.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 9999))
+def test_attack_probabilities_bounded(seed):
+    rng = np.random.default_rng(seed)
+    game = GreenSecurityGame(rng.normal(0, 3, size=15))
+    coverage = rng.random(15) * 10
+    p = game.attack_probabilities(coverage)
+    assert (p > 0).all() and (p < 1).all()

@@ -1,0 +1,160 @@
+"""Tests for repro.evaluation and repro.pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataToDeploymentPipeline
+from repro.data import MFNP, generate_dataset
+from repro.evaluation import (
+    TABLE2_MODELS,
+    ModelSpec,
+    ascii_heatmap,
+    format_table,
+    run_model_zoo,
+)
+from repro.evaluation.experiments import average_by_model, evaluate_model_on_split
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.geo import Grid
+
+SMALL = MFNP.scaled(0.5)
+
+
+@pytest.fixture(scope="module")
+def park_data():
+    return generate_dataset(SMALL, seed=0)
+
+
+class TestModelZoo:
+    def test_table2_models_cover_grid(self):
+        names = {spec.name for spec in TABLE2_MODELS}
+        assert names == {"SVB", "DTB", "GPB", "SVB-iW", "DTB-iW", "GPB-iW"}
+
+    def test_evaluate_single_model(self, park_data):
+        split = park_data.dataset.split_by_test_year(4)
+        auc = evaluate_model_on_split(
+            ModelSpec("dtb", False), split, n_estimators=3, seed=0
+        )
+        assert 0.4 < auc <= 1.0
+
+    def test_run_model_zoo_structure(self, park_data):
+        fast = (ModelSpec("dtb", False), ModelSpec("dtb", True))
+        results = run_model_zoo(
+            park_data.dataset, test_years=[4, 5], n_classifiers=4,
+            n_estimators=2, models=fast,
+        )
+        assert set(results) == {4, 5}
+        assert set(results[4]) == {"DTB", "DTB-iW"}
+
+    def test_average_by_model(self):
+        results = {4: {"A": 0.6, "B": 0.8}, 5: {"A": 0.8, "B": 0.6}}
+        avg = average_by_model(results)
+        assert avg["A"] == pytest.approx(0.7)
+        assert avg["B"] == pytest.approx(0.7)
+
+    def test_average_empty(self):
+        assert average_by_model({}) == {}
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["model", "auc"], [["DTB", 0.71234], ["GPB-iW", 0.8]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "0.712" in text
+        assert "GPB-iW" in text
+
+    def test_row_width_validation(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+
+class TestAsciiHeatmap:
+    def test_shape_and_ramp(self):
+        grid = Grid.rectangular(3, 4)
+        values = np.arange(12, dtype=float)
+        art = ascii_heatmap(grid, values)
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 4 for line in lines)
+        assert lines[0][0] == " "  # min maps to the lightest character
+        assert lines[-1][-1] == "@"  # max maps to the densest
+
+    def test_masked_cells_blank(self):
+        grid = Grid.elliptical(7, 7)
+        art = ascii_heatmap(grid, np.ones(grid.n_cells))
+        assert art.splitlines()[0][0] == " "
+
+    def test_title(self):
+        grid = Grid.rectangular(2, 2)
+        art = ascii_heatmap(grid, np.zeros(4), title="effort")
+        assert art.splitlines()[0] == "effort"
+
+    def test_constant_values(self):
+        grid = Grid.rectangular(2, 2)
+        art = ascii_heatmap(grid, np.full(4, 3.0))
+        assert set("".join(art.splitlines())) == {" "}
+
+    def test_validation(self):
+        grid = Grid.rectangular(2, 2)
+        with pytest.raises(DataError):
+            ascii_heatmap(grid, np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            ascii_heatmap(grid, np.zeros(4), ramp="x")
+        with pytest.raises(DataError):
+            ascii_heatmap(grid, np.full(4, np.nan))
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        pipeline = DataToDeploymentPipeline(
+            SMALL, model="dtb", beta=0.8, horizon=8, n_patrols=2,
+            n_segments=6, n_classifiers=4, n_estimators=2, seed=0,
+        )
+        return pipeline, pipeline.run(field_test=True)
+
+    def test_predictor_evaluated(self, result):
+        __, res = result
+        assert 0.4 < res.test_auc <= 1.0
+
+    def test_one_plan_per_post(self, result):
+        __, res = result
+        assert set(res.plans) == set(int(p) for p in res.data.park.patrol_posts)
+
+    def test_plans_conserve_effort(self, result):
+        pipeline, res = result
+        for plan in res.plans.values():
+            expected = pipeline.horizon * pipeline.n_patrols
+            assert plan.coverage.sum() == pytest.approx(expected, rel=1e-5)
+
+    def test_field_test_attached(self, result):
+        __, res = result
+        assert res.field_design is not None
+        assert res.field_result is not None
+        assert 0.0 <= res.field_p_value <= 1.0
+
+    def test_combined_coverage(self, result):
+        pipeline, res = result
+        coverage = pipeline.combined_coverage(res)
+        expected = len(res.plans) * pipeline.horizon * pipeline.n_patrols
+        assert coverage.sum() == pytest.approx(expected, rel=1e-5)
+
+    def test_bad_beta(self):
+        with pytest.raises(ConfigurationError):
+            DataToDeploymentPipeline(SMALL, beta=1.5)
+
+    def test_combined_coverage_requires_plans(self, result):
+        pipeline, res = result
+        from repro.pipeline import PipelineResult
+
+        empty = PipelineResult(
+            data=res.data, predictor=res.predictor, test_auc=0.5, plans={}
+        )
+        with pytest.raises(NotFittedError):
+            pipeline.combined_coverage(empty)

@@ -1,0 +1,63 @@
+"""Tests for the public API surface and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    DataError,
+    InfeasibleError,
+    NotFittedError,
+    PlanningError,
+    ReproError,
+)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigurationError, DataError, NotFittedError,
+                    ConvergenceError, PlanningError, InfeasibleError):
+            assert issubclass(exc, ReproError)
+
+    def test_infeasible_is_planning_error(self):
+        assert issubclass(InfeasibleError, PlanningError)
+
+    def test_single_catch_all(self):
+        from repro.geo import Grid
+
+        with pytest.raises(ReproError):
+            Grid(0, 0)
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core as core
+        import repro.data as data
+        import repro.geo as geo
+        import repro.ml as ml
+        import repro.planning as planning
+
+        for module in (core, data, geo, ml, planning):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (module, name)
+
+    def test_pipeline_importable_from_top_level(self):
+        from repro import DataToDeploymentPipeline, PipelineResult
+
+        assert DataToDeploymentPipeline is not None
+        assert PipelineResult is not None
+
+    def test_weak_learner_registry_matches_table2(self):
+        from repro.core import WEAK_LEARNERS
+
+        assert WEAK_LEARNERS == ("svb", "dtb", "gpb")

@@ -1,0 +1,167 @@
+"""Tests for repro.fieldtest."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import MFNP, PoacherModel, SyntheticPark, generate_dataset
+from repro.exceptions import ConfigurationError, DataError
+from repro.fieldtest import (
+    FieldTrialResult,
+    GroupOutcome,
+    RiskGroup,
+    chi_squared_test,
+    design_field_test,
+    field_test_table,
+    run_field_trial,
+)
+
+PROFILE = MFNP.scaled(0.8)
+
+
+@pytest.fixture(scope="module")
+def park_data():
+    return generate_dataset(PROFILE, seed=0)
+
+
+@pytest.fixture(scope="module")
+def design(park_data):
+    rng = np.random.default_rng(5)
+    # Ground-truth risk as the "prediction" isolates the protocol logic.
+    risk = park_data.poachers.attack_probability(0)
+    historical = park_data.recorded_effort.sum(axis=0)
+    return design_field_test(
+        park_data.park.grid, risk, historical, blocks_per_group=4, rng=rng
+    )
+
+
+class TestDesign:
+    def test_blocks_per_group(self, design):
+        for group in RiskGroup:
+            assert len(design.blocks[group]) == 4
+
+    def test_blocks_disjoint(self, design):
+        all_cells = np.concatenate(
+            [c for group in RiskGroup for c in design.blocks[group]]
+        )
+        assert np.unique(all_cells).size == all_cells.size
+
+    def test_blocks_are_neighbourhoods(self, design, park_data):
+        grid = park_data.park.grid
+        for group in RiskGroup:
+            for center, cells in zip(design.centers[group], design.blocks[group]):
+                crow, ccol = grid.cell_rc(center)
+                for cid in cells:
+                    row, col = grid.cell_rc(int(cid))
+                    assert abs(row - crow) <= design.block_radius
+                    assert abs(col - ccol) <= design.block_radius
+
+    def test_high_risk_blocks_are_riskier(self, design, park_data):
+        risk = park_data.poachers.attack_probability(0)
+        high = risk[design.cells_of(RiskGroup.HIGH)].mean()
+        low = risk[design.cells_of(RiskGroup.LOW)].mean()
+        assert high > low
+
+    def test_respects_effort_cap(self, park_data):
+        """All selected block centres lie in under-patrolled territory."""
+        from repro.geo.convolve import box_filter
+
+        rng = np.random.default_rng(6)
+        risk = park_data.poachers.attack_probability(0)
+        historical = park_data.recorded_effort.sum(axis=0)
+        design = design_field_test(
+            park_data.park.grid, risk, historical, blocks_per_group=3, rng=rng
+        )
+        grid = park_data.park.grid
+        block_effort = grid.raster_to_vector(
+            box_filter(grid.vector_to_raster(historical), radius=1)
+        )
+        cap = np.percentile(block_effort, 50.0)
+        for group in RiskGroup:
+            for center in design.centers[group]:
+                assert block_effort[center] <= cap + 1e-9
+
+    def test_validation(self, park_data):
+        grid = park_data.park.grid
+        ok = np.zeros(grid.n_cells)
+        with pytest.raises(ConfigurationError):
+            design_field_test(grid, ok, ok, blocks_per_group=0)
+        with pytest.raises(DataError):
+            design_field_test(grid, np.zeros(3), ok)
+
+    def test_impossible_placement_raises(self):
+        data = generate_dataset(MFNP.scaled(0.3), seed=1)
+        risk = data.poachers.attack_probability(0)
+        hist = data.recorded_effort.sum(axis=0)
+        with pytest.raises(DataError):
+            design_field_test(
+                data.park.grid, risk, hist, blocks_per_group=20,
+                rng=np.random.default_rng(0),
+            )
+
+
+class TestTrial:
+    def test_counts_consistent(self, design, park_data, rng):
+        trial = run_field_trial(design, park_data.poachers, rng, n_periods=2)
+        for outcome in trial.ordered():
+            assert outcome.n_observations <= outcome.n_cells_patrolled
+            assert outcome.effort_km >= 0
+            assert 0.0 <= outcome.obs_per_cell <= 1.0
+
+    def test_high_risk_detects_more_on_average(self, design, park_data):
+        """The Table III signature, averaged over trial seeds."""
+        high_rates, low_rates = [], []
+        for seed in range(8):
+            trial = run_field_trial(
+                design, park_data.poachers, np.random.default_rng(seed),
+                n_periods=2,
+            )
+            high_rates.append(trial.outcomes[RiskGroup.HIGH].obs_per_cell)
+            low_rates.append(trial.outcomes[RiskGroup.LOW].obs_per_cell)
+        assert np.mean(high_rates) > np.mean(low_rates)
+
+    def test_validation(self, design, park_data, rng):
+        with pytest.raises(ConfigurationError):
+            run_field_trial(design, park_data.poachers, rng, n_periods=0)
+        with pytest.raises(ConfigurationError):
+            run_field_trial(design, park_data.poachers, rng, mean_cell_effort=0)
+        with pytest.raises(ConfigurationError):
+            run_field_trial(design, park_data.poachers, rng, patrol_coverage=0)
+
+
+class TestAnalysis:
+    def make_result(self, obs, cells):
+        outcomes = {}
+        for group, o, c in zip(RiskGroup, obs, cells):
+            outcomes[group] = GroupOutcome(
+                group=group, n_observations=o, n_cells_patrolled=c, effort_km=10.0
+            )
+        return FieldTrialResult(outcomes=outcomes, n_periods=1)
+
+    def test_strong_gradient_is_significant(self):
+        result = self.make_result([20, 5, 0], [40, 40, 40])
+        __, p = chi_squared_test(result)
+        assert p < 0.01
+
+    def test_flat_rates_not_significant(self):
+        result = self.make_result([5, 5, 5], [40, 40, 40])
+        __, p = chi_squared_test(result)
+        assert p > 0.5
+
+    def test_no_observations_degenerate(self):
+        result = self.make_result([0, 0, 0], [40, 40, 40])
+        stat, p = chi_squared_test(result)
+        assert p == 1.0 and stat == 0.0
+
+    def test_inconsistent_counts_raise(self):
+        result = self.make_result([50, 0, 0], [40, 40, 40])
+        with pytest.raises(DataError):
+            chi_squared_test(result)
+
+    def test_table_rendering(self):
+        result = self.make_result([6, 3, 1], [20, 25, 22])
+        text = field_test_table({"trial 1": result})
+        assert "High" in text and "Low" in text
+        assert "p=" in text
+        assert "0.30" in text  # 6/20

@@ -1,0 +1,116 @@
+"""Tests for repro.geo.features."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.geo import FeatureSpec, FeatureStack, Grid
+
+
+@pytest.fixture
+def stack(small_grid, rng):
+    return FeatureStack(small_grid)
+
+
+class TestFeatureSpec:
+    def test_valid_kinds(self):
+        for kind in ("direct", "distance", "geodesic"):
+            assert FeatureSpec("f", kind).kind == kind
+
+    def test_invalid_kind(self):
+        with pytest.raises(ConfigurationError):
+            FeatureSpec("f", "banana")
+
+
+class TestBuilders:
+    def test_add_direct(self, stack, small_grid, rng):
+        raster = rng.random(small_grid.shape)
+        stack.add_direct("elevation", raster)
+        assert stack.n_features == 1
+        np.testing.assert_allclose(
+            stack.column("elevation"), small_grid.raster_to_vector(raster)
+        )
+
+    def test_add_distance_zero_on_feature(self, stack, small_grid):
+        mask = np.zeros(small_grid.shape, dtype=bool)
+        mask[2, 2] = True
+        stack.add_distance("dist_river", mask)
+        cid = small_grid.cell_id(2, 2)
+        assert stack.column("dist_river")[cid] == 0.0
+
+    def test_add_distance_empty_mask_raises(self, stack, small_grid):
+        with pytest.raises(DataError):
+            stack.add_distance("d", np.zeros(small_grid.shape, dtype=bool))
+
+    def test_add_geodesic(self, stack, small_grid):
+        stack.add_geodesic("dist_post", np.array([0]))
+        col = stack.column("dist_post")
+        assert col[0] == 0.0
+        assert np.isfinite(col).all()
+
+    def test_boundary_distance_zero_on_edges(self, stack, small_grid):
+        stack.add_boundary_distance()
+        col = stack.column("dist_boundary")
+        assert col[small_grid.cell_id(0, 0)] == 0.0
+        interior = small_grid.cell_id(2, 3)
+        assert col[interior] > 0.0
+
+    def test_duplicate_name_rejected(self, stack, small_grid, rng):
+        raster = rng.random(small_grid.shape)
+        stack.add_direct("x", raster)
+        with pytest.raises(ConfigurationError):
+            stack.add_direct("x", raster)
+
+    def test_nonfinite_direct_rejected(self, stack, small_grid):
+        raster = np.full(small_grid.shape, np.nan)
+        with pytest.raises(DataError):
+            stack.add_direct("bad", raster)
+
+    def test_chaining(self, stack, small_grid, rng):
+        out = stack.add_direct("a", rng.random(small_grid.shape)).add_direct(
+            "b", rng.random(small_grid.shape)
+        )
+        assert out is stack
+        assert stack.names == ["a", "b"]
+
+
+class TestMatrix:
+    def test_matrix_shape_and_order(self, stack, small_grid, rng):
+        ra = rng.random(small_grid.shape)
+        rb = rng.random(small_grid.shape)
+        stack.add_direct("a", ra).add_direct("b", rb)
+        matrix = stack.matrix
+        assert matrix.shape == (small_grid.n_cells, 2)
+        np.testing.assert_allclose(matrix[:, 0], small_grid.raster_to_vector(ra))
+        np.testing.assert_allclose(matrix[:, 1], small_grid.raster_to_vector(rb))
+
+    def test_empty_stack_raises(self, stack):
+        with pytest.raises(DataError):
+            _ = stack.matrix
+
+    def test_unknown_column_raises(self, stack, small_grid, rng):
+        stack.add_direct("a", rng.random(small_grid.shape))
+        with pytest.raises(ConfigurationError):
+            stack.column("nope")
+
+    def test_standardized_matrix_is_zscored(self, stack, small_grid, rng):
+        stack.add_direct("a", rng.random(small_grid.shape) * 100 + 5)
+        z = stack.standardized_matrix()
+        assert abs(z[:, 0].mean()) < 1e-10
+        assert z[:, 0].std() == pytest.approx(1.0)
+
+    def test_standardized_constant_column_is_zero(self, stack, small_grid):
+        stack.add_direct("const", np.full(small_grid.shape, 3.0))
+        z = stack.standardized_matrix()
+        np.testing.assert_allclose(z[:, 0], 0.0)
+
+    def test_geodesic_unreachable_gets_finite_sentinel(self):
+        # Two disconnected park components.
+        mask = np.ones((3, 5), dtype=bool)
+        mask[:, 2] = False
+        grid = Grid(3, 5, mask=mask)
+        stack = FeatureStack(grid)
+        stack.add_geodesic("dist_post", np.array([grid.cell_id(0, 0)]))
+        assert np.isfinite(stack.column("dist_post")).all()

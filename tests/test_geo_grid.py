@@ -1,0 +1,155 @@
+"""Tests for repro.geo.grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.geo import Grid
+
+
+class TestConstruction:
+    def test_full_rectangle_has_all_cells(self):
+        grid = Grid.rectangular(4, 5)
+        assert grid.n_cells == 20
+        assert grid.shape == (4, 5)
+
+    def test_area(self):
+        grid = Grid.rectangular(4, 5, cell_km=2.0)
+        assert grid.area_sq_km == pytest.approx(20 * 4.0)
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ConfigurationError):
+            Grid(0, 5)
+        with pytest.raises(ConfigurationError):
+            Grid(5, -1)
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ConfigurationError):
+            Grid(3, 3, cell_km=0.0)
+
+    def test_rejects_wrong_mask_shape(self):
+        with pytest.raises(ConfigurationError):
+            Grid(3, 3, mask=np.ones((2, 3), dtype=bool))
+
+    def test_rejects_empty_mask(self):
+        with pytest.raises(ConfigurationError):
+            Grid(3, 3, mask=np.zeros((3, 3), dtype=bool))
+
+    def test_elliptical_excludes_corners(self):
+        grid = Grid.elliptical(11, 11)
+        assert not grid.contains_rc(0, 0)
+        assert grid.contains_rc(5, 5)
+        assert grid.n_cells < 121
+
+    def test_elliptical_rejects_bad_fullness(self):
+        with pytest.raises(ConfigurationError):
+            Grid.elliptical(5, 5, fullness=0.0)
+        with pytest.raises(ConfigurationError):
+            Grid.elliptical(5, 5, fullness=1.5)
+
+
+class TestIndexing:
+    def test_id_roundtrip(self, masked_grid):
+        for cid in range(masked_grid.n_cells):
+            row, col = masked_grid.cell_rc(cid)
+            assert masked_grid.cell_id(row, col) == cid
+
+    def test_ids_are_row_major(self, small_grid):
+        assert small_grid.cell_id(0, 0) == 0
+        assert small_grid.cell_id(0, 1) == 1
+        assert small_grid.cell_id(1, 0) == small_grid.width
+
+    def test_cell_id_outside_lattice_raises(self, small_grid):
+        with pytest.raises(ConfigurationError):
+            small_grid.cell_id(-1, 0)
+        with pytest.raises(ConfigurationError):
+            small_grid.cell_id(0, 99)
+
+    def test_cell_id_off_park_raises(self, masked_grid):
+        with pytest.raises(ConfigurationError):
+            masked_grid.cell_id(0, 0)
+
+    def test_cell_rc_out_of_range(self, small_grid):
+        with pytest.raises(ConfigurationError):
+            small_grid.cell_rc(small_grid.n_cells)
+
+    def test_center_km(self):
+        grid = Grid.rectangular(3, 3, cell_km=2.0)
+        assert grid.cell_center_km(0) == (1.0, 1.0)
+        assert grid.cell_center_km(grid.cell_id(2, 1)) == (5.0, 3.0)
+
+
+class TestNeighbors:
+    def test_interior_cell_has_four_rook_neighbors(self, small_grid):
+        cid = small_grid.cell_id(2, 3)
+        assert len(small_grid.neighbors(cid, connectivity=4)) == 4
+
+    def test_corner_cell_has_two_rook_neighbors(self, small_grid):
+        assert len(small_grid.neighbors(small_grid.cell_id(0, 0), 4)) == 2
+
+    def test_interior_cell_has_eight_queen_neighbors(self, small_grid):
+        cid = small_grid.cell_id(2, 3)
+        assert len(small_grid.neighbors(cid, connectivity=8)) == 8
+
+    def test_bad_connectivity(self, small_grid):
+        with pytest.raises(ConfigurationError):
+            small_grid.neighbors(0, connectivity=6)
+
+    def test_neighbors_respect_mask(self, masked_grid):
+        for cid in range(masked_grid.n_cells):
+            for nid in masked_grid.neighbors(cid):
+                row, col = masked_grid.cell_rc(nid)
+                assert masked_grid.mask[row, col]
+
+    def test_neighbor_symmetry(self, masked_grid):
+        for cid in range(masked_grid.n_cells):
+            for nid in masked_grid.neighbors(cid):
+                assert cid in masked_grid.neighbors(nid)
+
+
+class TestBoundary:
+    def test_full_rectangle_boundary(self, small_grid):
+        boundary = set(small_grid.boundary_cells().tolist())
+        expected = {
+            small_grid.cell_id(r, c)
+            for r in range(small_grid.height)
+            for c in range(small_grid.width)
+            if r in (0, small_grid.height - 1) or c in (0, small_grid.width - 1)
+        }
+        assert boundary == expected
+
+    def test_elliptical_boundary_nonempty(self, masked_grid):
+        assert masked_grid.boundary_cells().size > 0
+
+
+class TestVectorRaster:
+    def test_roundtrip(self, masked_grid, rng):
+        values = rng.random(masked_grid.n_cells)
+        raster = masked_grid.vector_to_raster(values)
+        back = masked_grid.raster_to_vector(raster)
+        np.testing.assert_allclose(back, values)
+
+    def test_off_park_fill(self, masked_grid):
+        raster = masked_grid.vector_to_raster(np.zeros(masked_grid.n_cells), fill=-7.0)
+        assert raster[0, 0] == -7.0
+
+    def test_wrong_length_raises(self, masked_grid):
+        with pytest.raises(ConfigurationError):
+            masked_grid.vector_to_raster(np.zeros(3))
+
+    def test_wrong_raster_shape_raises(self, masked_grid):
+        with pytest.raises(ConfigurationError):
+            masked_grid.raster_to_vector(np.zeros((2, 2)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(height=st.integers(2, 15), width=st.integers(2, 15))
+def test_ids_are_contiguous_permutation(height, width):
+    grid = Grid.rectangular(height, width)
+    rcs = grid.all_cell_rc()
+    ids = [grid.cell_id(int(r), int(c)) for r, c in rcs]
+    assert sorted(ids) == list(range(grid.n_cells))

@@ -1,0 +1,116 @@
+"""Tests for repro.geo.raster."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.geo import Raster, fractal_noise, linear_feature_mask, smooth_field
+from repro.geo.raster import scatter_points
+
+
+class TestRaster:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigurationError):
+            Raster("x", np.zeros(5))
+
+    def test_normalized_range(self, rng):
+        raster = Raster("noise", rng.normal(size=(6, 6)))
+        norm = raster.normalized()
+        assert norm.values.min() == pytest.approx(0.0)
+        assert norm.values.max() == pytest.approx(1.0)
+
+    def test_normalized_constant_is_zero(self):
+        norm = Raster("flat", np.full((4, 4), 3.0)).normalized()
+        np.testing.assert_allclose(norm.values, 0.0)
+
+
+class TestFractalNoise:
+    def test_range_and_shape(self, rng):
+        noise = fractal_noise((20, 30), rng)
+        assert noise.shape == (20, 30)
+        assert noise.min() >= 0.0 and noise.max() <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = fractal_noise((16, 16), np.random.default_rng(7))
+        b = fractal_noise((16, 16), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = fractal_noise((16, 16), np.random.default_rng(1))
+        b = fractal_noise((16, 16), np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+    def test_spatial_smoothness(self, rng):
+        """Adjacent cells must correlate more than distant cells."""
+        noise = fractal_noise((40, 40), rng, octaves=3)
+        adjacent_diff = np.abs(np.diff(noise, axis=0)).mean()
+        shuffled = noise.ravel().copy()
+        np.random.default_rng(0).shuffle(shuffled)
+        random_diff = np.abs(np.diff(shuffled)).mean()
+        assert adjacent_diff < random_diff
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ConfigurationError):
+            fractal_noise((8, 8), rng, octaves=0)
+        with pytest.raises(ConfigurationError):
+            fractal_noise((8, 8), rng, persistence=1.5)
+
+
+class TestSmoothField:
+    def test_range(self, rng):
+        field = smooth_field((12, 18), rng)
+        assert field.min() >= 0.0 and field.max() <= 1.0
+        assert field.shape == (12, 18)
+
+
+class TestLinearFeatures:
+    def test_lines_touch_an_edge(self, rng):
+        mask = linear_feature_mask((25, 25), rng, n_lines=3)
+        assert mask.any()
+        edges = np.concatenate([mask[0], mask[-1], mask[:, 0], mask[:, -1]])
+        assert edges.any()
+
+    def test_zero_lines_is_empty(self, rng):
+        assert not linear_feature_mask((10, 10), rng, n_lines=0).any()
+
+    def test_rejects_negative_lines(self, rng):
+        with pytest.raises(ConfigurationError):
+            linear_feature_mask((10, 10), rng, n_lines=-1)
+
+    def test_lines_are_connected_walks(self, rng):
+        """Each visited cell must have a visited queen-neighbour (no isolated dots)."""
+        mask = linear_feature_mask((30, 30), rng, n_lines=1, wobble=0.5)
+        rows, cols = np.nonzero(mask)
+        if rows.size <= 1:
+            return
+        for r, c in zip(rows, cols):
+            window = mask[max(0, r - 1): r + 2, max(0, c - 1): c + 2]
+            assert window.sum() >= 2
+
+
+class TestScatterPoints:
+    def test_within_bounds(self, rng):
+        pts = scatter_points((10, 20), rng, n_points=15, margin=2)
+        assert pts.shape == (15, 2)
+        assert (pts[:, 0] >= 2).all() and (pts[:, 0] < 8).all()
+        assert (pts[:, 1] >= 2).all() and (pts[:, 1] < 18).all()
+
+    def test_rejects_overlarge_margin(self, rng):
+        with pytest.raises(ConfigurationError):
+            scatter_points((6, 6), rng, n_points=2, margin=3)
+
+    def test_rejects_negative_count(self, rng):
+        with pytest.raises(ConfigurationError):
+            scatter_points((6, 6), rng, n_points=-1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), octaves=st.integers(1, 5))
+def test_fractal_noise_always_in_unit_interval(seed, octaves):
+    noise = fractal_noise((12, 12), np.random.default_rng(seed), octaves=octaves)
+    assert np.isfinite(noise).all()
+    assert noise.min() >= 0.0 and noise.max() <= 1.0

@@ -1,0 +1,141 @@
+"""Tests for repro.ml.gp and repro.ml.kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.ml import GaussianProcessClassifier, RBFKernel, roc_auc_score
+from repro.ml.kernels import MaternKernel
+from tests.conftest import make_blobs
+
+
+class TestRBFKernel:
+    def test_self_covariance_is_variance(self, rng):
+        kernel = RBFKernel(lengthscale=1.0, variance=2.0)
+        X = rng.normal(size=(5, 3))
+        K = kernel(X)
+        np.testing.assert_allclose(np.diag(K), 2.0)
+
+    def test_symmetry(self, rng):
+        kernel = RBFKernel()
+        X = rng.normal(size=(6, 2))
+        K = kernel(X)
+        np.testing.assert_allclose(K, K.T)
+
+    def test_decay_with_distance(self):
+        kernel = RBFKernel(lengthscale=1.0)
+        near = kernel(np.array([[0.0]]), np.array([[0.1]]))[0, 0]
+        far = kernel(np.array([[0.0]]), np.array([[3.0]]))[0, 0]
+        assert near > far
+
+    def test_positive_semidefinite(self, rng):
+        kernel = RBFKernel(lengthscale=0.7, variance=1.3)
+        X = rng.normal(size=(20, 4))
+        eigvals = np.linalg.eigvalsh(kernel(X))
+        assert eigvals.min() > -1e-8
+
+    def test_diag(self, rng):
+        kernel = RBFKernel(variance=3.0)
+        X = rng.normal(size=(7, 2))
+        np.testing.assert_allclose(kernel.diag(X), 3.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            RBFKernel()(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            RBFKernel(lengthscale=0.0)
+        with pytest.raises(ConfigurationError):
+            RBFKernel(variance=-1.0)
+
+
+class TestMaternKernel:
+    def test_psd_and_decay(self, rng):
+        kernel = MaternKernel(lengthscale=1.0)
+        X = rng.normal(size=(15, 3))
+        eigvals = np.linalg.eigvalsh(kernel(X))
+        assert eigvals.min() > -1e-8
+        near = kernel(np.zeros((1, 1)), np.array([[0.1]]))[0, 0]
+        far = kernel(np.zeros((1, 1)), np.array([[5.0]]))[0, 0]
+        assert near > far
+
+
+class TestGPClassifier:
+    def test_separable_data(self, rng):
+        X, y = make_blobs(rng, separation=3.0, spread=0.6)
+        gp = GaussianProcessClassifier(rng=rng).fit(X, y)
+        assert roc_auc_score(y, gp.predict_proba(X)) > 0.97
+
+    def test_probabilities_in_unit_interval(self, rng):
+        X, y = make_blobs(rng)
+        gp = GaussianProcessClassifier(rng=rng).fit(X, y)
+        p = gp.predict_proba(X)
+        assert (p > 0).all() and (p < 1).all()
+
+    def test_supports_variance_flag(self):
+        assert GaussianProcessClassifier.supports_variance
+
+    def test_variance_nonnegative(self, rng):
+        X, y = make_blobs(rng)
+        gp = GaussianProcessClassifier(rng=rng).fit(X, y)
+        assert (gp.predict_variance(X) >= 0).all()
+
+    def test_variance_higher_far_from_data(self, rng):
+        """The core paper property: uncertainty grows away from observations."""
+        X, y = make_blobs(rng, separation=2.0, spread=0.5)
+        gp = GaussianProcessClassifier(rng=rng).fit(X, y)
+        var_near = gp.predict_variance(X[:5]).mean()
+        X_far = X[:5] + 100.0
+        var_far = gp.predict_variance(X_far).mean()
+        assert var_far > var_near
+
+    def test_far_points_revert_to_uncertain_prob(self, rng):
+        X, y = make_blobs(rng, separation=3.0)
+        gp = GaussianProcessClassifier(rng=rng).fit(X, y)
+        p_far = gp.predict_proba(np.full((1, X.shape[1]), 500.0))
+        assert abs(p_far[0] - 0.5) < 0.15
+
+    def test_max_points_subsampling(self, rng):
+        X, y = make_blobs(rng, n_per_class=300)
+        gp = GaussianProcessClassifier(max_points=100, rng=rng).fit(X, y)
+        assert gp._X_train.shape[0] == 100
+        assert roc_auc_score(y, gp.predict_proba(X)) > 0.9
+
+    def test_custom_kernel(self, rng):
+        X, y = make_blobs(rng)
+        gp = GaussianProcessClassifier(
+            kernel=RBFKernel(lengthscale=2.0), rng=rng
+        ).fit(X, y)
+        assert roc_auc_score(y, gp.predict_proba(X)) > 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            GaussianProcessClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            GaussianProcessClassifier(max_points=1)
+
+    def test_deterministic_given_seed(self, rng):
+        X, y = make_blobs(rng)
+        p1 = GaussianProcessClassifier(rng=np.random.default_rng(5)).fit(X, y).predict_proba(X)
+        p2 = GaussianProcessClassifier(rng=np.random.default_rng(5)).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(p1, p2)
+
+    def test_prediction_variance_weak_anticorrelation(self, rng):
+        """Fig. 7: GP variance is NOT a deterministic function of the mean.
+
+        With bagged trees the correlation between prediction and variance is
+        ~0.98; for GPs it should be far from a perfect correlation.
+        """
+        X, y = make_blobs(rng, n_per_class=80, spread=1.5)
+        gp = GaussianProcessClassifier(rng=rng).fit(X, y)
+        X_test = rng.normal(0.5, 2.0, size=(150, X.shape[1]))
+        p = gp.predict_proba(X_test)
+        v = gp.predict_variance(X_test)
+        if p.std() > 1e-9 and v.std() > 1e-9:
+            corr = np.corrcoef(p, v)[0, 1]
+            assert abs(corr) < 0.9

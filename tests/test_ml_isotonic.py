@@ -1,0 +1,129 @@
+"""Tests for isotonic calibration and calibration metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataError, NotFittedError
+from repro.ml.isotonic import IsotonicCalibrator, pava
+from repro.ml.metrics import (
+    calibration_curve,
+    expected_calibration_error,
+    roc_auc_score,
+)
+
+
+class TestPAVA:
+    def test_already_monotone_unchanged(self):
+        values = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(pava(values), values)
+
+    def test_single_violation_pooled(self):
+        values = np.array([1.0, 3.0, 2.0])
+        out = pava(values)
+        np.testing.assert_allclose(out, [1.0, 2.5, 2.5])
+
+    def test_fully_decreasing_pools_to_mean(self):
+        values = np.array([3.0, 2.0, 1.0])
+        np.testing.assert_allclose(pava(values), 2.0)
+
+    def test_weights_shift_pooling(self):
+        values = np.array([0.0, 1.0, 0.0])
+        out = pava(values, weights=np.array([1.0, 9.0, 1.0]))
+        # The heavy middle value dominates the pooled block.
+        assert out[1] > 0.8
+
+    def test_output_nondecreasing_and_mean_preserving(self, rng):
+        values = rng.normal(size=200)
+        out = pava(values)
+        assert (np.diff(out) >= -1e-12).all()
+        assert out.mean() == pytest.approx(values.mean())
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            pava(np.zeros((2, 2)))
+        with pytest.raises(DataError):
+            pava(np.array([]))
+        with pytest.raises(DataError):
+            pava(np.array([1.0]), weights=np.array([0.0]))
+
+
+class TestIsotonicCalibrator:
+    def test_preserves_ranking(self, rng):
+        scores = rng.normal(size=400)
+        y = (rng.random(400) < 1 / (1 + np.exp(-2 * scores))).astype(int)
+        cal = IsotonicCalibrator().fit(scores, y)
+        p = cal.transform(scores)
+        # Isotonic maps are monotone, so AUC is unchanged up to ties.
+        assert roc_auc_score(y, p) >= roc_auc_score(y, scores) - 0.02
+
+    def test_improves_calibration_of_distorted_scores(self, rng):
+        true_p = rng.random(2000)
+        y = (rng.random(2000) < true_p).astype(int)
+        distorted = true_p**3  # badly calibrated but perfectly ranked
+        cal = IsotonicCalibrator().fit(distorted, y)
+        recovered = cal.transform(distorted)
+        ece_before = expected_calibration_error(y, distorted)
+        ece_after = expected_calibration_error(y, recovered)
+        assert ece_after < ece_before
+
+    def test_transform_monotone(self, rng):
+        scores = rng.normal(size=100)
+        y = (scores + rng.normal(0, 1, 100) > 0).astype(int)
+        cal = IsotonicCalibrator().fit(scores, y)
+        grid = np.linspace(-3, 3, 50)
+        assert (np.diff(cal.transform(grid)) >= -1e-12).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            IsotonicCalibrator().transform(np.zeros(3))
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            IsotonicCalibrator().fit(np.zeros(3), np.zeros(2))
+        with pytest.raises(DataError):
+            IsotonicCalibrator().fit(np.array([]), np.array([]))
+
+
+class TestCalibrationMetrics:
+    def test_perfectly_calibrated_has_low_ece(self, rng):
+        p = rng.random(5000)
+        y = (rng.random(5000) < p).astype(int)
+        assert expected_calibration_error(y, p) < 0.05
+
+    def test_overconfident_has_high_ece(self, rng):
+        y = (rng.random(2000) < 0.5).astype(int)
+        p = np.where(y == 1, 0.99, 0.98)  # confident and wrong half the time
+        assert expected_calibration_error(y, p) > 0.3
+
+    def test_curve_shapes(self, rng):
+        p = rng.random(300)
+        y = (rng.random(300) < p).astype(int)
+        mean_pred, observed, counts = calibration_curve(y, p, n_bins=5)
+        assert mean_pred.shape == observed.shape == counts.shape
+        assert counts.sum() == 300
+        assert (np.diff(mean_pred) > 0).all()
+
+    def test_validation(self, rng):
+        y = rng.integers(0, 2, 10)
+        with pytest.raises(DataError):
+            calibration_curve(y, np.full(10, 1.5))
+        with pytest.raises(DataError):
+            calibration_curve(y, rng.random(10), n_bins=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 9999))
+def test_pava_is_l2_projection_property(seed):
+    """PAVA output is the closest nondecreasing sequence: it never loses to
+    a simple monotone competitor (the cumulative maximum)."""
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=30)
+    fitted = pava(values)
+    competitor = np.maximum.accumulate(values)
+    err_fit = np.sum((fitted - values) ** 2)
+    err_comp = np.sum((competitor - values) ** 2)
+    assert err_fit <= err_comp + 1e-9

@@ -1,0 +1,175 @@
+"""Tests for repro.ml.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataError
+from repro.ml import (
+    average_precision_score,
+    brier_score,
+    confusion_counts,
+    f1_score,
+    log_loss,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(y, s) == 1.0
+
+    def test_inverted_ranking(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(y, s) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        y = rng.integers(0, 2, size=5000)
+        s = rng.random(5000)
+        assert abs(roc_auc_score(y, s) - 0.5) < 0.03
+
+    def test_all_tied_scores_give_half(self):
+        y = np.array([0, 1, 0, 1])
+        s = np.full(4, 0.5)
+        assert roc_auc_score(y, s) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(DataError):
+            roc_auc_score(np.zeros(5, dtype=int), np.linspace(0, 1, 5))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DataError):
+            roc_auc_score(np.array([0, 1]), np.array([0.5]))
+
+    def test_matches_pairwise_definition(self, rng):
+        """AUC equals P(score_pos > score_neg) + 0.5 P(tie), brute-forced."""
+        y = rng.integers(0, 2, size=40)
+        y[0], y[1] = 0, 1
+        s = np.round(rng.random(40), 1)  # coarse grid to force ties
+        pos = s[y == 1]
+        neg = s[y == 0]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        expected = (wins + 0.5 * ties) / (pos.size * neg.size)
+        assert roc_auc_score(y, s) == pytest.approx(expected)
+
+
+class TestROCCurve:
+    def test_endpoints(self, rng):
+        y = rng.integers(0, 2, size=50)
+        y[:2] = [0, 1]
+        s = rng.random(50)
+        fpr, tpr, __ = roc_curve(y, s)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_monotone(self, rng):
+        y = rng.integers(0, 2, size=80)
+        y[:2] = [0, 1]
+        s = rng.random(80)
+        fpr, tpr, __ = roc_curve(y, s)
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+
+    def test_trapezoid_matches_auc(self, rng):
+        y = rng.integers(0, 2, size=200)
+        y[:2] = [0, 1]
+        s = rng.random(200)
+        fpr, tpr, __ = roc_curve(y, s)
+        assert np.trapezoid(tpr, fpr) == pytest.approx(roc_auc_score(y, s))
+
+
+class TestLogLoss:
+    def test_perfect_predictions_near_zero(self):
+        y = np.array([0, 1, 1])
+        p = np.array([0.0, 1.0, 1.0])
+        assert log_loss(y, p) < 1e-10
+
+    def test_uniform_prediction_is_log2(self):
+        y = np.array([0, 1])
+        p = np.array([0.5, 0.5])
+        assert log_loss(y, p) == pytest.approx(np.log(2))
+
+    def test_confident_wrong_is_penalised(self):
+        y = np.array([1])
+        assert log_loss(y, np.array([0.01])) > log_loss(y, np.array([0.4]))
+
+
+class TestBrier:
+    def test_range(self, rng):
+        y = rng.integers(0, 2, size=30)
+        p = rng.random(30)
+        assert 0.0 <= brier_score(y, p) <= 1.0
+
+    def test_perfect_is_zero(self):
+        y = np.array([0, 1])
+        assert brier_score(y, y.astype(float)) == 0.0
+
+
+class TestConfusionAndDerived:
+    def test_counts(self):
+        y = np.array([0, 0, 1, 1, 1])
+        p = np.array([0, 1, 1, 1, 0])
+        tn, fp, fn, tp = confusion_counts(y, p)
+        assert (tn, fp, fn, tp) == (1, 1, 1, 2)
+
+    def test_precision_recall_f1(self):
+        y = np.array([0, 0, 1, 1, 1])
+        p = np.array([0, 1, 1, 1, 0])
+        assert precision_score(y, p) == pytest.approx(2 / 3)
+        assert recall_score(y, p) == pytest.approx(2 / 3)
+        assert f1_score(y, p) == pytest.approx(2 / 3)
+
+    def test_zero_division_guards(self):
+        y = np.array([0, 1])
+        p = np.array([0, 0])
+        assert precision_score(y, p) == 0.0
+        assert f1_score(y, p) == 0.0
+
+    def test_non_binary_pred_raises(self):
+        with pytest.raises(DataError):
+            confusion_counts(np.array([0, 1]), np.array([0, 2]))
+
+
+class TestAveragePrecision:
+    def test_perfect_is_one(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert average_precision_score(y, s) == pytest.approx(1.0)
+
+    def test_no_positives_raises(self):
+        with pytest.raises(DataError):
+            average_precision_score(np.zeros(4, dtype=int), np.ones(4))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 99999))
+def test_auc_invariant_under_monotone_transform(seed):
+    """AUC is a rank statistic: strictly increasing transforms preserve it."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=60)
+    y[0], y[1] = 0, 1
+    s = rng.normal(size=60)
+    original = roc_auc_score(y, s)
+    transformed = roc_auc_score(y, np.exp(2.0 * s) + 3.0)
+    assert transformed == pytest.approx(original)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 99999))
+def test_auc_flip_symmetry(seed):
+    """Negating scores maps AUC to 1 - AUC."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=60)
+    y[0], y[1] = 0, 1
+    s = rng.normal(size=60)
+    assert roc_auc_score(y, -s) == pytest.approx(1.0 - roc_auc_score(y, s))

@@ -1,0 +1,97 @@
+"""Tests for repro.ml.model_selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.ml import KFold, StratifiedKFold, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.random((100, 3))
+        y = rng.integers(0, 2, size=100)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, 0.25, rng=rng)
+        assert X_tr.shape[0] + X_te.shape[0] == 100
+        assert y_tr.shape[0] == X_tr.shape[0]
+        assert 15 <= X_te.shape[0] <= 35
+
+    def test_stratified_keeps_both_classes(self, rng):
+        X = rng.random((200, 2))
+        y = np.r_[np.ones(6, dtype=int), np.zeros(194, dtype=int)]
+        __, __, y_tr, y_te = train_test_split(X, y, 0.3, rng=rng, stratify=True)
+        assert y_tr.sum() >= 1 and y_te.sum() >= 1
+
+    def test_rejects_bad_fraction(self, rng):
+        X = np.zeros((10, 1))
+        y = np.zeros(10, dtype=int)
+        with pytest.raises(ConfigurationError):
+            train_test_split(X, y, 0.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            train_test_split(X, y, 1.0, rng=rng)
+
+    def test_rejects_length_mismatch(self, rng):
+        with pytest.raises(DataError):
+            train_test_split(np.zeros((5, 1)), np.zeros(4), 0.5, rng=rng)
+
+    def test_partition_is_disjoint_and_complete(self, rng):
+        X = np.arange(50, dtype=float).reshape(50, 1)
+        y = rng.integers(0, 2, size=50)
+        X_tr, X_te, __, __ = train_test_split(X, y, 0.2, rng=rng, stratify=False)
+        combined = np.sort(np.r_[X_tr.ravel(), X_te.ravel()])
+        np.testing.assert_array_equal(combined, np.arange(50))
+
+
+class TestKFold:
+    def test_folds_partition_indices(self, rng):
+        kf = KFold(n_splits=4, rng=rng)
+        seen = []
+        for train, test in kf.split(22):
+            assert np.intersect1d(train, test).size == 0
+            assert train.size + test.size == 22
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(22))
+
+    def test_rejects_tiny_data(self, rng):
+        with pytest.raises(DataError):
+            list(KFold(5, rng=rng).split(3))
+
+    def test_rejects_bad_splits(self):
+        with pytest.raises(ConfigurationError):
+            KFold(n_splits=1)
+
+    def test_no_shuffle_is_contiguous(self):
+        kf = KFold(n_splits=2, shuffle=False)
+        (train, test), __ = list(kf.split(10))
+        np.testing.assert_array_equal(test, np.arange(5))
+
+
+class TestStratifiedKFold:
+    def test_every_fold_gets_positives(self, rng):
+        y = np.r_[np.ones(10, dtype=int), np.zeros(90, dtype=int)]
+        skf = StratifiedKFold(n_splits=5, rng=rng)
+        for train, test in skf.split(y):
+            assert y[test].sum() == 2
+            assert y[train].sum() == 8
+
+    def test_partition(self, rng):
+        y = rng.integers(0, 2, size=37)
+        seen = []
+        for train, test in StratifiedKFold(4, rng=rng).split(y):
+            assert np.intersect1d(train, test).size == 0
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(37))
+
+    def test_rare_positive_distributed(self, rng):
+        """With fewer positives than folds, some folds lack them but none crash."""
+        y = np.r_[np.ones(2, dtype=int), np.zeros(48, dtype=int)]
+        folds = list(StratifiedKFold(5, rng=rng).split(y))
+        assert len(folds) == 5
+        total_pos_in_test = sum(int(y[test].sum()) for __, test in folds)
+        assert total_pos_in_test == 2
+
+    def test_rejects_2d_labels(self, rng):
+        with pytest.raises(DataError):
+            list(StratifiedKFold(2, rng=rng).split(np.zeros((4, 2))))

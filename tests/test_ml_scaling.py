@@ -1,0 +1,141 @@
+"""Tests for repro.ml.scaling and repro.ml.jackknife."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataError, NotFittedError
+from repro.ml import (
+    BaggingClassifier,
+    DecisionTreeClassifier,
+    MinMaxScaler,
+    StandardScaler,
+    infinitesimal_jackknife_variance,
+    logistic_squash,
+)
+from repro.ml.jackknife import bagging_ij_variance
+from tests.conftest import make_blobs
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_passthrough(self):
+        X = np.hstack([np.ones((10, 1)), np.arange(10.0).reshape(-1, 1)])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_transform_uses_fit_statistics(self, rng):
+        X = rng.normal(size=(50, 2))
+        scaler = StandardScaler().fit(X)
+        Z = scaler.transform(X + 10.0)
+        assert Z.mean() > 5.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataError):
+            StandardScaler().fit(np.zeros(5))
+
+
+class TestMinMaxScaler:
+    def test_unit_range(self, rng):
+        X = rng.normal(size=(100, 3)) * 7 + 2
+        Z = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_zero(self):
+        X = np.full((5, 1), 9.0)
+        np.testing.assert_allclose(MinMaxScaler().fit_transform(X), 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+
+class TestLogisticSquash:
+    def test_range(self, rng):
+        z = logistic_squash(rng.normal(0, 100, size=1000))
+        assert (z > 0).all() and (z < 1).all()
+
+    def test_midpoint_maps_to_half(self):
+        assert logistic_squash(np.array([3.0]), midpoint=3.0)[0] == pytest.approx(0.5)
+
+    def test_monotone(self):
+        values = np.linspace(-5, 5, 50)
+        out = logistic_squash(values)
+        assert (np.diff(out) > 0).all()
+
+    def test_extreme_values_do_not_overflow(self):
+        out = logistic_squash(np.array([-1e9, 1e9]))
+        assert np.isfinite(out).all()
+
+    def test_rejects_bad_steepness(self):
+        with pytest.raises(DataError):
+            logistic_squash(np.zeros(2), steepness=0.0)
+
+
+class TestInfinitesimalJackknife:
+    def test_shape_and_nonnegativity(self, rng):
+        X, y = make_blobs(rng, n_per_class=40)
+        model = BaggingClassifier(
+            lambda: DecisionTreeClassifier(max_depth=3, rng=np.random.default_rng(0)),
+            n_estimators=30,
+            rng=rng,
+        ).fit(X, y)
+        var = bagging_ij_variance(model, X[:10])
+        assert var.shape == (10,)
+        assert (var >= 0).all()
+
+    def test_identical_members_give_zero(self):
+        inbag = np.array([[1, 1], [1, 1], [1, 1]])
+        preds = np.full((3, 4), 0.7)
+        var = infinitesimal_jackknife_variance(inbag, preds)
+        np.testing.assert_allclose(var, 0.0)
+
+    def test_rejects_mismatched_estimators(self):
+        with pytest.raises(DataError):
+            infinitesimal_jackknife_variance(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_rejects_single_estimator(self):
+        with pytest.raises(DataError):
+            infinitesimal_jackknife_variance(np.zeros((1, 2)), np.zeros((1, 2)))
+
+    def test_unfitted_model_raises(self, rng):
+        model = BaggingClassifier(
+            lambda: DecisionTreeClassifier(), n_estimators=3, rng=rng
+        )
+        with pytest.raises(DataError):
+            bagging_ij_variance(model, np.zeros((2, 2)))
+
+    def test_bias_correction_reduces_estimate(self, rng):
+        X, y = make_blobs(rng, n_per_class=30)
+        model = BaggingClassifier(
+            lambda: DecisionTreeClassifier(max_depth=3, rng=np.random.default_rng(0)),
+            n_estimators=15,
+            rng=rng,
+        ).fit(X, y)
+        raw = bagging_ij_variance(model, X[:8], bias_correct=False)
+        corrected = bagging_ij_variance(model, X[:8], bias_correct=True)
+        assert (corrected <= raw + 1e-12).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 9999))
+def test_standard_scaler_roundtrip(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(30, 3)) * rng.uniform(0.5, 4.0) + rng.normal()
+    scaler = StandardScaler().fit(X)
+    Z = scaler.transform(X)
+    back = Z * scaler.scale_ + scaler.mean_
+    np.testing.assert_allclose(back, X, atol=1e-9)

@@ -1,0 +1,98 @@
+"""Tests for repro.ml.svm and repro.ml.calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.ml import LinearSVMClassifier, PlattScaler, roc_auc_score
+from tests.conftest import make_blobs
+
+
+class TestLinearSVM:
+    def test_separable_data(self, rng):
+        X, y = make_blobs(rng, separation=3.0, spread=0.5)
+        svm = LinearSVMClassifier(rng=rng).fit(X, y)
+        assert roc_auc_score(y, svm.predict_proba(X)) > 0.97
+
+    def test_decision_function_sign(self, rng):
+        X, y = make_blobs(rng, separation=4.0, spread=0.4)
+        svm = LinearSVMClassifier(rng=rng).fit(X, y)
+        scores = svm.decision_function(X)
+        accuracy = ((scores > 0).astype(int) == y).mean()
+        assert accuracy > 0.95
+
+    def test_probabilities_in_unit_interval(self, rng):
+        X, y = make_blobs(rng)
+        svm = LinearSVMClassifier(rng=rng).fit(X, y)
+        p = svm.predict_proba(X)
+        assert (p >= 0).all() and (p <= 1).all()
+
+    def test_probability_orients_with_labels(self, rng):
+        X, y = make_blobs(rng, separation=3.0)
+        svm = LinearSVMClassifier(rng=rng).fit(X, y)
+        p = svm.predict_proba(X)
+        assert p[y == 1].mean() > p[y == 0].mean()
+
+    def test_balanced_weights_help_imbalance(self, rng):
+        X, y = make_blobs(rng, n_per_class=100, separation=2.5)
+        # Throw away most positives to create imbalance.
+        keep = np.r_[np.nonzero(y == 0)[0], np.nonzero(y == 1)[0][:8]]
+        Xi, yi = X[keep], y[keep]
+        svm = LinearSVMClassifier(class_weight_balanced=True, rng=rng).fit(Xi, yi)
+        assert roc_auc_score(yi, svm.predict_proba(Xi)) > 0.9
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            LinearSVMClassifier(c=0.0)
+        with pytest.raises(ConfigurationError):
+            LinearSVMClassifier(max_epochs=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearSVMClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_nonfinite_input_rejected(self, rng):
+        X, y = make_blobs(rng)
+        X[0, 0] = np.nan
+        with pytest.raises(DataError):
+            LinearSVMClassifier(rng=rng).fit(X, y)
+
+
+class TestPlattScaler:
+    def test_recovers_monotone_mapping(self, rng):
+        scores = rng.normal(size=500)
+        prob = 1 / (1 + np.exp(-2.0 * scores))
+        y = (rng.random(500) < prob).astype(int)
+        platt = PlattScaler().fit(scores, y)
+        p = platt.transform(scores)
+        assert roc_auc_score(y, p) == pytest.approx(roc_auc_score(y, scores))
+        # Calibration should be reasonable in the bulk.
+        assert abs(p.mean() - y.mean()) < 0.05
+
+    def test_monotone_increasing_when_scores_informative(self, rng):
+        scores = rng.normal(size=300)
+        y = (scores + rng.normal(0, 0.5, 300) > 0).astype(int)
+        platt = PlattScaler().fit(scores, y)
+        grid = np.linspace(-3, 3, 50)
+        p = platt.transform(grid)
+        assert (np.diff(p) >= -1e-12).all()
+
+    def test_empty_raises(self):
+        with pytest.raises(DataError):
+            PlattScaler().fit(np.array([]), np.array([]))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DataError):
+            PlattScaler().fit(np.zeros(3), np.zeros(2))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            PlattScaler().transform(np.zeros(2))
+
+    def test_uninformative_scores_give_base_rate(self, rng):
+        scores = np.zeros(100)
+        y = (rng.random(100) < 0.3).astype(int)
+        platt = PlattScaler().fit(scores, y)
+        assert platt.transform(np.zeros(1))[0] == pytest.approx(y.mean(), abs=0.1)

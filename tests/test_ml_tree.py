@@ -1,0 +1,127 @@
+"""Tests for repro.ml.tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.ml import DecisionTreeClassifier, roc_auc_score
+from tests.conftest import make_blobs
+
+
+class TestFit:
+    def test_separable_data_high_auc(self, rng):
+        X, y = make_blobs(rng)
+        tree = DecisionTreeClassifier(rng=rng).fit(X, y)
+        assert roc_auc_score(y, tree.predict_proba(X)) > 0.95
+
+    def test_pure_node_is_leaf(self, rng):
+        X = rng.random((10, 2))
+        y = np.ones(10, dtype=int)
+        with pytest.raises(DataError):
+            # check_binary_labels allows single class, but AUC etc. don't;
+            # the tree itself should fit fine on single-class data.
+            roc_auc_score(y, y)
+        tree = DecisionTreeClassifier(rng=rng).fit(X, y)
+        assert tree.n_leaves == 1
+        # Laplace smoothing keeps probability strictly inside (0, 1).
+        assert 0.5 < tree.predict_proba(X)[0] < 1.0
+
+    def test_max_depth_limits_depth(self, rng):
+        X, y = make_blobs(rng, n_per_class=100, spread=2.0)
+        tree = DecisionTreeClassifier(max_depth=2, rng=rng).fit(X, y)
+        assert tree.depth <= 2
+        assert tree.n_leaves <= 4
+
+    def test_min_samples_leaf_respected(self, rng):
+        X, y = make_blobs(rng, n_per_class=30)
+        tree = DecisionTreeClassifier(min_samples_leaf=10, rng=rng).fit(X, y)
+        # Every leaf must hold >= 10 samples, so there are at most 6 leaves.
+        assert tree.n_leaves <= 6
+
+    def test_unfitted_raises(self, rng):
+        tree = DecisionTreeClassifier(rng=rng)
+        with pytest.raises(NotFittedError):
+            tree.predict_proba(np.zeros((2, 2)))
+
+    def test_feature_count_mismatch_raises(self, rng):
+        X, y = make_blobs(rng)
+        tree = DecisionTreeClassifier(rng=rng).fit(X, y)
+        with pytest.raises(DataError):
+            tree.predict_proba(np.zeros((3, 5)))
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ConfigurationError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ConfigurationError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+        with pytest.raises(ConfigurationError):
+            DecisionTreeClassifier(laplace=-0.1)
+
+
+class TestSplits:
+    def test_axis_aligned_step_recovered(self):
+        """A 1-D threshold function is learned exactly."""
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = (X[:, 0] > 0.52).astype(int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        pred = tree.predict(X)
+        np.testing.assert_array_equal(pred, y)
+
+    def test_xor_needs_depth_two(self, rng):
+        """XOR cannot be solved at depth 1 but is solved at depth 2."""
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 20, dtype=float)
+        X += rng.normal(0, 0.05, X.shape)
+        y = (X[:, 0].round() != X[:, 1].round()).astype(int)
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        assert (deep.predict(X) == y).mean() > 0.95
+        assert (shallow.predict(X) == y).mean() < 0.8
+
+    def test_constant_features_make_single_leaf(self, rng):
+        X = np.ones((20, 3))
+        y = rng.integers(0, 2, size=20)
+        y[0], y[1] = 0, 1
+        tree = DecisionTreeClassifier(rng=rng).fit(X, y)
+        assert tree.n_leaves == 1
+
+    def test_max_features_sqrt(self, rng):
+        X, y = make_blobs(rng, n_features=9)
+        tree = DecisionTreeClassifier(max_features="sqrt", rng=rng).fit(X, y)
+        assert roc_auc_score(y, tree.predict_proba(X)) > 0.8
+
+
+class TestProbabilities:
+    def test_probabilities_in_unit_interval(self, rng):
+        X, y = make_blobs(rng, spread=2.0)
+        tree = DecisionTreeClassifier(max_depth=4, rng=rng).fit(X, y)
+        p = tree.predict_proba(X)
+        assert (p > 0).all() and (p < 1).all()
+
+    def test_leaf_probability_is_smoothed_fraction(self):
+        X = np.array([[0.0], [0.0], [1.0], [1.0], [1.0]])
+        y = np.array([0, 0, 1, 1, 0])
+        tree = DecisionTreeClassifier(laplace=1.0).fit(X, y)
+        p = tree.predict_proba(np.array([[1.0]]))
+        # Right leaf: 2 positives of 3 samples -> (2+1)/(3+2) = 0.6
+        assert p[0] == pytest.approx(0.6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 9999), depth=st.integers(1, 6))
+def test_deeper_trees_never_fit_worse_on_train(seed, depth):
+    """Training log-loss is monotone nonincreasing in allowed depth."""
+    rng = np.random.default_rng(seed)
+    X, y = make_blobs(rng, n_per_class=40, spread=1.5)
+    from repro.ml import log_loss
+
+    shallow = DecisionTreeClassifier(max_depth=depth, rng=np.random.default_rng(0))
+    deep = DecisionTreeClassifier(max_depth=depth + 1, rng=np.random.default_rng(0))
+    loss_shallow = log_loss(y, shallow.fit(X, y).predict_proba(X))
+    loss_deep = log_loss(y, deep.fit(X, y).predict_proba(X))
+    assert loss_deep <= loss_shallow + 1e-6

@@ -1,0 +1,48 @@
+"""Tests for dataset persistence (to_npz / from_npz)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import MFNP, PoachingDataset, generate_dataset
+from repro.exceptions import DataError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(MFNP.scaled(0.4), seed=0).dataset
+
+
+class TestRoundTrip:
+    def test_arrays_survive(self, dataset, tmp_path):
+        path = tmp_path / "park.npz"
+        dataset.to_npz(path)
+        loaded = PoachingDataset.from_npz(path)
+        np.testing.assert_array_equal(loaded.labels, dataset.labels)
+        np.testing.assert_allclose(loaded.static_features, dataset.static_features)
+        np.testing.assert_allclose(loaded.current_effort, dataset.current_effort)
+        np.testing.assert_array_equal(loaded.period, dataset.period)
+        assert loaded.periods_per_year == dataset.periods_per_year
+        assert loaded.feature_names == dataset.feature_names
+        assert loaded.name == dataset.name
+
+    def test_loaded_dataset_is_usable(self, dataset, tmp_path):
+        path = tmp_path / "park.npz"
+        dataset.to_npz(path)
+        loaded = PoachingDataset.from_npz(path)
+        split = loaded.split_by_test_year(4)
+        assert split.train.n_points + split.test.n_points <= loaded.n_points
+        assert loaded.feature_matrix.shape == dataset.feature_matrix.shape
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, labels=np.zeros(3, dtype=int))
+        with pytest.raises(DataError):
+            PoachingDataset.from_npz(path)
+
+    def test_statistics_preserved(self, dataset, tmp_path):
+        path = tmp_path / "park.npz"
+        dataset.to_npz(path)
+        loaded = PoachingDataset.from_npz(path)
+        assert loaded.statistics() == dataset.statistics()

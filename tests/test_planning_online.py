@@ -1,0 +1,103 @@
+"""Tests for repro.planning.online (EXP3 strategy selection)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.planning import GreenSecurityGame
+from repro.planning.online import Exp3StrategySelector, run_online_deployment
+
+
+class TestExp3Selector:
+    def test_initial_probabilities_uniform(self):
+        selector = Exp3StrategySelector(4, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(selector.probabilities(), 0.25)
+
+    def test_probabilities_sum_to_one(self, rng):
+        selector = Exp3StrategySelector(3, rng=rng)
+        for i in range(20):
+            arm = selector.select()
+            selector.update(arm, float(i % 3))
+        assert selector.probabilities().sum() == pytest.approx(1.0)
+
+    def test_learns_the_best_arm(self):
+        rng = np.random.default_rng(1)
+        selector = Exp3StrategySelector(3, gamma=0.15, reward_scale=1.0, rng=rng)
+        means = [0.1, 0.8, 0.2]
+        for __ in range(600):
+            arm = selector.select()
+            reward = float(rng.random() < means[arm])
+            selector.update(arm, reward)
+        probs = selector.probabilities()
+        assert int(np.argmax(probs)) == 1
+        assert selector.empirical_pulls()[1] > selector.empirical_pulls()[0]
+
+    def test_exploration_floor(self):
+        selector = Exp3StrategySelector(4, gamma=0.4, rng=np.random.default_rng(0))
+        for __ in range(200):
+            selector.update(0, 10.0)  # hammer one arm
+        probs = selector.probabilities()
+        assert probs.min() >= 0.4 / 4 - 1e-9
+
+    def test_reward_clipping(self):
+        selector = Exp3StrategySelector(2, reward_scale=5.0,
+                                        rng=np.random.default_rng(0))
+        selector.update(0, 1e9)  # absurd reward must not overflow
+        assert np.isfinite(selector.probabilities()).all()
+
+    def test_history_and_mean_reward(self, rng):
+        selector = Exp3StrategySelector(2, rng=rng)
+        selector.update(0, 2.0)
+        selector.update(1, 4.0)
+        assert selector.n_rounds == 2
+        assert selector.mean_reward() == pytest.approx(3.0)
+        assert selector.mean_reward() >= 0.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            Exp3StrategySelector(1)
+        with pytest.raises(ConfigurationError):
+            Exp3StrategySelector(3, gamma=0.0)
+        with pytest.raises(ConfigurationError):
+            Exp3StrategySelector(3, reward_scale=0.0)
+        selector = Exp3StrategySelector(3, rng=rng)
+        with pytest.raises(ConfigurationError):
+            selector.update(5, 1.0)
+
+
+class TestOnlineDeployment:
+    @pytest.fixture()
+    def game(self, rng):
+        logits = rng.normal(-1.5, 1.0, size=30)
+        return GreenSecurityGame(logits, detect_rate=0.6,
+                                 response_rationality=0.3)
+
+    def test_prefers_informative_strategy(self, game, rng):
+        n = game.n_cells
+        # Strategy 0: all effort on the most attractive cells (good);
+        # strategy 1: all effort on the least attractive (bad).
+        order = np.argsort(-game.base_attack_logits)
+        good = np.zeros(n)
+        good[order[:6]] = 3.0
+        bad = np.zeros(n)
+        bad[order[-6:]] = 3.0
+        selector = run_online_deployment(
+            [good, bad], game, n_rounds=300, rng=np.random.default_rng(4)
+        )
+        pulls = selector.empirical_pulls()
+        assert pulls[0] > pulls[1]
+
+    def test_round_count(self, game, rng):
+        s = np.ones(game.n_cells)
+        selector = run_online_deployment([s, s * 2], game, n_rounds=25, rng=rng)
+        assert selector.n_rounds == 25
+
+    def test_validation(self, game, rng):
+        with pytest.raises(DataError):
+            run_online_deployment([], game, 5, rng)
+        with pytest.raises(DataError):
+            run_online_deployment(
+                [np.ones(game.n_cells), np.ones(3)], game, 5, rng
+            )

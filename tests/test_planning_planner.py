@@ -1,0 +1,154 @@
+"""Tests for repro.planning.planner and repro.planning.game."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import MFNP, PoacherModel, SyntheticPark, generate_dataset
+from repro.exceptions import ConfigurationError
+from repro.geo import Grid
+from repro.planning import GreenSecurityGame, PatrolPlanner, RobustObjective
+
+SMALL = MFNP.scaled(0.5)
+
+
+@pytest.fixture(scope="module")
+def planner_setup():
+    rng = np.random.default_rng(0)
+    grid = Grid.rectangular(6, 6)
+    planner = PatrolPlanner(grid, source_cell=0, horizon=8, n_patrols=2,
+                            n_segments=6)
+    xs = planner.breakpoints()
+    # Saturating risk curves anchored at g(0)=0, varying by cell.
+    scale = rng.random(grid.n_cells) * 0.5
+    risk = scale[:, None] * (1 - np.exp(-0.4 * xs[None, :]))
+    nu = np.tile(rng.random(grid.n_cells)[:, None], (1, xs.size))
+    objective = RobustObjective(xs, risk, nu, beta=0.0)
+    return planner, objective
+
+
+class TestPatrolPlanner:
+    def test_plan_basic_invariants(self, planner_setup):
+        planner, objective = planner_setup
+        plan = planner.plan(objective)
+        assert plan.coverage.sum() == pytest.approx(planner.max_coverage, rel=1e-6)
+        assert plan.objective_value >= 0
+        assert plan.routes
+        assert plan.beta == 0.0
+
+    def test_beta_override(self, planner_setup):
+        planner, objective = planner_setup
+        plan = planner.plan(objective, beta=1.0)
+        assert plan.beta == 1.0
+        # Fully robust objective cannot exceed the risk-neutral one.
+        risk_plan = planner.plan(objective, beta=0.0)
+        assert plan.objective_value <= risk_plan.objective_value + 1e-6
+
+    def test_robust_plan_avoids_uncertain_cells(self):
+        """With two equal-risk arms, beta=1 must pick the certain one."""
+        grid = Grid.rectangular(3, 5)
+        post = grid.cell_id(1, 2)
+        planner = PatrolPlanner(grid, post, horizon=6, n_patrols=1, n_segments=5)
+        xs = planner.breakpoints()
+        risk = np.zeros((grid.n_cells, xs.size))
+        nu = np.zeros((grid.n_cells, xs.size))
+        left = grid.cell_id(1, 1)
+        right = grid.cell_id(1, 3)
+        curve = 0.9 * (1 - np.exp(-0.8 * xs))
+        risk[left] = curve
+        risk[right] = curve
+        nu[left] = 0.95   # attractive but wildly uncertain
+        nu[right] = 0.05  # equally attractive, confident
+        objective = RobustObjective(xs, risk, nu, beta=1.0)
+        plan = planner.plan(objective)
+        assert plan.coverage[right] > plan.coverage[left]
+
+    def test_solution_quality_ratio_at_least_one(self, planner_setup):
+        planner, objective = planner_setup
+        ratio = planner.solution_quality_ratio(objective, beta=0.9)
+        # Robust plan optimises U_beta exactly, so up to PWL resampling the
+        # ratio cannot be materially below 1.
+        assert ratio >= 1.0 - 1e-6
+
+    def test_mismatched_objective_rejected(self, planner_setup):
+        planner, __ = planner_setup
+        xs = planner.breakpoints()
+        bad = RobustObjective(xs, np.zeros((3, xs.size)), np.zeros((3, xs.size)), 0.0)
+        with pytest.raises(ConfigurationError):
+            planner.plan(bad)
+
+    def test_bad_segments(self):
+        with pytest.raises(ConfigurationError):
+            PatrolPlanner(Grid.rectangular(4, 4), 0, n_segments=0)
+
+    def test_end_to_end_with_predictor(self):
+        """Full Section VI pipeline on simulated data."""
+        from repro.core import PawsPredictor
+
+        data = generate_dataset(SMALL, seed=0)
+        split = data.dataset.split_by_test_year(4)
+        pred = PawsPredictor(model="gpb", iware=True, n_classifiers=5,
+                             n_estimators=3, seed=1).fit(split.train)
+        park = data.park
+        features = pred.cell_feature_matrix(park, data.recorded_effort[-1])
+        planner = PatrolPlanner(park.grid, int(park.patrol_posts[0]),
+                                horizon=8, n_patrols=2, n_segments=6)
+        xs = planner.breakpoints()
+        risk, nu = pred.effort_response(features, xs)
+        assert risk[:, 0].max() == 0.0  # g(0) anchored at zero
+        objective = RobustObjective(xs, risk, nu, beta=0.0)
+        plan = planner.plan(objective, beta=0.5)
+        assert plan.coverage.sum() == pytest.approx(planner.max_coverage, rel=1e-6)
+        assert all(r.cells[0] == int(park.patrol_posts[0]) for r in plan.routes)
+
+
+class TestGreenSecurityGame:
+    @pytest.fixture()
+    def game(self, rng):
+        logits = rng.normal(-2.0, 1.0, size=25)
+        return GreenSecurityGame(logits, detect_rate=0.5, response_rationality=0.5)
+
+    def test_defender_utility_increases_with_coverage(self, game):
+        zero = game.defender_utility(np.zeros(25))
+        some = game.defender_utility(np.full(25, 2.0))
+        assert some > zero
+        assert zero == 0.0
+
+    def test_attack_probability_deterred_by_coverage(self, game):
+        base = game.attack_probabilities(np.zeros(25))
+        deterred = game.attack_probabilities(np.full(25, 3.0))
+        assert (deterred < base).all()
+
+    def test_zero_sum_structure(self, game, rng):
+        coverage = rng.random(25) * 3
+        attack = game.attack_probabilities(coverage)
+        total = game.defender_utility(coverage) + game.adversary_utility(coverage)
+        assert total == pytest.approx(float(attack.sum()))
+
+    def test_simulation_tracks_expectation(self, game, rng):
+        coverage = np.full(25, 2.0)
+        expected = game.defender_utility(coverage)
+        n_rounds = 400
+        count = game.simulate_detections(coverage, rng, n_rounds=n_rounds)
+        assert count / n_rounds == pytest.approx(expected, rel=0.25)
+
+    def test_from_poacher_model(self):
+        park = SyntheticPark.generate(SMALL, seed=1)
+        poachers = PoacherModel(park, seed=2)
+        game = GreenSecurityGame.from_poacher_model(poachers)
+        assert game.n_cells == park.n_cells
+        base = game.attack_probabilities(np.zeros(park.n_cells))
+        np.testing.assert_allclose(
+            base, poachers.attack_probability(0), atol=1e-9
+        )
+
+    def test_validation(self, game):
+        with pytest.raises(ConfigurationError):
+            game.defender_utility(np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            game.defender_utility(np.full(25, -1.0))
+        with pytest.raises(ConfigurationError):
+            GreenSecurityGame(np.zeros(4), detect_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            game.simulate_detections(np.zeros(25), np.random.default_rng(0), 0)
