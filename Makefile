@@ -1,0 +1,31 @@
+# Development workflows for the PAWS reproduction.
+#
+#   make test    unit/integration suite
+#   make bench   paper-artifact benchmarks (writes benchmarks/results/)
+#   make smoke   CLI entry points all exit 0
+#   make lint    byte-compile every source tree
+#   make check   lint + smoke + test
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench smoke lint check
+
+test:
+	$(PYTHON) -m pytest tests -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+smoke:
+	$(PYTHON) -m repro --help > /dev/null
+	for cmd in stats maps evaluate fieldtest plan predict; do \
+		$(PYTHON) -m repro $$cmd --help > /dev/null || exit 1; \
+	done
+	@echo "smoke: all CLI entry points exit 0"
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	@echo "lint: all sources byte-compile"
+
+check: lint smoke test

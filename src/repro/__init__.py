@@ -20,31 +20,38 @@ Subpackages
 * :mod:`repro.ml` — from-scratch classifiers (trees, bagging, SVM, GP).
 * :mod:`repro.core` — the enhanced iWare-E ensemble (the paper's stage 1).
 * :mod:`repro.planning` — the robust patrol-planning MILP (stage 2).
+* :mod:`repro.runtime` — serving: batched prediction, parallel fitting,
+  model persistence, and the cached :class:`RiskMapService`.
 * :mod:`repro.fieldtest` — field-test design, simulation, and statistics.
 * :mod:`repro.evaluation` — experiment runners and report rendering.
 """
 
-from repro.pipeline import DataToDeploymentPipeline, PipelineResult
 from repro.exceptions import (
     ConfigurationError,
     ConvergenceError,
     DataError,
     InfeasibleError,
     NotFittedError,
+    PersistenceError,
     PlanningError,
     ReproError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.pipeline import DataToDeploymentPipeline, PipelineResult
+from repro.runtime.service import RiskMapService
 
 __all__ = [
     "DataToDeploymentPipeline",
     "PipelineResult",
+    "RiskMapService",
     "ReproError",
     "ConfigurationError",
     "DataError",
     "NotFittedError",
     "ConvergenceError",
+    "PersistenceError",
     "PlanningError",
     "InfeasibleError",
     "__version__",

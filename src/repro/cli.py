@@ -7,6 +7,8 @@ Exposes the main workflows without writing any Python::
     python -m repro evaluate --park QENP --model gpb --test-year 5
     python -m repro fieldtest --park "SWS dry" --blocks 5
     python -m repro plan --park MFNP --beta 0.8 --post 0
+    python -m repro predict --park MFNP --save-model models/mfnp
+    python -m repro predict --park MFNP --load-model models/mfnp --effort 2.5
 
 All commands are deterministic given ``--seed``.
 """
@@ -15,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
@@ -23,7 +26,8 @@ from repro.data import generate_dataset, get_profile, list_profiles
 from repro.data.generator import dataset_statistics
 from repro.evaluation import ascii_heatmap, format_table
 from repro.fieldtest import chi_squared_test, design_field_test, field_test_table, run_field_trial
-from repro.planning import PatrolPlanner, RobustObjective
+from repro.planning import PatrolPlanner
+from repro.runtime.service import RiskMapService
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +82,29 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--horizon", type=int, default=10)
     plan.add_argument("--patrols", type=int, default=2)
     plan.add_argument("--segments", type=int, default=8)
+
+    predict = sub.add_parser(
+        "predict",
+        help="serve a risk map from a fitted (or saved) model",
+        description="Fit the predictor once — or load one saved earlier — "
+        "and serve a per-cell risk map without refitting.",
+    )
+    add_park(predict)
+    predict.add_argument("--model", default="gpb", choices=("svb", "dtb", "gpb"))
+    predict.add_argument("--no-iware", action="store_true",
+                         help="fit the flat baseline instead of iWare-E")
+    predict.add_argument("--n-classifiers", type=int, default=6)
+    predict.add_argument("--n-jobs", type=int, default=1,
+                         help="fitting threads (results identical to serial)")
+    predict.add_argument("--effort", type=float, default=None,
+                         help="hypothetical patrol effort in km "
+                         "(default: the park's median recorded effort)")
+    predict.add_argument("--save-model", metavar="DIR", default=None,
+                         help="persist the fitted model to DIR "
+                         "(npz + json manifest)")
+    predict.add_argument("--load-model", metavar="DIR", default=None,
+                         help="serve from a model saved with --save-model "
+                         "instead of fitting")
     return parser
 
 
@@ -87,6 +114,14 @@ def _load(args) -> tuple:
         profile = profile.scaled(args.scale)
     data = generate_dataset(profile, seed=args.seed)
     return profile, data
+
+
+def _use_balanced_bagging(profile) -> bool:
+    """The paper's rule of thumb: undersample below ~3% positives (SWS)."""
+    return (
+        profile.target_positive_rate is not None
+        and profile.target_positive_rate < 0.03
+    )
 
 
 def _cmd_stats(args, out) -> int:
@@ -142,8 +177,7 @@ def _cmd_fieldtest(args, out) -> int:
     split = data.dataset.split_by_test_year(profile.years - 1)
     predictor = PawsPredictor(
         model=args.model, iware=True, n_classifiers=6,
-        balanced=profile.target_positive_rate is not None
-        and profile.target_positive_rate < 0.03,
+        balanced=_use_balanced_bagging(profile),
         seed=args.seed + 1,
     ).fit(split.train)
     features = predictor.cell_feature_matrix(data.park, data.recorded_effort[-1])
@@ -183,10 +217,7 @@ def _cmd_plan(args, out) -> int:
         data.park.grid, post, horizon=args.horizon,
         n_patrols=args.patrols, n_segments=args.segments,
     )
-    xs = planner.breakpoints()
-    risk, nu = predictor.effort_response(features, xs)
-    objective = RobustObjective(xs, risk, nu, beta=args.beta)
-    plan = planner.plan(objective)
+    plan = planner.plan_from_model(predictor, features, beta=args.beta)
     out.write(
         f"robust plan (beta={args.beta}) for post {post} on {profile.name}: "
         f"utility {plan.objective_value:.3f}\n"
@@ -199,12 +230,61 @@ def _cmd_plan(args, out) -> int:
     return 0
 
 
+def _cmd_predict(args, out) -> int:
+    profile, data = _load(args)
+    if args.load_model:
+        start = time.perf_counter()
+        predictor = PawsPredictor.load(args.load_model)
+        setup = time.perf_counter() - start
+        source = f"loaded from {args.load_model}"
+        out.write(
+            "serving from a saved model; fitting flags (--model, --no-iware, "
+            "--n-classifiers, --n-jobs) are ignored\n"
+        )
+    else:
+        split = data.dataset.split_by_test_year(profile.years - 1)
+        start = time.perf_counter()
+        predictor = PawsPredictor(
+            model=args.model,
+            iware=not args.no_iware,
+            n_classifiers=args.n_classifiers,
+            balanced=_use_balanced_bagging(profile),
+            seed=args.seed + 1,
+            n_jobs=args.n_jobs,
+        ).fit(split.train)
+        setup = time.perf_counter() - start
+        source = f"fitted on {split.train.n_points} points"
+
+    service = RiskMapService(predictor)
+    features = predictor.cell_feature_matrix(data.park, data.recorded_effort[-1])
+    effort = (
+        args.effort
+        if args.effort is not None
+        else float(np.median(data.dataset.current_effort))
+    )
+    start = time.perf_counter()
+    risk = service.risk_map(features, effort=effort)
+    serve = time.perf_counter() - start
+    out.write(
+        f"{predictor.name} risk map for {profile.name} at effort "
+        f"{effort:.2f} km ({source}; setup {setup:.2f}s, serve {serve:.3f}s)\n"
+    )
+    out.write(
+        ascii_heatmap(data.park.grid, risk, title="predicted attack risk:") + "\n"
+    )
+    if args.save_model:
+        predictor.save(args.save_model)
+        out.write(f"model saved to {args.save_model}\n")
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "maps": _cmd_maps,
     "evaluate": _cmd_evaluate,
     "fieldtest": _cmd_fieldtest,
     "plan": _cmd_plan,
+    "predict": _cmd_predict,
 }
 
 

@@ -53,6 +53,10 @@ class IWareEnsemble:
         Folds for the weight-learning cross-validation.
     rng:
         Randomness for CV shuffling.
+    n_jobs:
+        Worker threads for fitting the per-threshold classifiers (1 =
+        serial, -1 = all cores). Child seeds are drawn serially before the
+        fan-out, so parallel fits are bit-identical to serial ones.
     """
 
     def __init__(
@@ -64,6 +68,7 @@ class IWareEnsemble:
         weighting: str = "optimal",
         cv_folds: int = 5,
         rng: np.random.Generator | None = None,
+        n_jobs: int = 1,
     ):
         if threshold_scheme not in ("percentile", "equal"):
             raise ConfigurationError(f"unknown threshold scheme '{threshold_scheme}'")
@@ -80,6 +85,7 @@ class IWareEnsemble:
         self.weighting = weighting
         self.cv_folds = cv_folds
         self.rng = rng or np.random.default_rng()
+        self.n_jobs = n_jobs
         self.thresholds_: np.ndarray | None = None
         self.weights_: np.ndarray | None = None
         self.classifiers_: list[Classifier] = []
@@ -120,20 +126,27 @@ class IWareEnsemble:
         )
 
     def _fit_classifiers(self, dataset: PoachingDataset) -> list[Classifier]:
+        from repro.runtime.parallel import parallel_map
+
         assert self.thresholds_ is not None
-        classifiers: list[Classifier] = []
+        # Phase 1 (serial): filter each subset, construct each weak learner,
+        # and let it consume every shared-generator draw it needs (child
+        # seeds for its own members, bootstrap indices) via fit_deferred —
+        # in exactly the order a serial fit would.
+        thunks: list[Callable[[], Classifier]] = []
         for theta in self.thresholds_:
             subset = filter_by_effort_threshold(dataset, float(theta))
             X = subset.feature_matrix
             y = subset.labels
             if subset.n_points == 0 or y.min() == y.max():
-                member: Classifier = ConstantClassifier().fit(
+                fallback = ConstantClassifier().fit(
                     X if subset.n_points else dataset.feature_matrix[:1], y
                 )
+                thunks.append(lambda member=fallback: member)
             else:
-                member = self.weak_learner_factory().fit(X, y)
-            classifiers.append(member)
-        return classifiers
+                thunks.append(self.weak_learner_factory().fit_deferred(X, y))
+        # Phase 2 (parallel): the deferred fits only touch per-member state.
+        return parallel_map(lambda thunk: thunk(), thunks, n_jobs=self.n_jobs)
 
     #: Minimum positive labels for CV weight learning to be trustworthy;
     #: below this the optimiser chases fold noise (it can put all weight on
@@ -230,6 +243,55 @@ class IWareEnsemble:
                 rows.append(c.predict_variance(X))
         return np.stack(rows)
 
+    def member_statistics(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(I, n)`` member probabilities and variances from one model pass.
+
+        Equal to ``(member_probabilities(X), member_variances(X))``, but each
+        threshold classifier is visited once (via ``prediction_stats``)
+        instead of twice — bagged GP members in particular solve their latent
+        moments a single time. This is the workhorse of the batched serving
+        path.
+        """
+        self._check_fitted()
+        probs: list[np.ndarray] = []
+        variances: list[np.ndarray] = []
+        for c in self.classifiers_:
+            p, v = c.prediction_stats(X)
+            probs.append(p)
+            variances.append(v)
+        return np.stack(probs), np.stack(variances)
+
+    def batched_effort_response(
+        self, X: np.ndarray, effort_grid: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Risk and raw variance surfaces over a whole effort grid at once.
+
+        The per-level path re-runs every ensemble member for every effort
+        level, although member predictions do not depend on the hypothesised
+        effort at all — effort only selects which members are *qualified* to
+        vote. Here member statistics are computed once and the per-level
+        mixtures collapse to two ``(n, I) @ (I, L)`` products.
+
+        Returns
+        -------
+        (risk, raw_variance):
+            Two ``(n, len(effort_grid))`` arrays matching per-level
+            ``predict_proba`` / ``predict_variance`` calls to within
+            floating-point reduction order.
+        """
+        assert self.weights_ is not None and self.thresholds_ is not None
+        effort_grid = np.asarray(effort_grid, dtype=float)
+        probs, variances = self.member_statistics(X)
+        # (I, L) qualification per effort level — the same rule the
+        # per-level path applies per point, evaluated once per grid level.
+        mask = self._qualification(effort_grid, effort_grid.size)
+        weighted = self.weights_[:, None] * mask
+        denom = weighted.sum(axis=0)
+        denom[denom <= 0] = 1.0
+        risk = probs.T @ weighted / denom
+        raw_var = variances.T @ weighted / denom
+        return risk, raw_var
+
     def _qualification(self, effort: np.ndarray | float | None, n: int) -> np.ndarray:
         """``(I, n)`` boolean mask of classifiers qualified per point.
 
@@ -299,6 +361,78 @@ class IWareEnsemble:
         self._check_fitted()
         assert self.thresholds_ is not None
         return len(self.thresholds_)
+
+    # ------------------------------------------------------------------
+    # Persistence (npz + json manifest; see repro.runtime.persistence)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist this fitted ensemble to a directory."""
+        from repro.runtime.persistence import save_model
+
+        save_model(self, path)
+
+    @classmethod
+    def load(cls, path) -> "IWareEnsemble":
+        """Load an ensemble saved by :meth:`save` (serving only, no refit)."""
+        from repro.runtime.persistence import load_model
+
+        return load_model(path, expected_type=cls)
+
+    def to_manifest(self, store, prefix: str) -> dict:
+        self._check_fitted()
+        assert self.thresholds_ is not None and self.weights_ is not None
+        assert self.subset_positive_rates_ is not None
+        return {
+            "type": "IWareEnsemble",
+            "config": {
+                "n_classifiers": self.n_classifiers,
+                "threshold_scheme": self.threshold_scheme,
+                "theta_range": list(self.theta_range),
+                "weighting": self.weighting,
+                "cv_folds": self.cv_folds,
+                "n_jobs": self.n_jobs,
+            },
+            "full_positive_rate": self.full_positive_rate_,
+            "classifiers": [
+                c.to_manifest(store, f"{prefix}/classifiers/{i}")
+                for i, c in enumerate(self.classifiers_)
+            ],
+            "arrays": {
+                "thresholds": store.put(f"{prefix}/thresholds", self.thresholds_),
+                "weights": store.put(f"{prefix}/weights", self.weights_),
+                "subset_positive_rates": store.put(
+                    f"{prefix}/subset_positive_rates", self.subset_positive_rates_
+                ),
+            },
+        }
+
+    @classmethod
+    def from_manifest(cls, node: dict, arrays: dict) -> "IWareEnsemble":
+        from repro.runtime.persistence import decode_node, get_array
+
+        config = dict(node["config"])
+        config["theta_range"] = tuple(config["theta_range"])
+        ensemble = cls(_unavailable_weak_learner_factory, **config)
+        refs = node["arrays"]
+        ensemble.thresholds_ = get_array(arrays, refs["thresholds"]).astype(float)
+        ensemble.weights_ = get_array(arrays, refs["weights"]).astype(float)
+        ensemble.subset_positive_rates_ = get_array(
+            arrays, refs["subset_positive_rates"]
+        ).astype(float)
+        ensemble.full_positive_rate_ = node["full_positive_rate"]
+        ensemble.classifiers_ = [
+            decode_node(child, arrays) for child in node["classifiers"]
+        ]
+        return ensemble
+
+
+def _unavailable_weak_learner_factory() -> Classifier:
+    """Placeholder factory installed on ensembles loaded from disk."""
+    raise ConfigurationError(
+        "this iWare-E ensemble was loaded from disk and cannot be refit: "
+        "weak-learner factories are not persisted (construct a fresh "
+        "ensemble to retrain)"
+    )
 
 
 def _prior_correct(

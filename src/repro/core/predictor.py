@@ -37,6 +37,7 @@ def make_weak_learner(
     balanced: bool = False,
     n_estimators: int = 5,
     gp_max_points: int = 250,
+    n_jobs: int = 1,
 ) -> Callable[[], Classifier]:
     """Factory-of-factories for the Table II weak learners.
 
@@ -54,6 +55,9 @@ def make_weak_learner(
         Members per bagging ensemble.
     gp_max_points:
         Training-point cap per GP member (exact GPs are cubic).
+    n_jobs:
+        Worker threads for each bagging ensemble's member fits (results are
+        bit-identical to serial).
     """
     if kind not in WEAK_LEARNERS:
         raise ConfigurationError(
@@ -86,6 +90,7 @@ def make_weak_learner(
             base_factory,
             n_estimators=n_estimators,
             rng=np.random.default_rng(seed),
+            n_jobs=n_jobs,
         )
 
     return factory
@@ -113,6 +118,11 @@ class PawsPredictor:
         ``"percentile"`` (enhanced) or ``"equal"`` (original iWare-E).
     seed:
         Master seed for every stochastic component.
+    n_jobs:
+        Worker threads for fitting (1 = serial, -1 = all cores). With
+        iWare-E the parallelism fans out over threshold classifiers;
+        without, over bagging members. Seeds are pre-drawn serially, so any
+        ``n_jobs`` produces bit-identical models.
     """
 
     def __init__(
@@ -126,6 +136,7 @@ class PawsPredictor:
         threshold_scheme: str = "percentile",
         gp_max_points: int = 250,
         seed: int = 0,
+        n_jobs: int = 1,
     ):
         if model not in WEAK_LEARNERS:
             raise ConfigurationError(
@@ -140,6 +151,7 @@ class PawsPredictor:
         self.threshold_scheme = threshold_scheme
         self.gp_max_points = gp_max_points
         self.seed = seed
+        self.n_jobs = n_jobs
         self._rng = np.random.default_rng(seed)
         self._ensemble: IWareEnsemble | None = None
         self._flat_model: Classifier | None = None
@@ -153,13 +165,14 @@ class PawsPredictor:
         label = self.model.upper()
         return f"{label}-iW" if self.iware else label
 
-    def _factory(self) -> Callable[[], Classifier]:
+    def _factory(self, n_jobs: int = 1) -> Callable[[], Classifier]:
         return make_weak_learner(
             self.model,
             rng=self._rng,
             balanced=self.balanced,
             n_estimators=self.n_estimators,
             gp_max_points=self.gp_max_points,
+            n_jobs=n_jobs,
         )
 
     def fit(self, dataset: PoachingDataset) -> "PawsPredictor":
@@ -167,12 +180,16 @@ class PawsPredictor:
         if dataset.n_points == 0:
             raise DataError("cannot fit on an empty dataset")
         if self.iware:
+            # Parallelise across threshold classifiers (the outer level has
+            # the most independent work); bagging members stay serial so the
+            # thread pool is not oversubscribed.
             self._ensemble = IWareEnsemble(
                 self._factory(),
                 n_classifiers=self.n_classifiers,
                 threshold_scheme=self.threshold_scheme,
                 weighting=self.weighting,
                 rng=self._rng,
+                n_jobs=self.n_jobs,
             ).fit(dataset)
         else:
             X, y = dataset.feature_matrix, dataset.labels
@@ -181,7 +198,7 @@ class PawsPredictor:
 
                 self._flat_model = ConstantClassifier().fit(X, y)
             else:
-                self._flat_model = self._factory()().fit(X, y)
+                self._flat_model = self._factory(self.n_jobs)().fit(X, y)
         self._fitted = True
         return self
 
@@ -236,7 +253,10 @@ class PawsPredictor:
         return np.hstack([park.features.matrix, prev_effort[:, None]])
 
     def effort_response(
-        self, features: np.ndarray, effort_grid: np.ndarray
+        self,
+        features: np.ndarray,
+        effort_grid: np.ndarray,
+        batched: bool = True,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Risk and squashed uncertainty across hypothetical effort levels.
 
@@ -246,6 +266,12 @@ class PawsPredictor:
             ``(n_cells, k+1)`` model inputs (static + previous effort).
         effort_grid:
             Increasing effort levels (km) at which to evaluate the model.
+        batched:
+            Compute all effort levels from a single pass over the ensemble
+            members (the serving path: member predictions do not depend on
+            the hypothesised effort, only the mixing weights do). ``False``
+            falls back to one full ensemble sweep per level — kept as the
+            reference implementation for equivalence benchmarks.
 
         Returns
         -------
@@ -259,14 +285,10 @@ class PawsPredictor:
             raise ConfigurationError("effort_grid must be a non-empty 1-D array")
         if (np.diff(effort_grid) < 0).any():
             raise ConfigurationError("effort_grid must be nondecreasing")
-        risk = np.stack(
-            [self.predict_proba(features, effort=float(c)) for c in effort_grid],
-            axis=1,
-        )
-        raw_var = np.stack(
-            [self.predict_variance(features, effort=float(c)) for c in effort_grid],
-            axis=1,
-        )
+        if batched:
+            risk, raw_var = self._effort_surfaces_batched(features, effort_grid)
+        else:
+            risk, raw_var = self._effort_surfaces_per_level(features, effort_grid)
         # With zero patrol effort nothing can be detected: the training data
         # only contains patrolled points, so the model has no c=0 regime and
         # g_v(0) must be anchored at 0 (Pr[o=1 | c=0] = 0 by construction).
@@ -275,7 +297,102 @@ class PawsPredictor:
         nu = self._uncertainty_scaler.transform(raw_var)
         return risk, nu
 
+    def _effort_surfaces_batched(
+        self, features: np.ndarray, effort_grid: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One ensemble pass for the whole grid (see ``batched_effort_response``)."""
+        if self._ensemble is not None:
+            return self._ensemble.batched_effort_response(features, effort_grid)
+        assert self._flat_model is not None
+        # Flat models ignore the hypothesised effort entirely: one
+        # prediction pass, broadcast across the grid.
+        proba, raw_var = self._flat_model.prediction_stats(features)
+        n_levels = effort_grid.size
+        return (
+            np.repeat(proba[:, None], n_levels, axis=1),
+            np.repeat(raw_var[:, None], n_levels, axis=1),
+        )
+
+    def _effort_surfaces_per_level(
+        self, features: np.ndarray, effort_grid: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The original per-level loop: every member re-runs per effort level."""
+        risk = np.stack(
+            [self.predict_proba(features, effort=float(c)) for c in effort_grid],
+            axis=1,
+        )
+        raw_var = np.stack(
+            [self.predict_variance(features, effort=float(c)) for c in effort_grid],
+            axis=1,
+        )
+        return risk, raw_var
+
     @property
     def uncertainty_scaler(self) -> UncertaintyScaler | None:
         """The scaler fitted by the last :meth:`effort_response` call."""
         return self._uncertainty_scaler
+
+    # ------------------------------------------------------------------
+    # Persistence (npz + json manifest; see repro.runtime.persistence)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist this fitted predictor to a directory.
+
+        The saved artifact serves predictions (``predict_proba``,
+        ``predict_variance``, ``effort_response``) identical to this
+        instance's without refitting; refitting a loaded predictor restarts
+        from the persisted master seed.
+        """
+        from repro.runtime.persistence import save_model
+
+        save_model(self, path)
+
+    @classmethod
+    def load(cls, path) -> "PawsPredictor":
+        """Load a predictor saved by :meth:`save`."""
+        from repro.runtime.persistence import load_model
+
+        return load_model(path, expected_type=cls)
+
+    def to_manifest(self, store, prefix: str) -> dict:
+        self._check_fitted()
+        node: dict = {
+            "type": "PawsPredictor",
+            "config": {
+                "model": self.model,
+                "iware": self.iware,
+                "n_classifiers": self.n_classifiers,
+                "balanced": self.balanced,
+                "n_estimators": self.n_estimators,
+                "weighting": self.weighting,
+                "threshold_scheme": self.threshold_scheme,
+                "gp_max_points": self.gp_max_points,
+                "seed": self.seed,
+                "n_jobs": self.n_jobs,
+            },
+        }
+        if self._ensemble is not None:
+            node["ensemble"] = self._ensemble.to_manifest(store, f"{prefix}/ensemble")
+        else:
+            assert self._flat_model is not None
+            node["flat_model"] = self._flat_model.to_manifest(
+                store, f"{prefix}/flat_model"
+            )
+        return node
+
+    @classmethod
+    def from_manifest(cls, node: dict, arrays: dict) -> "PawsPredictor":
+        from repro.exceptions import PersistenceError
+        from repro.runtime.persistence import decode_node
+
+        predictor = cls(**node["config"])
+        if "ensemble" in node:
+            predictor._ensemble = decode_node(node["ensemble"], arrays)
+        elif "flat_model" in node:
+            predictor._flat_model = decode_node(node["flat_model"], arrays)
+        else:
+            raise PersistenceError(
+                "PawsPredictor manifest has neither an ensemble nor a flat model"
+            )
+        predictor._fitted = True
+        return predictor

@@ -43,8 +43,13 @@ def evaluate_model_on_split(
     n_classifiers: int = 10,
     n_estimators: int = 4,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> float:
-    """AUC of one model on one train/test split."""
+    """AUC of one model on one train/test split.
+
+    ``n_jobs`` fans the model's internal fitting out to threads; results
+    are bit-identical to serial, so sweeps can use it freely.
+    """
     predictor = PawsPredictor(
         model=spec.model,
         iware=spec.iware,
@@ -52,6 +57,7 @@ def evaluate_model_on_split(
         balanced=balanced,
         n_estimators=n_estimators,
         seed=seed,
+        n_jobs=n_jobs,
     )
     predictor.fit(split.train)
     return predictor.evaluate_auc(split.test)
@@ -65,6 +71,7 @@ def run_model_zoo(
     n_estimators: int = 4,
     seed: int = 0,
     models: tuple[ModelSpec, ...] = TABLE2_MODELS,
+    n_jobs: int = 1,
 ) -> dict[int, dict[str, float]]:
     """Table II block for one dataset: {test_year: {model_name: AUC}}.
 
@@ -78,6 +85,8 @@ def run_model_zoo(
         Use balanced bagging (the paper's choice for SWS).
     n_classifiers:
         iWare-E ensemble size (20 for MFNP/QENP, 10 for SWS in the paper).
+    n_jobs:
+        Fitting threads per model (bit-identical to serial).
     """
     results: dict[int, dict[str, float]] = {}
     for year in test_years:
@@ -91,6 +100,7 @@ def run_model_zoo(
                 n_classifiers=n_classifiers,
                 n_estimators=n_estimators,
                 seed=seed,
+                n_jobs=n_jobs,
             )
         results[year] = row
     return results

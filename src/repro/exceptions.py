@@ -27,6 +27,10 @@ class ConvergenceError(ReproError):
     """An iterative optimisation failed to converge."""
 
 
+class PersistenceError(ReproError):
+    """A saved model artifact is missing, corrupt, or incompatible."""
+
+
 class PlanningError(ReproError):
     """Patrol-plan construction or MILP solution failed."""
 

@@ -9,6 +9,12 @@ learners (Section IV). For SWS's 0.36% positive rate, the paper switches to
 The ensemble also records per-estimator in-bag counts so the infinitesimal
 jackknife (:mod:`repro.ml.jackknife`) can compute random-forest confidence
 intervals for the Fig. 7 comparison.
+
+Fitting is optionally parallel (``n_jobs``): bootstrap indices and member
+construction still run serially, so every draw from the shared generator
+happens in the same order as a serial fit, and only the independent member
+``fit`` calls fan out to a thread pool — results are bit-identical either
+way (see :mod:`repro.runtime.parallel`).
 """
 
 from __future__ import annotations
@@ -19,6 +25,15 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, DataError, NotFittedError
 from repro.ml.base import Classifier, ConstantClassifier
+
+
+def _unavailable_factory() -> Classifier:
+    """Placeholder base factory installed on models loaded from disk."""
+    raise ConfigurationError(
+        "this bagging ensemble was loaded from disk and cannot be refit: "
+        "weak-learner factories are not persisted (construct a fresh model "
+        "to retrain)"
+    )
 
 
 class BaggingClassifier(Classifier):
@@ -35,6 +50,9 @@ class BaggingClassifier(Classifier):
         Bootstrap size as a fraction of the training set (0, 1].
     rng:
         Randomness for bootstrap sampling.
+    n_jobs:
+        Worker threads for member fitting (1 = serial, -1 = all cores).
+        Parallel fits are bit-identical to serial ones.
     """
 
     def __init__(
@@ -43,6 +61,7 @@ class BaggingClassifier(Classifier):
         n_estimators: int = 10,
         max_samples: float = 1.0,
         rng: np.random.Generator | None = None,
+        n_jobs: int = 1,
     ):
         super().__init__()
         if n_estimators < 1:
@@ -53,6 +72,7 @@ class BaggingClassifier(Classifier):
         self.n_estimators = n_estimators
         self.max_samples = max_samples
         self.rng = rng or np.random.default_rng()
+        self.n_jobs = n_jobs
         self.estimators_: list[Classifier] = []
         #: (n_estimators, n_train) in-bag multiplicity matrix for jackknife.
         self.inbag_counts_: np.ndarray | None = None
@@ -63,11 +83,19 @@ class BaggingClassifier(Classifier):
         size = max(1, int(round(self.max_samples * n)))
         return self.rng.integers(0, n, size=size)
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "BaggingClassifier":
+    def fit_deferred(self, X: np.ndarray, y: np.ndarray):
+        """Phase 1 now (all shared-generator draws), phase 2 in the thunk.
+
+        Bootstrap indices come from this ensemble's generator and member
+        construction typically draws child seeds from a factory's *master*
+        generator, so both happen here, serially, in the exact order of a
+        serial fit. The returned thunk only runs the independent member
+        fits (optionally in threads) — parallel results are bit-identical.
+        """
         X, y = self._check_fit_input(X, y)
         n = y.size
-        self.estimators_ = []
         inbag = np.zeros((self.n_estimators, n), dtype=np.int64)
+        tasks: list[tuple[Classifier, np.ndarray | None, np.ndarray | None]] = []
         for b in range(self.n_estimators):
             idx = self._bootstrap_indices(y)
             np.add.at(inbag[b], idx, 1)
@@ -75,13 +103,28 @@ class BaggingClassifier(Classifier):
             if yb.min() == yb.max():
                 # Single-class bootstrap: fall back to a constant model so
                 # the ensemble survives extreme imbalance.
-                member: Classifier = ConstantClassifier().fit(Xb, yb)
+                tasks.append((ConstantClassifier().fit(Xb, yb), None, None))
             else:
-                member = self.base_factory().fit(Xb, yb)
-            self.estimators_.append(member)
-        self.inbag_counts_ = inbag
-        self._mark_fitted()
-        return self
+                tasks.append((self.base_factory(), Xb, yb))
+
+        def fit_one(
+            task: tuple[Classifier, np.ndarray | None, np.ndarray | None]
+        ) -> Classifier:
+            member, Xb, yb = task
+            return member if Xb is None else member.fit(Xb, yb)
+
+        def finish() -> "BaggingClassifier":
+            from repro.runtime.parallel import parallel_map
+
+            self.estimators_ = parallel_map(fit_one, tasks, n_jobs=self.n_jobs)
+            self.inbag_counts_ = inbag
+            self._mark_fitted()
+            return self
+
+        return finish
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BaggingClassifier":
+        return self.fit_deferred(X, y)()
 
     # ------------------------------------------------------------------
     def member_probabilities(self, X: np.ndarray) -> np.ndarray:
@@ -118,10 +161,72 @@ class BaggingClassifier(Classifier):
             return self.predict_variance(X)
         return np.stack([m.predict_variance(X) for m in intrinsic]).mean(axis=0)
 
+    def prediction_stats(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Mean probability and :meth:`mean_member_variance` in one sweep.
+
+        Separate ``predict_proba`` + ``mean_member_variance`` calls run every
+        member twice (and GP members re-solve their latent moments each
+        time); this visits each member once via its own ``prediction_stats``.
+        """
+        X = self._check_predict_input(X)
+        if not self.estimators_:
+            raise NotFittedError("bagging ensemble has no members")
+        stats = [m.prediction_stats(X) for m in self.estimators_]
+        member_probs = np.stack([p for p, __ in stats])
+        mean = member_probs.mean(axis=0)
+        intrinsic = [
+            v for (__, v), m in zip(stats, self.estimators_) if m.supports_variance
+        ]
+        if intrinsic:
+            return mean, np.stack(intrinsic).mean(axis=0)
+        return mean, member_probs.var(axis=0)
+
     @property
     def has_intrinsic_variance(self) -> bool:
         """Whether at least one member reports model-intrinsic uncertainty."""
         return any(m.supports_variance for m in self.estimators_)
+
+    # ------------------------------------------------------------------
+    def _config_manifest(self) -> dict:
+        return {
+            "n_estimators": self.n_estimators,
+            "max_samples": self.max_samples,
+            "n_jobs": self.n_jobs,
+        }
+
+    def to_manifest(self, store, prefix: str) -> dict:
+        if not self.estimators_:
+            raise NotFittedError(f"cannot persist an unfitted {type(self).__name__}")
+        assert self.inbag_counts_ is not None
+        return {
+            "type": type(self).__name__,
+            "config": self._config_manifest(),
+            "n_features": self._n_features,
+            "estimators": [
+                member.to_manifest(store, f"{prefix}/estimators/{i}")
+                for i, member in enumerate(self.estimators_)
+            ],
+            "arrays": {
+                "inbag_counts": store.put(
+                    f"{prefix}/inbag_counts", self.inbag_counts_
+                )
+            },
+        }
+
+    @classmethod
+    def from_manifest(cls, node: dict, arrays: dict) -> "BaggingClassifier":
+        from repro.runtime.persistence import decode_node, get_array
+
+        model = cls(_unavailable_factory, **node["config"])
+        model.estimators_ = [
+            decode_node(child, arrays) for child in node["estimators"]
+        ]
+        model.inbag_counts_ = get_array(
+            arrays, node["arrays"]["inbag_counts"]
+        ).astype(np.int64)
+        model._n_features = node["n_features"]
+        model._mark_fitted()
+        return model
 
 
 class BalancedBaggingClassifier(BaggingClassifier):
@@ -144,22 +249,19 @@ class BalancedBaggingClassifier(BaggingClassifier):
         n_estimators: int = 10,
         ratio: float = 1.0,
         rng: np.random.Generator | None = None,
+        n_jobs: int = 1,
     ):
-        super().__init__(base_factory, n_estimators=n_estimators, rng=rng)
+        super().__init__(base_factory, n_estimators=n_estimators, rng=rng,
+                         n_jobs=n_jobs)
         if ratio <= 0:
             raise ConfigurationError(f"ratio must be positive, got {ratio}")
         self.ratio = ratio
-        self._y_cache: np.ndarray | None = None
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "BalancedBaggingClassifier":
+    def fit_deferred(self, X: np.ndarray, y: np.ndarray):
         y_checked = np.asarray(y)
         if y_checked.size and y_checked.sum() == 0:
             raise DataError("balanced bagging requires at least one positive label")
-        self._y_cache = y_checked
-        try:
-            return super().fit(X, y)  # type: ignore[return-value]
-        finally:
-            self._y_cache = None
+        return super().fit_deferred(X, y)
 
     def _bootstrap_indices(self, y: np.ndarray) -> np.ndarray:
         pos = np.nonzero(y == 1)[0]
@@ -171,3 +273,11 @@ class BalancedBaggingClassifier(BaggingClassifier):
             return pos_draw
         neg_draw = self.rng.choice(neg, size=n_neg_draw, replace=neg.size < n_neg_draw)
         return np.concatenate([pos_draw, neg_draw])
+
+    def _config_manifest(self) -> dict:
+        config = super()._config_manifest()
+        # The balanced variant has no max_samples knob (bootstrap size is
+        # set by the positive count and ratio instead).
+        del config["max_samples"]
+        config["ratio"] = self.ratio
+        return config

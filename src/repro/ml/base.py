@@ -60,6 +60,19 @@ class Classifier(ABC):
     def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
         """Fit on features ``X`` (n, k) and labels ``y`` in {0, 1}."""
 
+    def fit_deferred(self, X: np.ndarray, y: np.ndarray):
+        """Split a fit into draw-shared-randomness-now / heavy-work-later.
+
+        Returns a zero-argument callable that completes the fit and returns
+        the fitted model. Ensembles that fan member fits out to threads call
+        this serially first, so every draw from a generator shared between
+        models (e.g. a factory's master seed stream) happens in the same
+        order as a fully serial fit — which is what makes parallel fitting
+        bit-identical to serial. The default defers everything: models whose
+        randomness is entirely their own need no split.
+        """
+        return lambda: self.fit(X, y)
+
     @abstractmethod
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Probability of the positive class for each row of ``X``."""
@@ -69,9 +82,46 @@ class Classifier(ABC):
         X = self._check_predict_input(X)
         return np.zeros(X.shape[0])
 
+    def prediction_stats(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(probability, variance)`` for each row, in one model pass.
+
+        Equal to ``(predict_proba(X), predict_variance(X))`` — but models
+        whose probability and variance share expensive intermediates (GP
+        latent moments, bagging member sweeps) override this to compute both
+        from a single pass. The batched serving path is built on it.
+        """
+        return self.predict_proba(X), self.predict_variance(X)
+
     def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
         """Hard {0, 1} predictions at a probability threshold."""
         return (self.predict_proba(X) >= threshold).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Persistence (npz + json manifest; see repro.runtime.persistence)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist this fitted model to a directory."""
+        from repro.runtime.persistence import save_model
+
+        save_model(self, path)
+
+    @classmethod
+    def load(cls, path) -> "Classifier":
+        """Load a model of this type saved by :meth:`save`."""
+        from repro.runtime.persistence import load_model
+
+        return load_model(path, expected_type=cls)
+
+    def to_manifest(self, store, prefix: str) -> dict:
+        """Manifest node for this model; subclasses must override to persist."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support persistence"
+        )
+
+    @classmethod
+    def from_manifest(cls, node: dict, arrays: dict) -> "Classifier":
+        """Rebuild a model from its manifest node; overridden with save support."""
+        raise NotImplementedError(f"{cls.__name__} does not support persistence")
 
     # ------------------------------------------------------------------
     # Fit-state plumbing shared by subclasses
@@ -127,3 +177,19 @@ class ConstantClassifier(Classifier):
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         X = self._check_predict_input(X)
         return np.full(X.shape[0], self.probability)
+
+    def to_manifest(self, store, prefix: str) -> dict:
+        if not self._fitted:
+            raise NotFittedError("cannot persist an unfitted ConstantClassifier")
+        return {
+            "type": "ConstantClassifier",
+            "probability": self.probability,
+            "n_features": self._n_features,
+        }
+
+    @classmethod
+    def from_manifest(cls, node: dict, arrays: dict) -> "ConstantClassifier":
+        model = cls(probability=node["probability"])
+        model._n_features = node["n_features"]
+        model._mark_fitted()
+        return model

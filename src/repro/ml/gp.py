@@ -174,3 +174,71 @@ class GaussianProcessClassifier(Classifier):
         """Latent predictive variance — the paper's uncertainty metric."""
         __, var = self._latent_moments(X)
         return var
+
+    def prediction_stats(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Probability and variance from a single latent-moments pass.
+
+        Separate ``predict_proba`` / ``predict_variance`` calls each solve
+        the (n_train × n_test) triangular system; serving paths that need
+        both should use this instead.
+        """
+        mean, var = self._latent_moments(X)
+        kappa = 1.0 / np.sqrt(1.0 + np.pi * var / 8.0)
+        return _stable_sigmoid(kappa * mean), var
+
+    # ------------------------------------------------------------------
+    def to_manifest(self, store, prefix: str) -> dict:
+        from repro.exceptions import NotFittedError
+        from repro.runtime.persistence import encode_kernel, encode_standard_scaler
+
+        if self._X_train is None or self._fitted_kernel is None:
+            raise NotFittedError(
+                "cannot persist an unfitted GaussianProcessClassifier"
+            )
+        assert self._grad_at_mode is not None and self._sqrt_w is not None
+        assert self._chol_b is not None
+        return {
+            "type": "GaussianProcessClassifier",
+            "config": {
+                "max_points": self.max_points,
+                "max_newton_iter": self.max_newton_iter,
+                "tol": self.tol,
+                "jitter": self.jitter,
+            },
+            "n_features": self._n_features,
+            "kernel": encode_kernel(self._fitted_kernel),
+            "kernel_was_explicit": self.kernel is not None,
+            "scaler": encode_standard_scaler(self._scaler, store, prefix),
+            "arrays": {
+                "X_train": store.put(f"{prefix}/X_train", self._X_train),
+                "grad_at_mode": store.put(
+                    f"{prefix}/grad_at_mode", self._grad_at_mode
+                ),
+                "sqrt_w": store.put(f"{prefix}/sqrt_w", self._sqrt_w),
+                "chol_b": store.put(f"{prefix}/chol_b", self._chol_b),
+            },
+        }
+
+    @classmethod
+    def from_manifest(cls, node: dict, arrays: dict) -> "GaussianProcessClassifier":
+        from repro.runtime.persistence import (
+            decode_kernel,
+            decode_standard_scaler,
+            get_array,
+        )
+
+        kernel = decode_kernel(node["kernel"])
+        model = cls(
+            kernel=kernel if node["kernel_was_explicit"] else None,
+            **node["config"],
+        )
+        refs = node["arrays"]
+        model._X_train = get_array(arrays, refs["X_train"]).astype(float)
+        model._grad_at_mode = get_array(arrays, refs["grad_at_mode"]).astype(float)
+        model._sqrt_w = get_array(arrays, refs["sqrt_w"]).astype(float)
+        model._chol_b = get_array(arrays, refs["chol_b"]).astype(float)
+        model._fitted_kernel = kernel
+        model._scaler = decode_standard_scaler(node["scaler"], arrays)
+        model._n_features = node["n_features"]
+        model._mark_fitted()
+        return model

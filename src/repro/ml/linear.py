@@ -104,6 +104,34 @@ class LogisticRegression(Classifier):
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         return _stable_sigmoid(self.decision_function(X))
 
+    # ------------------------------------------------------------------
+    def to_manifest(self, store, prefix: str) -> dict:
+        from repro.exceptions import NotFittedError
+        from repro.runtime.persistence import encode_standard_scaler
+
+        if self.coef_ is None:
+            raise NotFittedError("cannot persist an unfitted LogisticRegression")
+        return {
+            "type": "LogisticRegression",
+            "config": {"l2": self.l2, "max_iter": self.max_iter, "tol": self.tol},
+            "n_features": self._n_features,
+            "intercept": self.intercept_,
+            "scaler": encode_standard_scaler(self._scaler, store, prefix),
+            "arrays": {"coef": store.put(f"{prefix}/coef", self.coef_)},
+        }
+
+    @classmethod
+    def from_manifest(cls, node: dict, arrays: dict) -> "LogisticRegression":
+        from repro.runtime.persistence import decode_standard_scaler, get_array
+
+        model = cls(**node["config"])
+        model.coef_ = get_array(arrays, node["arrays"]["coef"]).astype(float)
+        model.intercept_ = float(node["intercept"])
+        model._scaler = decode_standard_scaler(node["scaler"], arrays)
+        model._n_features = node["n_features"]
+        model._mark_fitted()
+        return model
+
 
 class PUWeightedLogisticRegression(Classifier):
     """Weighted logistic regression for positive-unlabeled data.
@@ -165,3 +193,28 @@ class PUWeightedLogisticRegression(Classifier):
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         X = self._check_predict_input(X)
         return self._model.predict_proba(X)
+
+    # ------------------------------------------------------------------
+    def to_manifest(self, store, prefix: str) -> dict:
+        from repro.exceptions import NotFittedError
+
+        if not self._fitted:
+            raise NotFittedError(
+                "cannot persist an unfitted PUWeightedLogisticRegression"
+            )
+        return {
+            "type": "PUWeightedLogisticRegression",
+            "reliability_rate": self.reliability_rate,
+            "n_features": self._n_features,
+            "model": self._model.to_manifest(store, f"{prefix}/model"),
+        }
+
+    @classmethod
+    def from_manifest(cls, node: dict, arrays: dict) -> "PUWeightedLogisticRegression":
+        from repro.runtime.persistence import decode_node
+
+        model = cls(reliability_rate=node["reliability_rate"])
+        model._model = decode_node(node["model"], arrays)
+        model._n_features = node["n_features"]
+        model._mark_fitted()
+        return model

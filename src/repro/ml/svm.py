@@ -120,3 +120,39 @@ class LinearSVMClassifier(Classifier):
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         return self._platt.transform(self.decision_function(X))
+
+    # ------------------------------------------------------------------
+    def to_manifest(self, store, prefix: str) -> dict:
+        from repro.exceptions import NotFittedError
+        from repro.runtime.persistence import encode_standard_scaler
+
+        if self.weights_ is None or self._platt.a_ is None:
+            raise NotFittedError("cannot persist an unfitted LinearSVMClassifier")
+        return {
+            "type": "LinearSVMClassifier",
+            "config": {
+                "c": self.c,
+                "max_epochs": self.max_epochs,
+                "tol": self.tol,
+                "class_weight_balanced": self.class_weight_balanced,
+            },
+            "n_features": self._n_features,
+            "bias": self.bias_,
+            "platt": {"a": self._platt.a_, "b": self._platt.b_},
+            "scaler": encode_standard_scaler(self._scaler, store, prefix),
+            "arrays": {"weights": store.put(f"{prefix}/weights", self.weights_)},
+        }
+
+    @classmethod
+    def from_manifest(cls, node: dict, arrays: dict) -> "LinearSVMClassifier":
+        from repro.runtime.persistence import decode_standard_scaler, get_array
+
+        model = cls(**node["config"])
+        model.weights_ = get_array(arrays, node["arrays"]["weights"]).astype(float)
+        model.bias_ = float(node["bias"])
+        model._scaler = decode_standard_scaler(node["scaler"], arrays)
+        model._platt.a_ = float(node["platt"]["a"])
+        model._platt.b_ = float(node["platt"]["b"])
+        model._n_features = node["n_features"]
+        model._mark_fitted()
+        return model

@@ -29,6 +29,59 @@ class _Node:
     n_samples: int = 0
 
 
+def _flatten_tree(root: _Node) -> dict[str, np.ndarray]:
+    """Pack a node tree into parallel arrays (preorder; -1 = no child)."""
+    features: list[int] = []
+    thresholds: list[float] = []
+    probabilities: list[float] = []
+    n_samples: list[int] = []
+    lefts: list[int] = []
+    rights: list[int] = []
+
+    def visit(node: _Node) -> int:
+        idx = len(features)
+        features.append(node.feature)
+        thresholds.append(node.threshold)
+        probabilities.append(node.probability)
+        n_samples.append(node.n_samples)
+        lefts.append(-1)
+        rights.append(-1)
+        if node.feature >= 0 and node.left is not None and node.right is not None:
+            lefts[idx] = visit(node.left)
+            rights[idx] = visit(node.right)
+        return idx
+
+    visit(root)
+    return {
+        "feature": np.asarray(features, dtype=np.int64),
+        "threshold": np.asarray(thresholds, dtype=float),
+        "probability": np.asarray(probabilities, dtype=float),
+        "n_samples": np.asarray(n_samples, dtype=np.int64),
+        "left": np.asarray(lefts, dtype=np.int64),
+        "right": np.asarray(rights, dtype=np.int64),
+    }
+
+
+def _unflatten_tree(packed: dict[str, np.ndarray]) -> _Node:
+    """Rebuild the node tree from :func:`_flatten_tree` arrays."""
+
+    def build(idx: int) -> _Node:
+        node = _Node(
+            feature=int(packed["feature"][idx]),
+            threshold=float(packed["threshold"][idx]),
+            probability=float(packed["probability"][idx]),
+            n_samples=int(packed["n_samples"][idx]),
+        )
+        left = int(packed["left"][idx])
+        right = int(packed["right"][idx])
+        if left >= 0 and right >= 0:
+            node.left = build(left)
+            node.right = build(right)
+        return node
+
+    return build(0)
+
+
 class DecisionTreeClassifier(Classifier):
     """Binary CART tree.
 
@@ -92,6 +145,40 @@ class DecisionTreeClassifier(Classifier):
         out = np.empty(X.shape[0])
         self._fill(self._root, X, np.arange(X.shape[0]), out)
         return out
+
+    def to_manifest(self, store, prefix: str) -> dict:
+        from repro.exceptions import NotFittedError
+
+        if self._root is None:
+            raise NotFittedError("cannot persist an unfitted DecisionTreeClassifier")
+        packed = _flatten_tree(self._root)
+        return {
+            "type": "DecisionTreeClassifier",
+            "config": {
+                "max_depth": self.max_depth,
+                "min_samples_split": self.min_samples_split,
+                "min_samples_leaf": self.min_samples_leaf,
+                "max_features": self.max_features,
+                "laplace": self.laplace,
+            },
+            "n_features": self._n_features,
+            "arrays": {
+                name: store.put(f"{prefix}/{name}", array)
+                for name, array in packed.items()
+            },
+        }
+
+    @classmethod
+    def from_manifest(cls, node: dict, arrays: dict) -> "DecisionTreeClassifier":
+        from repro.runtime.persistence import get_array
+
+        model = cls(**node["config"])
+        model._root = _unflatten_tree(
+            {name: get_array(arrays, key) for name, key in node["arrays"].items()}
+        )
+        model._n_features = node["n_features"]
+        model._mark_fitted()
+        return model
 
     @property
     def n_leaves(self) -> int:

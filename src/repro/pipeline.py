@@ -21,7 +21,7 @@ from repro.fieldtest.analysis import chi_squared_test
 from repro.fieldtest.design import FieldTestDesign, design_field_test
 from repro.fieldtest.simulate import FieldTrialResult, run_field_trial
 from repro.planning.planner import PatrolPlan, PatrolPlanner
-from repro.planning.robust import RobustObjective
+from repro.runtime.service import RiskMapService
 
 
 @dataclass
@@ -152,6 +152,10 @@ class DataToDeploymentPipeline:
     ) -> dict[int, PatrolPlan]:
         park = data.park
         features = predictor.cell_feature_matrix(park, data.recorded_effort[-1])
+        # Every post shares the same park features and PWL breakpoints, so
+        # serving through the cached facade computes the effort-response
+        # surfaces once instead of once per post.
+        service = RiskMapService(predictor)
         plans: dict[int, PatrolPlan] = {}
         for post in park.patrol_posts:
             planner = PatrolPlanner(
@@ -161,10 +165,9 @@ class DataToDeploymentPipeline:
                 n_patrols=self.n_patrols,
                 n_segments=self.n_segments,
             )
-            xs = planner.breakpoints()
-            risk, nu = predictor.effort_response(features, xs)
-            objective = RobustObjective(xs, risk, nu, beta=self.beta)
-            plans[int(post)] = planner.plan(objective)
+            plans[int(post)] = planner.plan_from_model(
+                service, features, beta=self.beta
+            )
         return plans
 
     def _attach_field_test(

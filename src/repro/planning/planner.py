@@ -114,6 +114,24 @@ class PatrolPlanner:
             utilities[int(v)] = PiecewiseLinear(xs, np.asarray(f(xs)))
         return utilities
 
+    def plan_from_model(
+        self, model, features: np.ndarray, beta: float = 0.8
+    ) -> PatrolPlan:
+        """Predictor in, deployable plan out — the serving-path entry point.
+
+        Samples the model's effort-response surfaces on this planner's PWL
+        breakpoints, wraps them in a robust objective at ``beta``, and
+        solves. ``model`` is anything exposing
+        ``effort_response(features, xs) -> (risk, nu)``: a fitted
+        :class:`~repro.core.predictor.PawsPredictor` or a cached
+        :class:`~repro.runtime.service.RiskMapService` (which makes repeated
+        planning at different betas hit the prediction cache).
+        """
+        xs = self.breakpoints()
+        risk, nu = model.effort_response(features, xs)
+        objective = RobustObjective(xs, risk, nu, beta=beta)
+        return self.plan(objective)
+
     def plan(self, objective: RobustObjective, beta: float | None = None) -> PatrolPlan:
         """Solve problem (P) under the (robust) objective.
 

@@ -1,0 +1,39 @@
+"""The serving layer: batched prediction, parallel fitting, persistence.
+
+The predictive stage (``repro.core``) answers one question at a time; this
+package turns it into a serving engine for the deployment workloads of
+Section VII:
+
+* :mod:`repro.runtime.parallel` — two-phase (seed-serial, fit-parallel)
+  thread fan-out used by bagging and iWare-E fitting; parallel results are
+  bit-identical to serial ones.
+* :mod:`repro.runtime.persistence` — ``save()``/``load()`` for every
+  classifier, :class:`~repro.core.ensemble.IWareEnsemble`, and
+  :class:`~repro.core.predictor.PawsPredictor` as an npz + json-manifest
+  directory, so fitted models serve risk maps without refitting.
+* :mod:`repro.runtime.service` — :class:`RiskMapService`, the cached
+  fit-once / predict-many facade the CLI and examples build on.
+
+``repro.ml`` modules import this package for ``parallel_map`` and the
+persistence codec, so this ``__init__`` must not import ``repro.core`` at
+module scope; :class:`RiskMapService` is exposed lazily instead.
+"""
+
+from repro.runtime.parallel import parallel_map, resolve_n_jobs
+from repro.runtime.persistence import load_model, save_model
+
+__all__ = [
+    "parallel_map",
+    "resolve_n_jobs",
+    "save_model",
+    "load_model",
+    "RiskMapService",
+]
+
+
+def __getattr__(name: str):
+    if name == "RiskMapService":
+        from repro.runtime.service import RiskMapService
+
+        return RiskMapService
+    raise AttributeError(f"module 'repro.runtime' has no attribute '{name}'")

@@ -1,0 +1,228 @@
+"""Model persistence: npz arrays + a json manifest.
+
+A saved model is a directory with two files::
+
+    <path>/manifest.json   # structure: types, config, scalar state
+    <path>/arrays.npz      # every numpy array, keyed by manifest references
+
+The manifest is a nested tree of *nodes*. Each node carries a ``"type"``
+naming a registered class, a json-able ``"config"``/scalar payload, and
+(optionally) references into the npz file under ``"arrays"``. Nested models
+(a :class:`~repro.core.predictor.PawsPredictor` holding an iWare-E ensemble
+holding bagging ensembles holding weak learners) recurse naturally: a child
+model is just a child node.
+
+Every persistable class implements the two-method protocol::
+
+    def to_manifest(self, store: ArrayStore, prefix: str) -> dict: ...
+    @classmethod
+    def from_manifest(cls, node: dict, arrays: dict[str, np.ndarray]): ...
+
+and this module provides the packing (:func:`save_model`), unpacking
+(:func:`load_model`), and the type registry used to decode child nodes.
+
+Deliberate non-goals: random-generator state (loaded models serve
+predictions, which are deterministic; refitting a loaded ensemble is
+rejected because weak-learner factories — closures — cannot be serialised)
+and pickle compatibility (no arbitrary code execution on load).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import PersistenceError
+
+#: Bump when the manifest layout changes incompatibly.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+
+class ArrayStore:
+    """Collects named arrays during encoding; written out as one npz."""
+
+    def __init__(self) -> None:
+        self.arrays: dict[str, np.ndarray] = {}
+
+    def put(self, key: str, array: np.ndarray) -> str:
+        """Register ``array`` under ``key`` and return the key (a manifest ref)."""
+        if key in self.arrays:
+            raise PersistenceError(f"duplicate array key '{key}'")
+        self.arrays[key] = np.asarray(array)
+        return key
+
+
+def get_array(arrays: dict[str, np.ndarray], key: str) -> np.ndarray:
+    """Fetch a manifest-referenced array, with a clear error when absent."""
+    try:
+        return arrays[key]
+    except KeyError:
+        raise PersistenceError(
+            f"manifest references missing array '{key}'"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Type registry
+# ---------------------------------------------------------------------------
+def _registry() -> dict[str, type]:
+    """Name -> class map of everything that can appear as a manifest node.
+
+    Imported lazily so this module stays importable from the bottom of the
+    package (``repro.ml`` modules import it for their ``save`` methods).
+    """
+    from repro.core.ensemble import IWareEnsemble
+    from repro.core.predictor import PawsPredictor
+    from repro.ml.bagging import BaggingClassifier, BalancedBaggingClassifier
+    from repro.ml.base import ConstantClassifier
+    from repro.ml.gp import GaussianProcessClassifier
+    from repro.ml.linear import LogisticRegression, PUWeightedLogisticRegression
+    from repro.ml.svm import LinearSVMClassifier
+    from repro.ml.tree import DecisionTreeClassifier
+
+    classes = (
+        ConstantClassifier,
+        DecisionTreeClassifier,
+        LinearSVMClassifier,
+        GaussianProcessClassifier,
+        LogisticRegression,
+        PUWeightedLogisticRegression,
+        BaggingClassifier,
+        BalancedBaggingClassifier,
+        IWareEnsemble,
+        PawsPredictor,
+    )
+    return {cls.__name__: cls for cls in classes}
+
+
+def decode_node(node: dict, arrays: dict[str, np.ndarray]) -> Any:
+    """Rebuild the object a manifest node describes (recursing via the class)."""
+    if not isinstance(node, dict) or "type" not in node:
+        raise PersistenceError(f"malformed manifest node: {node!r}")
+    cls = _registry().get(node["type"])
+    if cls is None:
+        raise PersistenceError(f"unknown model type '{node['type']}' in manifest")
+    return cls.from_manifest(node, arrays)
+
+
+# ---------------------------------------------------------------------------
+# Inline helpers for non-model components (scalers, calibrators, kernels)
+# ---------------------------------------------------------------------------
+def encode_standard_scaler(scaler, store: ArrayStore, prefix: str) -> dict:
+    """Inline node for a fitted :class:`~repro.ml.scaling.StandardScaler`."""
+    if scaler.mean_ is None or scaler.scale_ is None:
+        raise PersistenceError("cannot persist an unfitted StandardScaler")
+    return {
+        "mean": store.put(f"{prefix}/scaler_mean", scaler.mean_),
+        "scale": store.put(f"{prefix}/scaler_scale", scaler.scale_),
+    }
+
+
+def decode_standard_scaler(node: dict, arrays: dict[str, np.ndarray]):
+    from repro.ml.scaling import StandardScaler
+
+    scaler = StandardScaler()
+    scaler.mean_ = get_array(arrays, node["mean"]).astype(float)
+    scaler.scale_ = get_array(arrays, node["scale"]).astype(float)
+    return scaler
+
+
+def encode_kernel(kernel) -> dict:
+    """Inline node for an RBF / Matern kernel (parameters only)."""
+    from repro.ml.kernels import MaternKernel, RBFKernel
+
+    if isinstance(kernel, RBFKernel):
+        kind = "rbf"
+    elif isinstance(kernel, MaternKernel):
+        kind = "matern"
+    else:
+        raise PersistenceError(f"cannot persist kernel {type(kernel).__name__}")
+    return {
+        "kind": kind,
+        "lengthscale": kernel.lengthscale,
+        "variance": kernel.variance,
+    }
+
+
+def decode_kernel(node: dict):
+    from repro.ml.kernels import MaternKernel, RBFKernel
+
+    kinds = {"rbf": RBFKernel, "matern": MaternKernel}
+    if node["kind"] not in kinds:
+        raise PersistenceError(f"unknown kernel kind '{node['kind']}'")
+    return kinds[node["kind"]](
+        lengthscale=node["lengthscale"], variance=node["variance"]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Top-level save / load
+# ---------------------------------------------------------------------------
+def save_model(model, path: str | Path) -> Path:
+    """Persist a fitted model to ``path`` (a directory, created if needed).
+
+    Returns the directory path. Any object implementing the manifest
+    protocol can be saved: individual classifiers, iWare-E ensembles, or a
+    whole :class:`~repro.core.predictor.PawsPredictor`.
+    """
+    from repro import __version__
+
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    store = ArrayStore()
+    node = model.to_manifest(store, "model")
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "repro_version": __version__,
+        "model": node,
+    }
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    np.savez_compressed(path / ARRAYS_NAME, **store.arrays)
+    return path
+
+
+def load_model(path: str | Path, expected_type: type | None = None) -> Any:
+    """Load a model saved by :func:`save_model`.
+
+    Parameters
+    ----------
+    path:
+        The saved-model directory.
+    expected_type:
+        When given, the decoded object must be an instance of it (used by
+        the per-class ``load`` classmethods so ``PawsPredictor.load`` cannot
+        silently hand back a bare tree).
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    arrays_path = path / ARRAYS_NAME
+    if not manifest_path.is_file() or not arrays_path.is_file():
+        raise PersistenceError(
+            f"'{path}' is not a saved model (expected {MANIFEST_NAME} "
+            f"and {ARRAYS_NAME})"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"corrupt manifest in '{path}': {exc}") from exc
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported model format {version!r} (this build reads "
+            f"{FORMAT_VERSION})"
+        )
+    with np.load(arrays_path) as data:
+        arrays = {key: data[key] for key in data.files}
+    model = decode_node(manifest["model"], arrays)
+    if expected_type is not None and not isinstance(model, expected_type):
+        raise PersistenceError(
+            f"'{path}' contains a {type(model).__name__}, "
+            f"not a {expected_type.__name__}"
+        )
+    return model

@@ -1,0 +1,160 @@
+"""The risk-map serving facade: fit (or load) once, predict many.
+
+Deployed PAWS installations (Section VII: MFNP, QENP, SWS) serve risk maps
+repeatedly from one fitted model — every patrol post queries the same
+effort-response surfaces, dashboards re-render the same maps, and planners
+re-solve under different robustness weights. :class:`RiskMapService` wraps a
+fitted :class:`~repro.core.predictor.PawsPredictor` with
+
+* the **batched** effort-response path (one ensemble pass per request
+  instead of one per effort level), and
+* an **LRU result cache** keyed on the request arrays, so repeated queries
+  (the common case: same park features, same planner breakpoints) cost a
+  dictionary lookup.
+
+Combined with model persistence, this is the "serve without refit" workload::
+
+    predictor.save("models/mfnp-gpb")           # once, after training
+    service = RiskMapService.from_saved("models/mfnp-gpb")
+    risk, nu = service.effort_response(features, planner.breakpoints())
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.predictor import PawsPredictor
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+class RiskMapService:
+    """Cached serving facade over a fitted predictor.
+
+    Parameters
+    ----------
+    predictor:
+        A fitted :class:`~repro.core.predictor.PawsPredictor`.
+    max_entries:
+        LRU capacity; each entry holds one query's result arrays. Zero
+        disables caching.
+    """
+
+    def __init__(self, predictor: PawsPredictor, max_entries: int = 32):
+        if not isinstance(predictor, PawsPredictor):
+            raise ConfigurationError(
+                f"expected a PawsPredictor, got {type(predictor).__name__}"
+            )
+        try:
+            predictor._check_fitted()
+        except NotFittedError:
+            raise NotFittedError(
+                "RiskMapService needs a fitted predictor (fit it, or load "
+                "one with RiskMapService.from_saved)"
+            ) from None
+        if max_entries < 0:
+            raise ConfigurationError(f"max_entries must be >= 0, got {max_entries}")
+        self.predictor = predictor
+        self.max_entries = max_entries
+        self._cache: OrderedDict[str, tuple[np.ndarray, ...]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Construction from a saved model
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_saved(cls, path, max_entries: int = 32) -> "RiskMapService":
+        """Serve a predictor persisted with ``PawsPredictor.save``."""
+        return cls(PawsPredictor.load(path), max_entries=max_entries)
+
+    def save(self, path) -> None:
+        """Persist the underlying predictor (the cache is not saved)."""
+        self.predictor.save(path)
+
+    # ------------------------------------------------------------------
+    # Cached queries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(tag: str, *arrays: np.ndarray) -> str:
+        digest = hashlib.sha256()
+        digest.update(tag.encode())
+        for array in arrays:
+            array = np.ascontiguousarray(array)
+            digest.update(str(array.shape).encode())
+            digest.update(array.dtype.str.encode())
+            digest.update(array.tobytes())
+        return digest.hexdigest()
+
+    def _cached(self, key: str, compute) -> tuple[np.ndarray, ...]:
+        if self.max_entries == 0:
+            return compute()
+        if key in self._cache:
+            self.hits += 1
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        self.misses += 1
+        result = compute()
+        self._cache[key] = result
+        if len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+        return result
+
+    def effort_response(
+        self, features: np.ndarray, effort_grid: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cached batched ``(g_v(c), nu_v(c))`` surfaces for planner input.
+
+        Returns copies, so callers may mutate the results freely without
+        poisoning the cache. The predictor's ``uncertainty_scaler`` is
+        cached with each result and restored on hits, so it always matches
+        the surfaces just returned — exactly as if the query had been
+        recomputed.
+        """
+        features = np.asarray(features, dtype=float)
+        effort_grid = np.asarray(effort_grid, dtype=float)
+        key = self._key("effort_response", features, effort_grid)
+
+        def compute():
+            risk, nu = self.predictor.effort_response(features, effort_grid)
+            return risk, nu, self.predictor.uncertainty_scaler
+
+        risk, nu, scaler = self._cached(key, compute)
+        self.predictor._uncertainty_scaler = scaler
+        return risk.copy(), nu.copy()
+
+    def risk_map(
+        self, features: np.ndarray, effort: float | None = None
+    ) -> np.ndarray:
+        """Cached per-cell attack-detection probability at one effort level.
+
+        ``effort=None`` gives the unconditional (prior-corrected) map; a
+        value conditions on that hypothetical patrol effort, as in the
+        Fig. 6 risk maps.
+        """
+        features = np.asarray(features, dtype=float)
+        effort_tag = "none" if effort is None else repr(float(effort))
+        key = self._key(f"risk_map/{effort_tag}", features)
+        (risk,) = self._cached(
+            key,
+            lambda: (self.predictor.predict_proba(features, effort=effort),),
+        )
+        return risk.copy()
+
+    # ------------------------------------------------------------------
+    # Cache introspection
+    # ------------------------------------------------------------------
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters (for logs and benchmarks)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._cache),
+            "max_entries": self.max_entries,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (counters are kept)."""
+        self._cache.clear()

@@ -1,0 +1,106 @@
+"""Smoke tests: every documented CLI entry point exits 0.
+
+Runs ``python -m repro`` as a real subprocess (the way a user would), so the
+package import path, argparse wiring, and each subcommand's help text are
+exercised end to end. The ``predict`` round trip also covers the
+save-model/load-model serving flow through the CLI.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Every subcommand the CLI documents; update when adding one.
+SUBCOMMANDS = ("stats", "maps", "evaluate", "fieldtest", "plan", "predict")
+
+
+def run_module(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+
+
+class TestHelpExitsZero:
+    def test_top_level_help(self):
+        result = run_module("--help")
+        assert result.returncode == 0, result.stderr
+        assert "repro" in result.stdout
+
+    @pytest.mark.parametrize("command", SUBCOMMANDS)
+    def test_subcommand_help(self, command):
+        result = run_module(command, "--help")
+        assert result.returncode == 0, result.stderr
+        assert command in result.stdout or "usage" in result.stdout
+
+    def test_parser_registers_every_documented_subcommand(self):
+        parser = build_parser()
+        actions = [
+            action for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        ]
+        registered = set(actions[0].choices)
+        assert registered == set(SUBCOMMANDS)
+
+
+class TestPredictRoundTrip:
+    def test_save_then_load_serves_identical_map(self, tmp_path):
+        import io
+
+        model_dir = str(tmp_path / "model")
+        save_out = io.StringIO()
+        code = main(
+            ["predict", "--park", "MFNP", "--scale", "0.4",
+             "--model", "dtb", "--n-classifiers", "3",
+             "--save-model", model_dir],
+            out=save_out,
+        )
+        assert code == 0
+        assert "model saved to" in save_out.getvalue()
+
+        load_out = io.StringIO()
+        code = main(
+            ["predict", "--park", "MFNP", "--scale", "0.4",
+             "--load-model", model_dir],
+            out=load_out,
+        )
+        assert code == 0
+        assert "loaded from" in load_out.getvalue()
+
+        def heatmap_of(text: str) -> str:
+            lines = text.splitlines()
+            start = lines.index("predicted attack risk:")
+            return "\n".join(lines[start:])
+
+        assert heatmap_of(save_out.getvalue().replace(
+            f"model saved to {model_dir}\n", ""
+        )) == heatmap_of(load_out.getvalue())
+
+    def test_explicit_effort(self):
+        import io
+
+        out = io.StringIO()
+        code = main(
+            ["predict", "--park", "MFNP", "--scale", "0.4",
+             "--model", "dtb", "--n-classifiers", "3", "--effort", "2.5"],
+            out=out,
+        )
+        assert code == 0
+        assert "effort 2.50 km" in out.getvalue()

@@ -1,0 +1,239 @@
+"""Model persistence round-trips: save() -> load() -> identical predictions.
+
+The serving contract is that a persisted model answers every prediction
+query exactly like the instance it was saved from — for all three
+weak-learner families, with and without iWare-E, down to the raw classifier
+layer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import IWareEnsemble, PawsPredictor, make_weak_learner
+from repro.data import MFNP, generate_dataset
+from repro.exceptions import (
+    ConfigurationError,
+    NotFittedError,
+    PersistenceError,
+)
+from repro.ml import (
+    BaggingClassifier,
+    BalancedBaggingClassifier,
+    DecisionTreeClassifier,
+    GaussianProcessClassifier,
+    LinearSVMClassifier,
+    LogisticRegression,
+    PUWeightedLogisticRegression,
+)
+from repro.ml.base import ConstantClassifier
+
+from tests.conftest import make_blobs
+
+
+@pytest.fixture(scope="module")
+def park_split():
+    data = generate_dataset(MFNP.scaled(0.4), seed=0)
+    return data.dataset.split_by_test_year(4)
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(7)
+    return make_blobs(rng, n_per_class=40, n_features=3)
+
+
+# ---------------------------------------------------------------------------
+# Raw classifiers
+# ---------------------------------------------------------------------------
+class TestClassifierRoundTrips:
+    def assert_round_trip(self, model, X, tmp_path, check_variance=False):
+        path = tmp_path / "model"
+        model.save(path)
+        loaded = type(model).load(path)
+        np.testing.assert_array_equal(
+            loaded.predict_proba(X), model.predict_proba(X)
+        )
+        if check_variance:
+            np.testing.assert_array_equal(
+                loaded.predict_variance(X), model.predict_variance(X)
+            )
+        return loaded
+
+    def test_constant(self, blobs, tmp_path):
+        X, y = blobs
+        model = ConstantClassifier().fit(X, y)
+        self.assert_round_trip(model, X, tmp_path)
+
+    def test_tree(self, blobs, tmp_path):
+        X, y = blobs
+        model = DecisionTreeClassifier(
+            max_depth=5, max_features="sqrt", rng=np.random.default_rng(0)
+        ).fit(X, y)
+        loaded = self.assert_round_trip(model, X, tmp_path)
+        assert loaded.n_leaves == model.n_leaves
+        assert loaded.depth == model.depth
+
+    def test_svm(self, blobs, tmp_path):
+        X, y = blobs
+        model = LinearSVMClassifier(rng=np.random.default_rng(0)).fit(X, y)
+        loaded = self.assert_round_trip(model, X, tmp_path)
+        np.testing.assert_array_equal(
+            loaded.decision_function(X), model.decision_function(X)
+        )
+
+    def test_gp(self, blobs, tmp_path):
+        X, y = blobs
+        model = GaussianProcessClassifier(
+            max_points=60, rng=np.random.default_rng(0)
+        ).fit(X, y)
+        self.assert_round_trip(model, X, tmp_path, check_variance=True)
+
+    def test_logistic(self, blobs, tmp_path):
+        X, y = blobs
+        model = LogisticRegression(l2=0.5).fit(X, y)
+        self.assert_round_trip(model, X, tmp_path)
+
+    def test_pu_logistic(self, blobs, tmp_path):
+        X, y = blobs
+        effort = np.abs(X[:, -1]) + 0.1
+        model = PUWeightedLogisticRegression().fit(X, y, effort=effort)
+        self.assert_round_trip(model, X, tmp_path)
+
+    @pytest.mark.parametrize("balanced", [False, True])
+    def test_bagging(self, blobs, tmp_path, balanced):
+        X, y = blobs
+        rng = np.random.default_rng(3)
+        factory = lambda: DecisionTreeClassifier(  # noqa: E731
+            max_depth=4, rng=np.random.default_rng(int(rng.integers(2**31)))
+        )
+        cls = BalancedBaggingClassifier if balanced else BaggingClassifier
+        model = cls(factory, n_estimators=3, rng=np.random.default_rng(5)).fit(X, y)
+        loaded = self.assert_round_trip(model, X, tmp_path, check_variance=True)
+        np.testing.assert_array_equal(loaded.inbag_counts_, model.inbag_counts_)
+        np.testing.assert_array_equal(
+            loaded.mean_member_variance(X), model.mean_member_variance(X)
+        )
+
+    def test_loaded_bagging_refuses_refit(self, blobs, tmp_path):
+        X, y = blobs
+        rng = np.random.default_rng(3)
+        factory = lambda: DecisionTreeClassifier(  # noqa: E731
+            max_depth=4, rng=np.random.default_rng(int(rng.integers(2**31)))
+        )
+        model = BaggingClassifier(factory, n_estimators=2).fit(X, y)
+        model.save(tmp_path / "m")
+        loaded = BaggingClassifier.load(tmp_path / "m")
+        with pytest.raises(ConfigurationError):
+            loaded.fit(X, y)
+
+
+# ---------------------------------------------------------------------------
+# iWare-E ensembles and the predictor facade
+# ---------------------------------------------------------------------------
+class TestEnsembleRoundTrip:
+    def test_iware_ensemble(self, park_split, tmp_path):
+        factory = make_weak_learner(
+            "dtb", rng=np.random.default_rng(11), n_estimators=2
+        )
+        ensemble = IWareEnsemble(
+            factory, n_classifiers=4, rng=np.random.default_rng(12)
+        ).fit(park_split.train)
+        ensemble.save(tmp_path / "ens")
+        loaded = IWareEnsemble.load(tmp_path / "ens")
+        X = park_split.test.feature_matrix
+        np.testing.assert_array_equal(
+            loaded.predict_proba(X), ensemble.predict_proba(X)
+        )
+        np.testing.assert_array_equal(
+            loaded.predict_proba(X, effort=2.0),
+            ensemble.predict_proba(X, effort=2.0),
+        )
+        np.testing.assert_array_equal(
+            loaded.predict_variance(X, effort=2.0),
+            ensemble.predict_variance(X, effort=2.0),
+        )
+        np.testing.assert_array_equal(loaded.thresholds_, ensemble.thresholds_)
+        np.testing.assert_array_equal(loaded.weights_, ensemble.weights_)
+
+    def test_loaded_ensemble_refuses_refit(self, park_split, tmp_path):
+        factory = make_weak_learner(
+            "dtb", rng=np.random.default_rng(11), n_estimators=2
+        )
+        ensemble = IWareEnsemble(
+            factory, n_classifiers=3, rng=np.random.default_rng(12)
+        ).fit(park_split.train)
+        ensemble.save(tmp_path / "ens")
+        loaded = IWareEnsemble.load(tmp_path / "ens")
+        with pytest.raises(ConfigurationError):
+            loaded.fit(park_split.train)
+
+
+@pytest.mark.parametrize("model", ["svb", "dtb", "gpb"])
+@pytest.mark.parametrize("iware", [True, False])
+class TestPredictorRoundTrip:
+    def test_identical_serving(self, park_split, tmp_path, model, iware):
+        predictor = PawsPredictor(
+            model=model, iware=iware, n_classifiers=3, n_estimators=2, seed=9
+        ).fit(park_split.train)
+        predictor.save(tmp_path / "paws")
+        loaded = PawsPredictor.load(tmp_path / "paws")
+
+        X = park_split.test.feature_matrix
+        np.testing.assert_array_equal(
+            loaded.predict_proba(X), predictor.predict_proba(X)
+        )
+        np.testing.assert_array_equal(
+            loaded.predict_variance(X), predictor.predict_variance(X)
+        )
+        grid = np.linspace(0.0, 4.0, 5)
+        risk, nu = predictor.effort_response(X, grid)
+        loaded_risk, loaded_nu = loaded.effort_response(X, grid)
+        np.testing.assert_array_equal(loaded_risk, risk)
+        np.testing.assert_array_equal(loaded_nu, nu)
+        assert loaded.name == predictor.name
+        assert loaded.evaluate_auc(park_split.test) == predictor.evaluate_auc(
+            park_split.test
+        )
+
+
+# ---------------------------------------------------------------------------
+# Failure modes
+# ---------------------------------------------------------------------------
+class TestFailureModes:
+    def test_unfitted_models_refuse_to_save(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            PawsPredictor().save(tmp_path / "nope")
+        with pytest.raises(NotFittedError):
+            LogisticRegression().save(tmp_path / "nope")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            PawsPredictor.load(tmp_path / "does-not-exist")
+
+    def test_wrong_type_rejected(self, blobs, tmp_path):
+        X, y = blobs
+        LogisticRegression().fit(X, y).save(tmp_path / "lr")
+        with pytest.raises(PersistenceError):
+            PawsPredictor.load(tmp_path / "lr")
+
+    def test_corrupt_manifest(self, blobs, tmp_path):
+        X, y = blobs
+        path = tmp_path / "lr"
+        LogisticRegression().fit(X, y).save(path)
+        (path / "manifest.json").write_text("{not json")
+        with pytest.raises(PersistenceError):
+            LogisticRegression.load(path)
+
+    def test_future_format_rejected(self, blobs, tmp_path):
+        X, y = blobs
+        path = tmp_path / "lr"
+        LogisticRegression().fit(X, y).save(path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format_version"] = 999
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError):
+            LogisticRegression.load(path)
