@@ -1,0 +1,141 @@
+"""Planning engine: multi-post throughput, LP fast path, structure reuse.
+
+PR 1 made prediction fit-once/serve-many; this benchmark measures the same
+treatment for Section VI planning. Three numbers matter:
+
+* **posts planned per second** through one :class:`PlanService`, serial vs
+  thread-parallel (plans must be bit-identical at any worker count);
+* **LP-vs-MILP speedup** — on all-concave utilities the SOS2 binaries are
+  dead weight, and the LP fast path must match the full MILP objective to
+  1e-6 while being measurably faster;
+* **beta-sweep structure reuse** — re-solves that only swap the objective
+  vector against the cached sparse model vs rebuilding it fresh.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.evaluation import format_table
+from repro.planning import PatrolMILP, PiecewiseLinear, TimeUnrolledGraph
+from repro.planning.service import PlanService
+from repro.runtime import RiskMapService
+
+from conftest import write_report
+
+HORIZON = 8
+N_PATROLS = 2
+N_SEGMENTS = 8
+LP_SEGMENTS = 15
+BETAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def _concave_utilities(graph, milp, n_segments, seed=0):
+    rng = np.random.default_rng(seed)
+    xs = np.linspace(0.0, milp.max_coverage, n_segments + 1)
+    return {
+        int(v): PiecewiseLinear(
+            xs, rng.random() * (1 - np.exp(-(0.2 + rng.random()) * xs))
+        )
+        for v in graph.reachable_cells
+    }
+
+
+def test_planning_throughput(mfnp_data, fitted_gpb_mfnp, benchmark):
+    park = mfnp_data.park
+    features = fitted_gpb_mfnp.cell_feature_matrix(
+        park, mfnp_data.recorded_effort[-1]
+    )
+    service = PlanService(
+        RiskMapService(fitted_gpb_mfnp),
+        park.grid,
+        park.patrol_posts,
+        horizon=HORIZON,
+        n_patrols=N_PATROLS,
+        n_segments=N_SEGMENTS,
+    )
+    n_posts = len(service.posts)
+
+    def run():
+        serial, t_serial = service.timed_plan_all(features, beta=0.8, n_jobs=1)
+        parallel, t_parallel = service.timed_plan_all(
+            features, beta=0.8, n_jobs=4
+        )
+        return serial, t_serial, parallel, t_parallel
+
+    serial, t_serial, parallel, t_parallel = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # Thread fan-out must not change a single bit of any plan.
+    for post in serial:
+        np.testing.assert_array_equal(
+            serial[post].coverage, parallel[post].coverage
+        )
+        assert serial[post].objective_value == parallel[post].objective_value
+
+    # ------------------------------------------------------------------
+    # Beta sweep: cached structure vs rebuilding the model every time.
+    post = service.posts[0]
+    start = time.perf_counter()
+    sweep = service.beta_sweep(post, features, BETAS)
+    t_sweep_cached = time.perf_counter() - start
+    assert len(sweep) == len(BETAS)
+
+    start = time.perf_counter()
+    for beta in BETAS:
+        fresh = PlanService(
+            service.service, park.grid, park.patrol_posts,
+            horizon=HORIZON, n_patrols=N_PATROLS, n_segments=N_SEGMENTS,
+        )
+        fresh.plan_post(post, features, beta=beta)
+    t_sweep_fresh = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # LP fast path vs full SOS2 MILP on all-concave utilities.
+    graph = TimeUnrolledGraph(park.grid, post, HORIZON)
+    milp = PatrolMILP(graph, n_patrols=N_PATROLS)
+    utilities = _concave_utilities(graph, milp, LP_SEGMENTS)
+    start = time.perf_counter()
+    sol_milp = milp.solve(utilities, mode="milp")
+    t_milp = time.perf_counter() - start
+    start = time.perf_counter()
+    sol_lp = milp.solve(utilities, mode="lp")
+    t_lp = time.perf_counter() - start
+    lp_dev = abs(sol_lp.objective_value - sol_milp.objective_value)
+    lp_speedup = t_milp / t_lp
+
+    rows = [
+        [f"posts planned ({n_posts} posts)", float(n_posts)],
+        ["plan_all serial (s)", t_serial],
+        ["plan_all n_jobs=4 (s, bit-identical)", t_parallel],
+        ["posts/s serial", n_posts / t_serial],
+        ["posts/s n_jobs=4", n_posts / t_parallel],
+        [f"beta sweep x{len(BETAS)}, cached structure (s)", t_sweep_cached],
+        [f"beta sweep x{len(BETAS)}, fresh service each (s)", t_sweep_fresh],
+        [f"LP fast path ({LP_SEGMENTS} segments) (s)", t_lp],
+        ["full SOS2 MILP (s)", t_milp],
+        ["LP-vs-MILP speedup (x)", lp_speedup],
+        ["|LP - MILP| objective deviation", lp_dev],
+    ]
+    info = service.cache_info()
+    note = (
+        f"\nprediction cache: {info['prediction']}"
+        f"\nMILP structure cache: {info['structure']}"
+        "\nnote: wall-clock parallel gains depend on container cores; the "
+        "fan-out's contract is bit-identical plans."
+    )
+    table = format_table(
+        [f"MFNP: {park.n_cells} cells, horizon {HORIZON}", "value"],
+        rows, "{:.6f}",
+    )
+    write_report("planning_throughput", table + note)
+
+    # Acceptance: the fast path is exact (to tolerance) and measurably
+    # faster; the shared-surface cache fed every post from one computation.
+    assert lp_dev < 1e-6
+    assert lp_speedup > 1.2
+    assert info["prediction"]["misses"] == 1
+    assert info["prediction"]["hits"] >= 1

@@ -37,14 +37,16 @@ from repro.exceptions import (
     ReproError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.pipeline import DataToDeploymentPipeline, PipelineResult
+from repro.planning.service import PlanService
 from repro.runtime.service import RiskMapService
 
 __all__ = [
     "DataToDeploymentPipeline",
     "PipelineResult",
+    "PlanService",
     "RiskMapService",
     "ReproError",
     "ConfigurationError",

@@ -6,6 +6,7 @@ Exposes the main workflows without writing any Python::
     python -m repro maps --park SWS
     python -m repro evaluate --park QENP --model gpb --test-year 5
     python -m repro fieldtest --park "SWS dry" --blocks 5
+    python -m repro plan --park MFNP --beta 0.8 --n-jobs 4
     python -m repro plan --park MFNP --beta 0.8 --post 0
     python -m repro predict --park MFNP --save-model models/mfnp
     python -m repro predict --park MFNP --load-model models/mfnp --effort 2.5
@@ -26,7 +27,8 @@ from repro.data import generate_dataset, get_profile, list_profiles
 from repro.data.generator import dataset_statistics
 from repro.evaluation import ascii_heatmap, format_table
 from repro.fieldtest import chi_squared_test, design_field_test, field_test_table, run_field_trial
-from repro.planning import PatrolPlanner
+from repro.planning import SOLVER_MODES
+from repro.planning.service import PlanService
 from repro.runtime.service import RiskMapService
 
 
@@ -74,14 +76,28 @@ def build_parser() -> argparse.ArgumentParser:
     fieldtest.add_argument("--periods", type=int, default=2,
                            help="trial length in time periods")
 
-    plan = sub.add_parser("plan", help="compute a robust patrol plan")
+    plan = sub.add_parser(
+        "plan",
+        help="compute robust patrol plans (all posts, or one with --post)",
+        description="Fit the predictor once and plan every patrol post "
+        "through one PlanService: shared effort-response surfaces, cached "
+        "MILP structure, LP fast path on concave utilities, and a "
+        "thread-parallel per-post fan-out.",
+    )
     add_park(plan)
-    plan.add_argument("--post", type=int, default=0,
-                      help="index into the park's patrol posts")
+    plan.add_argument("--post", type=int, default=None,
+                      help="plan a single post (index into the park's "
+                      "patrol posts); default plans every post")
     plan.add_argument("--beta", type=float, default=0.8)
     plan.add_argument("--horizon", type=int, default=10)
     plan.add_argument("--patrols", type=int, default=2)
     plan.add_argument("--segments", type=int, default=8)
+    plan.add_argument("--solver", choices=SOLVER_MODES, default="auto",
+                      help="'auto' takes the LP fast path when every "
+                      "utility is concave; 'milp' always keeps the SOS2 "
+                      "binaries; 'lp' forces the fast path")
+    plan.add_argument("--n-jobs", type=int, default=1,
+                      help="planning threads (plans identical to serial)")
 
     predict = sub.add_parser(
         "predict",
@@ -202,7 +218,7 @@ def _cmd_fieldtest(args, out) -> int:
 
 def _cmd_plan(args, out) -> int:
     profile, data = _load(args)
-    if not 0 <= args.post < data.park.patrol_posts.size:
+    if args.post is not None and not 0 <= args.post < data.park.patrol_posts.size:
         out.write(
             f"--post must index one of {data.park.patrol_posts.size} posts\n"
         )
@@ -212,21 +228,50 @@ def _cmd_plan(args, out) -> int:
         model="gpb", iware=True, n_classifiers=6, seed=args.seed + 1
     ).fit(split.train)
     features = predictor.cell_feature_matrix(data.park, data.recorded_effort[-1])
-    post = int(data.park.patrol_posts[args.post])
-    planner = PatrolPlanner(
-        data.park.grid, post, horizon=args.horizon,
-        n_patrols=args.patrols, n_segments=args.segments,
+    service = PlanService(
+        RiskMapService(predictor),
+        data.park.grid,
+        data.park.patrol_posts,
+        horizon=args.horizon,
+        n_patrols=args.patrols,
+        n_segments=args.segments,
+        solver_mode=args.solver,
+        n_jobs=args.n_jobs,
     )
-    plan = planner.plan_from_model(predictor, features, beta=args.beta)
+
+    if args.post is not None:
+        post = int(data.park.patrol_posts[args.post])
+        plan = service.plan_post(post, features, beta=args.beta)
+        out.write(
+            f"robust plan (beta={args.beta}) for post {post} on "
+            f"{profile.name}: utility {plan.objective_value:.3f} "
+            f"(solved as {plan.solution.method.upper()})\n"
+        )
+        out.write(ascii_heatmap(data.park.grid, plan.coverage,
+                                title="prescribed coverage:") + "\n")
+        out.write("mixed-strategy routes (weight: cells):\n")
+        for route in plan.routes[:5]:
+            out.write(f"  {route.weight:.3f}: {route.cells}\n")
+        return 0
+
+    plans, elapsed = service.timed_plan_all(features, beta=args.beta)
+    rows = [
+        [str(post), plan.objective_value, plan.solution.method,
+         len(plan.routes)]
+        for post, plan in plans.items()
+    ]
     out.write(
-        f"robust plan (beta={args.beta}) for post {post} on {profile.name}: "
-        f"utility {plan.objective_value:.3f}\n"
+        f"robust plans (beta={args.beta}) for {len(plans)} posts on "
+        f"{profile.name}: {elapsed:.2f}s "
+        f"({len(plans) / elapsed:.1f} posts/s, n_jobs={args.n_jobs})\n"
     )
-    out.write(ascii_heatmap(data.park.grid, plan.coverage,
-                            title="prescribed coverage:") + "\n")
-    out.write("mixed-strategy routes (weight: cells):\n")
-    for route in plan.routes[:5]:
-        out.write(f"  {route.weight:.3f}: {route.cells}\n")
+    out.write(format_table(["post", "utility", "solver", "routes"], rows,
+                           "{:.3f}") + "\n")
+    combined = np.zeros(data.park.n_cells)
+    for plan in plans.values():
+        combined += plan.coverage
+    out.write(ascii_heatmap(data.park.grid, combined,
+                            title="combined prescribed coverage:") + "\n")
     return 0
 
 

@@ -20,7 +20,8 @@ from repro.exceptions import ConfigurationError, NotFittedError
 from repro.fieldtest.analysis import chi_squared_test
 from repro.fieldtest.design import FieldTestDesign, design_field_test
 from repro.fieldtest.simulate import FieldTrialResult, run_field_trial
-from repro.planning.planner import PatrolPlan, PatrolPlanner
+from repro.planning.planner import PatrolPlan
+from repro.planning.service import PlanService
 from repro.runtime.service import RiskMapService
 
 
@@ -76,6 +77,9 @@ class DataToDeploymentPipeline:
         Balanced bagging (use for extreme-imbalance parks like SWS).
     seed:
         Master seed.
+    n_jobs:
+        Threads for the per-post planning fan-out (plans are bit-identical
+        to serial at any worker count).
     """
 
     def __init__(
@@ -90,6 +94,7 @@ class DataToDeploymentPipeline:
         n_estimators: int = 4,
         balanced: bool = False,
         seed: int = 0,
+        n_jobs: int | None = 1,
     ):
         if not 0.0 <= beta <= 1.0:
             raise ConfigurationError(f"beta must be in [0, 1], got {beta}")
@@ -103,6 +108,7 @@ class DataToDeploymentPipeline:
         self.n_estimators = n_estimators
         self.balanced = balanced
         self.seed = seed
+        self.n_jobs = n_jobs
 
     # ------------------------------------------------------------------
     def run(
@@ -152,23 +158,19 @@ class DataToDeploymentPipeline:
     ) -> dict[int, PatrolPlan]:
         park = data.park
         features = predictor.cell_feature_matrix(park, data.recorded_effort[-1])
-        # Every post shares the same park features and PWL breakpoints, so
-        # serving through the cached facade computes the effort-response
-        # surfaces once instead of once per post.
-        service = RiskMapService(predictor)
-        plans: dict[int, PatrolPlan] = {}
-        for post in park.patrol_posts:
-            planner = PatrolPlanner(
-                park.grid,
-                int(post),
-                horizon=self.horizon,
-                n_patrols=self.n_patrols,
-                n_segments=self.n_segments,
-            )
-            plans[int(post)] = planner.plan_from_model(
-                service, features, beta=self.beta
-            )
-        return plans
+        # One PlanService per park: the effort-response surfaces are
+        # computed once (cached RiskMapService), each post's MILP structure
+        # is cached, and the independent per-post solves fan out.
+        service = PlanService(
+            RiskMapService(predictor),
+            park.grid,
+            park.patrol_posts,
+            horizon=self.horizon,
+            n_patrols=self.n_patrols,
+            n_segments=self.n_segments,
+            n_jobs=self.n_jobs,
+        )
+        return service.plan_all(features, beta=self.beta)
 
     def _attach_field_test(
         self, result: PipelineResult, blocks_per_group: int

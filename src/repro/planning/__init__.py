@@ -20,15 +20,23 @@ Modules
   cross-validate the MILP backend on small instances.
 * :mod:`repro.planning.paths` — flow decomposition into ranger routes.
 * :mod:`repro.planning.planner` — the :class:`PatrolPlanner` facade.
+* :mod:`repro.planning.service` — :class:`PlanService`, the parallel
+  multi-post / multi-beta planning facade (LP fast path, model-structure
+  reuse, cached effort-response surfaces).
 * :mod:`repro.planning.game` — Green Security Game evaluation utilities.
 """
 
 from repro.planning.graph import TimeUnrolledGraph
 from repro.planning.pwl import PiecewiseLinear, sample_breakpoints
 from repro.planning.robust import RobustObjective, robust_utility
-from repro.planning.milp import PatrolMILP, MILPSolution
+from repro.planning.milp import PatrolMILP, MILPSolution, MILPStructure, SOLVER_MODES
 from repro.planning.branch_and_bound import BranchAndBoundSolver
-from repro.planning.paths import decompose_flow_into_routes
+from repro.planning.paths import (
+    PatrolRoute,
+    coverage_of_routes,
+    decompose_flow_into_routes,
+    sample_routes,
+)
 from repro.planning.planner import PatrolPlan, PatrolPlanner
 from repro.planning.game import GreenSecurityGame
 from repro.planning.online import Exp3StrategySelector, run_online_deployment
@@ -41,11 +49,28 @@ __all__ = [
     "robust_utility",
     "PatrolMILP",
     "MILPSolution",
+    "MILPStructure",
+    "SOLVER_MODES",
     "BranchAndBoundSolver",
+    "PatrolRoute",
+    "coverage_of_routes",
     "decompose_flow_into_routes",
+    "sample_routes",
     "PatrolPlan",
     "PatrolPlanner",
+    "PlanService",
     "GreenSecurityGame",
     "Exp3StrategySelector",
     "run_online_deployment",
 ]
+
+
+def __getattr__(name: str):
+    # PlanService sits above repro.core/runtime in the layering, so it is
+    # exported lazily to keep `import repro.planning` lightweight (the same
+    # idiom repro.runtime uses for RiskMapService).
+    if name == "PlanService":
+        from repro.planning.service import PlanService
+
+        return PlanService
+    raise AttributeError(f"module 'repro.planning' has no attribute '{name}'")

@@ -136,7 +136,10 @@ class BranchAndBoundSolver:
                     "without an incumbent"
                 )
             raise InfeasibleError("branch and bound found no feasible solution")
-        status = "optimal" if n_explored < self.max_nodes else "node-limit"
+        # Optimality is about whether the search space was exhausted, not
+        # how many nodes that took: hitting max_nodes exactly as the stack
+        # empties is still a complete (optimal) search.
+        status = "node-limit" if stack else "optimal"
         best_x = best_x.copy()
         best_x[binary_mask] = np.round(best_x[binary_mask])
         return BnBResult(

@@ -13,10 +13,25 @@ Constraints: unit flow out of the source and into the sink, conservation at
 interior nodes, coverage linking ``c_v = K * (inflow(v) + [v = source])``
 expressed through the lambda representation, and the SOS2 adjacency rows.
 Solved with ``scipy.optimize.milp`` (HiGHS).
+
+Two structural optimisations keep repeated solves cheap:
+
+* **Model-structure reuse** — everything except the objective row (the
+  sparse constraint matrix, row bounds, integrality) depends only on the
+  graph and the PWL breakpoints, not on the utility *values*. A beta sweep
+  changes only the ``ys``, so :meth:`PatrolMILP.build_structure` caches the
+  assembled :class:`MILPStructure` and re-solves swap in a fresh objective
+  vector instead of rebuilding the matrix.
+* **LP fast path** — when every per-cell utility is concave
+  (:meth:`~repro.planning.pwl.PiecewiseLinear.is_concave`), the lambda
+  relaxation is exact: a maximising LP never pays for choosing
+  non-adjacent breakpoints, so the ``z`` binaries and SOS2 rows are dropped
+  entirely and the problem solves as a pure LP.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,6 +41,45 @@ from scipy.optimize import LinearConstraint, Bounds, milp
 from repro.exceptions import ConfigurationError, InfeasibleError, PlanningError
 from repro.planning.graph import TimeUnrolledGraph
 from repro.planning.pwl import PiecewiseLinear
+
+#: Accepted values for the ``mode`` argument of :meth:`PatrolMILP.solve`.
+SOLVER_MODES = ("auto", "lp", "milp")
+
+
+@dataclass
+class MILPStructure:
+    """Objective-independent part of one problem (P) instance.
+
+    Everything here is a function of the graph and the PWL *breakpoints*
+    only — utility values enter solely through the objective vector — so a
+    structure can be assembled once and reused across beta sweeps.
+
+    Attributes
+    ----------
+    matrix, row_lb, row_ub, integrality:
+        The constraint system (``lp_mode`` structures have all-continuous
+        integrality and no SOS2 rows).
+    cells:
+        Sorted reachable cell ids covered by the utility dict.
+    visit_edges:
+        Per-cell edge indices entering any of the cell's (cell, t) copies.
+    lam_offset:
+        Per-cell start index of its lambda block in the variable vector.
+    n_vars:
+        Total variable count.
+    lp_mode:
+        True when the ``z`` binaries were dropped (concave fast path).
+    """
+
+    matrix: sparse.csc_matrix
+    row_lb: np.ndarray
+    row_ub: np.ndarray
+    integrality: np.ndarray
+    cells: list[int]
+    visit_edges: dict[int, list[int]]
+    lam_offset: dict[int, int]
+    n_vars: int
+    lp_mode: bool
 
 
 @dataclass
@@ -59,12 +113,16 @@ class MILPSolution:
         ``(n_edges,)`` flow on each time-unrolled edge (unit total).
     status:
         Solver status string.
+    method:
+        ``"lp"`` when the concave fast path solved the instance as a pure
+        LP, ``"milp"`` for the full SOS2 formulation.
     """
 
     objective_value: float
     coverage: np.ndarray
     edge_flows: np.ndarray
     status: str
+    method: str = "milp"
 
 
 class PatrolMILP:
@@ -95,6 +153,9 @@ class PatrolMILP:
         self.n_patrols = int(n_patrols)
         self.time_limit = time_limit
         self.mip_gap = mip_gap
+        self._structures: dict[tuple, MILPStructure] = {}
+        self.structure_hits = 0
+        self.structure_misses = 0
 
     # ------------------------------------------------------------------
     @property
@@ -131,35 +192,51 @@ class PatrolMILP:
             )
         return cells
 
-    # ------------------------------------------------------------------
-    def build_model(self, utilities: dict[int, PiecewiseLinear]) -> MILPModel:
-        """Assemble the constraint matrices of problem (P).
+    @staticmethod
+    def _structure_key(
+        cells: list[int], utilities: dict[int, PiecewiseLinear], lp_mode: bool
+    ) -> tuple:
+        digest = hashlib.sha256()
+        for v in cells:
+            xs = utilities[v].xs
+            # Delimit each array by its length so different per-cell
+            # partitions of identical concatenated bytes cannot collide.
+            digest.update(str(xs.size).encode())
+            digest.update(xs.tobytes())
+        return (lp_mode, tuple(cells), digest.hexdigest())
 
-        Parameters
-        ----------
-        utilities:
-            Per-reachable-cell PWL utility functions of coverage, each with
-            domain [0, T*K].
+    # ------------------------------------------------------------------
+    def build_structure(
+        self, utilities: dict[int, PiecewiseLinear], lp_mode: bool = False
+    ) -> MILPStructure:
+        """Assemble (or fetch from cache) the constraint system.
+
+        The result depends only on the graph, the per-cell breakpoint
+        abscissae, and ``lp_mode`` — beta sweeps and other objective-only
+        changes hit the cache.
         """
         cells = self._check_utilities(utilities)
+        key = self._structure_key(cells, utilities, lp_mode)
+        cached = self._structures.get(key)
+        if cached is not None:
+            self.structure_hits += 1
+            return cached
+        self.structure_misses += 1
+
         graph = self.graph
         n_edges = graph.n_edges
-        # Variable layout: [f (n_edges) | lambda blocks | z blocks].
+        # Variable layout: [f (n_edges) | lambda blocks | z blocks (MILP)].
         lam_offset: dict[int, int] = {}
         z_offset: dict[int, int] = {}
         cursor = n_edges
         for v in cells:
             lam_offset[v] = cursor
             cursor += utilities[v].xs.size
-        for v in cells:
-            z_offset[v] = cursor
-            cursor += utilities[v].n_segments
+        if not lp_mode:
+            for v in cells:
+                z_offset[v] = cursor
+                cursor += utilities[v].n_segments
         n_vars = cursor
-
-        objective = np.zeros(n_vars)
-        for v in cells:
-            ys = utilities[v].ys
-            objective[lam_offset[v] : lam_offset[v] + ys.size] = -ys  # maximise
 
         rows: list[np.ndarray] = []
         cols: list[np.ndarray] = []
@@ -203,11 +280,14 @@ class PatrolMILP:
             rhs = K if v == graph.source_cell else 0.0
             add_row(col_idx, coeffs, rhs, rhs)
 
-        # Convexity and SOS2 adjacency.
+        # Convexity; plus the SOS2 adjacency system unless concave utilities
+        # made the plain lambda relaxation exact.
         for v in cells:
             m = utilities[v].n_segments
             lam_idx = list(range(lam_offset[v], lam_offset[v] + m + 1))
             add_row(lam_idx, [1.0] * (m + 1), 1.0, 1.0)
+            if lp_mode:
+                continue
             z_idx = list(range(z_offset[v], z_offset[v] + m))
             add_row(z_idx, [1.0] * m, 1.0, 1.0)
             for j in range(m + 1):
@@ -229,38 +309,121 @@ class PatrolMILP:
         ).tocsc()
 
         integrality = np.zeros(n_vars)
-        for v in cells:
-            z0 = z_offset[v]
-            integrality[z0 : z0 + utilities[v].n_segments] = 1
+        if not lp_mode:
+            for v in cells:
+                z0 = z_offset[v]
+                integrality[z0 : z0 + utilities[v].n_segments] = 1
 
-        return MILPModel(
-            objective=objective,
+        structure = MILPStructure(
             matrix=matrix,
             row_lb=np.asarray(lbs),
             row_ub=np.asarray(ubs),
             integrality=integrality,
             cells=cells,
             visit_edges=visit_edges,
+            lam_offset=lam_offset,
+            n_vars=n_vars,
+            lp_mode=lp_mode,
+        )
+        self._structures[key] = structure
+        return structure
+
+    def objective_vector(
+        self, structure: MILPStructure, utilities: dict[int, PiecewiseLinear]
+    ) -> np.ndarray:
+        """Minimisation objective (−utility) for a cached structure."""
+        objective = np.zeros(structure.n_vars)
+        for v in structure.cells:
+            ys = utilities[v].ys
+            off = structure.lam_offset[v]
+            objective[off : off + ys.size] = -ys  # maximise
+        return objective
+
+    def build_model(
+        self, utilities: dict[int, PiecewiseLinear], lp_mode: bool = False
+    ) -> MILPModel:
+        """Assemble the full model of problem (P).
+
+        Parameters
+        ----------
+        utilities:
+            Per-reachable-cell PWL utility functions of coverage, each with
+            domain [0, T*K].
+        lp_mode:
+            Drop the ``z`` binaries and SOS2 rows (only exact when every
+            utility is concave).
+        """
+        structure = self.build_structure(utilities, lp_mode=lp_mode)
+        return MILPModel(
+            objective=self.objective_vector(structure, utilities),
+            matrix=structure.matrix,
+            row_lb=structure.row_lb,
+            row_ub=structure.row_ub,
+            integrality=structure.integrality,
+            cells=structure.cells,
+            visit_edges=structure.visit_edges,
         )
 
-    def solve(self, utilities: dict[int, PiecewiseLinear]) -> MILPSolution:
-        """Maximise total PWL utility over the flow polytope (HiGHS)."""
-        model = self.build_model(utilities)
+    # ------------------------------------------------------------------
+    def _resolve_mode(
+        self, utilities: dict[int, PiecewiseLinear], mode: str
+    ) -> bool:
+        """Whether to take the LP fast path; validates forced modes."""
+        if mode not in SOLVER_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {SOLVER_MODES}, got '{mode}'"
+            )
+        if mode == "milp":
+            return False
+        all_concave = all(pwl.is_concave() for pwl in utilities.values())
+        if mode == "lp" and not all_concave:
+            raise ConfigurationError(
+                "mode='lp' requires every utility to be concave (the lambda "
+                "relaxation is only exact without SOS2 binaries then); use "
+                "mode='auto' to fall back to the MILP"
+            )
+        return all_concave
+
+    def solve(
+        self, utilities: dict[int, PiecewiseLinear], mode: str = "auto"
+    ) -> MILPSolution:
+        """Maximise total PWL utility over the flow polytope (HiGHS).
+
+        Parameters
+        ----------
+        utilities:
+            Per-reachable-cell PWL utility functions.
+        mode:
+            ``"auto"`` (default) takes the LP fast path when every utility
+            is concave and the full SOS2 MILP otherwise; ``"lp"`` forces
+            the fast path (rejecting non-concave inputs); ``"milp"``
+            always carries the segment binaries.
+        """
+        lp_mode = self._resolve_mode(utilities, mode)
+        model = self.build_model(utilities, lp_mode=lp_mode)
         n_vars = model.objective.size
         constraints = LinearConstraint(model.matrix, model.row_lb, model.row_ub)
+        options = {"time_limit": self.time_limit}
+        if not lp_mode:
+            options["mip_rel_gap"] = self.mip_gap
         result = milp(
             c=model.objective,
             constraints=constraints,
             bounds=Bounds(np.zeros(n_vars), np.ones(n_vars)),
             integrality=model.integrality,
-            options={"time_limit": self.time_limit, "mip_rel_gap": self.mip_gap},
+            options=options,
         )
         if result.status == 2:
             raise InfeasibleError("patrol-planning MILP is infeasible")
         if result.x is None:
             raise PlanningError(f"MILP solve failed: {result.message}")
-        return self.extract_solution(model, result.x, float(-result.fun),
-                                     str(result.message))
+        return self.extract_solution(
+            model,
+            result.x,
+            float(-result.fun),
+            str(result.message),
+            method="lp" if lp_mode else "milp",
+        )
 
     def extract_solution(
         self,
@@ -268,6 +431,7 @@ class PatrolMILP:
         x: np.ndarray,
         objective_value: float,
         status: str,
+        method: str = "milp",
     ) -> MILPSolution:
         """Turn a raw variable vector into coverage and flows."""
         n_edges = self.graph.n_edges
@@ -285,4 +449,14 @@ class PatrolMILP:
             coverage=coverage,
             edge_flows=flows,
             status=status,
+            method=method,
         )
+
+    # ------------------------------------------------------------------
+    def structure_cache_info(self) -> dict[str, int]:
+        """Hit/miss counters of the model-structure cache."""
+        return {
+            "hits": self.structure_hits,
+            "misses": self.structure_misses,
+            "entries": len(self._structures),
+        }

@@ -15,7 +15,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.geo.grid import Grid
 from repro.planning.graph import TimeUnrolledGraph
-from repro.planning.milp import MILPSolution, PatrolMILP
+from repro.planning.milp import MILPSolution, PatrolMILP, SOLVER_MODES
 from repro.planning.paths import PatrolRoute, decompose_flow_into_routes
 from repro.planning.pwl import PiecewiseLinear, pwl_from_samples, sample_breakpoints
 from repro.planning.robust import RobustObjective
@@ -63,6 +63,10 @@ class PatrolPlanner:
         PWL segments m in the MILP's utility approximation.
     time_limit:
         MILP time limit (seconds).
+    solver_mode:
+        ``"auto"`` (default) drops the SOS2 binaries and solves a pure LP
+        whenever every utility is concave; ``"milp"`` always carries them;
+        ``"lp"`` forces the fast path (rejecting non-concave utilities).
     """
 
     def __init__(
@@ -73,15 +77,21 @@ class PatrolPlanner:
         n_patrols: int = 4,
         n_segments: int = 10,
         time_limit: float = 60.0,
+        solver_mode: str = "auto",
     ):
         if n_segments < 1:
             raise ConfigurationError(f"n_segments must be >= 1, got {n_segments}")
+        if solver_mode not in SOLVER_MODES:
+            raise ConfigurationError(
+                f"solver_mode must be one of {SOLVER_MODES}, got '{solver_mode}'"
+            )
         self.grid = grid
         self.source_cell = int(source_cell)
         self.horizon = int(horizon)
         self.n_patrols = int(n_patrols)
         self.n_segments = int(n_segments)
         self.time_limit = time_limit
+        self.solver_mode = solver_mode
         self.graph = TimeUnrolledGraph(grid, self.source_cell, self.horizon)
         self._milp = PatrolMILP(
             self.graph, n_patrols=self.n_patrols, time_limit=time_limit
@@ -89,16 +99,37 @@ class PatrolPlanner:
 
     # ------------------------------------------------------------------
     @property
+    def milp(self) -> PatrolMILP:
+        """The underlying problem-(P) solver (owns the structure cache)."""
+        return self._milp
+
+    @property
     def max_coverage(self) -> float:
         """T*K, the largest coverage one cell could receive."""
         return self._milp.max_coverage
 
+    @staticmethod
+    def breakpoints_for(
+        horizon: int, n_patrols: int, n_segments: int
+    ) -> np.ndarray:
+        """PWL abscissae on [0, T*K] for the given planner parameters.
+
+        The single source of the breakpoint grid: planners and the
+        multi-post :class:`~repro.planning.service.PlanService` must agree
+        on it exactly, or shared utility functions would be resampled on a
+        mismatched domain.
+        """
+        return sample_breakpoints(float(horizon * n_patrols), n_segments)
+
     def breakpoints(self) -> np.ndarray:
         """The planner's PWL abscissae on [0, T*K]."""
-        return sample_breakpoints(self.max_coverage, self.n_segments)
+        return self.breakpoints_for(self.horizon, self.n_patrols, self.n_segments)
 
     def _utilities_from_objective(
-        self, objective: RobustObjective, beta: float | None
+        self,
+        objective: RobustObjective,
+        beta: float | None,
+        source_functions: list[PiecewiseLinear] | None = None,
     ) -> dict[int, PiecewiseLinear]:
         """Resample the robust objective onto the planner breakpoints."""
         if objective.n_cells != self.grid.n_cells:
@@ -107,7 +138,8 @@ class PatrolPlanner:
                 f"{self.grid.n_cells}"
             )
         xs = self.breakpoints()
-        source_functions = objective.utility_functions(beta)
+        if source_functions is None:
+            source_functions = objective.utility_functions(beta)
         utilities: dict[int, PiecewiseLinear] = {}
         for v in self.graph.reachable_cells:
             f = source_functions[int(v)]
@@ -132,7 +164,12 @@ class PatrolPlanner:
         objective = RobustObjective(xs, risk, nu, beta=beta)
         return self.plan(objective)
 
-    def plan(self, objective: RobustObjective, beta: float | None = None) -> PatrolPlan:
+    def plan(
+        self,
+        objective: RobustObjective,
+        beta: float | None = None,
+        source_functions: list[PiecewiseLinear] | None = None,
+    ) -> PatrolPlan:
         """Solve problem (P) under the (robust) objective.
 
         Parameters
@@ -141,10 +178,17 @@ class PatrolPlanner:
             Per-cell sampled risk and uncertainty surfaces.
         beta:
             Override the objective's robustness weight for this solve.
+        source_functions:
+            Pre-built ``objective.utility_functions(beta)`` output (must
+            match ``beta``). Lets a multi-post service compute the
+            full-park functions once and share them across planners
+            instead of rebuilding them per post.
         """
         effective_beta = objective.beta if beta is None else beta
-        utilities = self._utilities_from_objective(objective, effective_beta)
-        solution = self._milp.solve(utilities)
+        utilities = self._utilities_from_objective(
+            objective, effective_beta, source_functions
+        )
+        solution = self._milp.solve(utilities, mode=self.solver_mode)
         routes = decompose_flow_into_routes(self.graph, solution.edge_flows)
         return PatrolPlan(
             coverage=solution.coverage,

@@ -56,7 +56,13 @@ class PiecewiseLinear:
         return float(self.ys.max())
 
     def is_concave(self, tol: float = 1e-9) -> bool:
-        """Whether segment slopes are nonincreasing."""
+        """Whether segment slopes are nonincreasing.
+
+        Concavity is what licenses the planner's LP fast path: a maximised
+        concave PWL needs no SOS2 segment binaries, because the plain
+        convex-combination (lambda) relaxation already attains the function
+        value at every coverage level (see :class:`~repro.planning.milp.PatrolMILP`).
+        """
         slopes = np.diff(self.ys) / np.diff(self.xs)
         return bool((np.diff(slopes) <= tol).all())
 

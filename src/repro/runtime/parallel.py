@@ -1,19 +1,28 @@
-"""Thread-pool fan-out for model fitting.
+"""Thread-pool fan-out for model fitting and multi-post planning.
 
 Fitting an iWare-E ensemble is embarrassingly parallel at two levels — one
 weak learner per effort threshold, one base classifier per bootstrap — but
 every stochastic choice (bootstrap indices, child seeds) must come from the
 single master generator in a fixed order, or results stop being
 reproducible. The contract used throughout the package is therefore
-*two-phase fitting*: draw all randomness and construct all members serially,
-then fan the pure ``fit`` calls out through :func:`parallel_map`. The fanned
-work only touches each member's own child generator, so parallel results are
-bit-identical to serial ones.
+*two-phase execution*: perform all shared/stateful work serially (draw
+randomness, construct members, compute shared surfaces), then fan the pure
+per-item calls out through :func:`parallel_map`. The fanned work only
+touches per-item state, so parallel results are bit-identical to serial
+ones.
+
+Two workloads ride on this machinery:
+
+* **fitting** — each member's ``fit`` touches only its own pre-drawn child
+  generator (:class:`~repro.core.ensemble.IWareEnsemble`, bagging);
+* **planning** — :class:`~repro.planning.service.PlanService` computes the
+  shared effort-response surfaces once, then solves each patrol post's
+  (deterministic) MILP/LP on its own planner.
 
 Threads (not processes) are the right pool here: weak-learner factories are
 closures over the master generator and cannot be pickled, and the expensive
-fits (GP Cholesky factorisations, kernel products) spend their time in BLAS,
-which releases the GIL.
+work (GP Cholesky factorisations, kernel products, HiGHS solves) lives in
+GIL-releasing native code.
 """
 
 from __future__ import annotations

@@ -72,11 +72,31 @@ class TestPlan:
     def test_produces_routes(self):
         code, text = run_cli(
             ["plan", "--park", "MFNP", "--scale", "0.4",
-             "--horizon", "8", "--segments", "5"]
+             "--horizon", "8", "--segments", "5", "--post", "0"]
         )
         assert code == 0
         assert "prescribed coverage:" in text
         assert "mixed-strategy routes" in text
+        assert "solved as" in text
+
+    def test_plans_all_posts_by_default(self):
+        code, text = run_cli(
+            ["plan", "--park", "MFNP", "--scale", "0.4",
+             "--horizon", "6", "--segments", "4", "--n-jobs", "2"]
+        )
+        assert code == 0
+        assert "posts/s" in text
+        assert "combined prescribed coverage:" in text
+        assert "utility" in text
+
+    def test_solver_override(self):
+        code, text = run_cli(
+            ["plan", "--park", "MFNP", "--scale", "0.4",
+             "--horizon", "6", "--segments", "4", "--post", "0",
+             "--solver", "milp"]
+        )
+        assert code == 0
+        assert "solved as MILP" in text
 
     def test_bad_post_index(self):
         code, text = run_cli(

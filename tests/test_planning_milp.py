@@ -17,7 +17,7 @@ from repro.planning import (
     decompose_flow_into_routes,
     robust_utility,
 )
-from repro.planning.paths import coverage_of_routes, sample_routes
+from repro.planning.paths import PatrolRoute, coverage_of_routes, sample_routes
 
 
 def make_instance(height=6, width=6, source=0, horizon=6, n_patrols=2,
@@ -33,7 +33,11 @@ def make_instance(height=6, width=6, source=0, horizon=6, n_patrols=2,
         if concave:
             ys = scale * (1 - np.exp(-0.4 * xs))
         else:
-            ys = scale * (1 - np.exp(-0.4 * xs)) * (1 - 0.8 * rng.random() * xs / xs[-1])
+            # Sigmoid detection curves (anchored at 0) are genuinely
+            # non-concave: convex below the inflection, concave above.
+            mid = xs[-1] * (0.3 + 0.4 * rng.random())
+            raw = 1.0 / (1.0 + np.exp(-1.5 * (xs - mid)))
+            ys = scale * (raw - raw[0])
         utilities[int(v)] = PiecewiseLinear(xs, ys)
     return grid, graph, milp, utilities
 
@@ -110,6 +114,101 @@ class TestPatrolMILP:
             PatrolMILP(graph, n_patrols=0)
 
 
+class TestLPFastPath:
+    def test_lp_matches_milp_on_concave(self):
+        """Acceptance bar: LP and SOS2 MILP agree to 1e-6 when concave."""
+        __, graph, milp, utilities = make_instance(seed=11)
+        assert all(u.is_concave() for u in utilities.values())
+        sol_lp = milp.solve(utilities, mode="lp")
+        sol_milp = milp.solve(utilities, mode="milp")
+        assert sol_lp.method == "lp"
+        assert sol_milp.method == "milp"
+        assert sol_lp.objective_value == pytest.approx(
+            sol_milp.objective_value, abs=1e-6
+        )
+
+    def test_auto_takes_lp_on_concave(self):
+        __, __g, milp, utilities = make_instance(seed=12)
+        assert milp.solve(utilities).method == "lp"
+
+    def test_auto_falls_back_on_nonconcave(self):
+        __, __g, milp, utilities = make_instance(concave=False, seed=12)
+        assert any(not u.is_concave() for u in utilities.values())
+        assert milp.solve(utilities).method == "milp"
+
+    def test_forced_lp_rejects_nonconcave(self):
+        __, __g, milp, utilities = make_instance(concave=False, seed=13)
+        with pytest.raises(ConfigurationError):
+            milp.solve(utilities, mode="lp")
+
+    def test_unknown_mode_rejected(self):
+        __, __g, milp, utilities = make_instance()
+        with pytest.raises(ConfigurationError):
+            milp.solve(utilities, mode="simplex")
+
+    def test_lp_coverage_objective_consistent(self):
+        """LP-path solutions still report utility(coverage) exactly."""
+        __, graph, milp, utilities = make_instance(seed=14)
+        sol = milp.solve(utilities, mode="lp")
+        recomputed = sum(
+            utilities[int(v)](sol.coverage[int(v)]) for v in graph.reachable_cells
+        )
+        assert sol.objective_value == pytest.approx(recomputed, abs=1e-5)
+
+
+class TestStructureCache:
+    def test_objective_swap_hits_cache(self):
+        """Same breakpoints, different utility values -> one structure."""
+        __, graph, milp, utilities = make_instance(seed=21)
+        milp.solve(utilities, mode="milp")
+        assert milp.structure_cache_info() == {
+            "hits": 0, "misses": 1, "entries": 1
+        }
+        # A beta-sweep-style change: same xs, scaled ys.
+        swept = {
+            v: PiecewiseLinear(u.xs, 0.5 * u.ys) for v, u in utilities.items()
+        }
+        milp.solve(swept, mode="milp")
+        assert milp.structure_cache_info() == {
+            "hits": 1, "misses": 1, "entries": 1
+        }
+
+    def test_lp_and_milp_structures_are_distinct(self):
+        __, __g, milp, utilities = make_instance(seed=22)
+        milp.solve(utilities, mode="lp")
+        milp.solve(utilities, mode="milp")
+        assert milp.structure_cache_info()["entries"] == 2
+
+    def test_cached_solve_identical_to_fresh(self):
+        """Re-solving through the cache is bit-identical to a cold solver."""
+        __, __g, milp, utilities = make_instance(seed=23)
+        swept = {
+            v: PiecewiseLinear(u.xs, 0.7 * u.ys + 0.01 * u.xs / u.xs[-1])
+            for v, u in utilities.items()
+        }
+        milp.solve(utilities, mode="milp")  # warm the structure cache
+        warm = milp.solve(swept, mode="milp")
+        assert milp.structure_cache_info()["hits"] >= 1
+
+        __, __g2, cold_milp, __u = make_instance(seed=23)
+        cold = cold_milp.solve(swept, mode="milp")
+        assert warm.objective_value == cold.objective_value
+        np.testing.assert_array_equal(warm.coverage, cold.coverage)
+        np.testing.assert_array_equal(warm.edge_flows, cold.edge_flows)
+
+    def test_new_breakpoints_miss_cache(self):
+        __, graph, milp, utilities = make_instance(seed=24, n_breakpoints=6)
+        milp.solve(utilities, mode="milp")
+        xs2 = np.linspace(0.0, milp.max_coverage, 4)
+        coarse = {
+            v: PiecewiseLinear(xs2, u(xs2)) for v, u in utilities.items()
+        }
+        milp.solve(coarse, mode="milp")
+        assert milp.structure_cache_info() == {
+            "hits": 0, "misses": 2, "entries": 2
+        }
+
+
 class TestBranchAndBound:
     def test_simple_knapsack(self):
         # max 5a + 4b + 3c  s.t. 2a + 3b + c <= 4  (binary) -> a=1, c=1.
@@ -142,12 +241,40 @@ class TestBranchAndBound:
                 binary_mask=np.array([True]),
             )
 
+    def test_status_optimal_when_stack_exhausted_at_cap(self):
+        """Regression: exhausting the stack exactly at max_nodes is still a
+        complete search, not a node-limit stop."""
+        c = np.array([-5.0, -4.0, -3.0])
+        a_matrix = sparse.csr_matrix(np.array([[2.0, 3.0, 1.0]]))
+        bounds = (np.array([-np.inf]), np.array([4.0]))
+        mask = np.array([True, True, True])
+        free = BranchAndBoundSolver().solve(c, a_matrix, *bounds, binary_mask=mask)
+        assert free.status == "optimal"
+        capped = BranchAndBoundSolver(max_nodes=free.n_nodes_explored).solve(
+            c, a_matrix, *bounds, binary_mask=mask
+        )
+        assert capped.n_nodes_explored == free.n_nodes_explored
+        assert capped.status == "optimal"
+        assert capped.objective_value == pytest.approx(free.objective_value)
+
+    def test_status_node_limit_when_nodes_remain(self):
+        c = np.array([-5.0, -4.0, -3.0])
+        a_matrix = sparse.csr_matrix(np.array([[2.0, 3.0, 1.0]]))
+        bounds = (np.array([-np.inf]), np.array([4.0]))
+        mask = np.array([True, True, True])
+        free = BranchAndBoundSolver().solve(c, a_matrix, *bounds, binary_mask=mask)
+        assert free.n_nodes_explored > 2
+        capped = BranchAndBoundSolver(max_nodes=2).solve(
+            c, a_matrix, *bounds, binary_mask=mask
+        )
+        assert capped.status == "node-limit"
+
     def test_matches_highs_on_patrol_instance(self):
         """Cross-check the from-scratch solver against HiGHS."""
         __, graph, milp, utilities = make_instance(
             height=4, width=4, horizon=4, n_breakpoints=4, concave=False, seed=7
         )
-        sol_highs = milp.solve(utilities)
+        sol_highs = milp.solve(utilities, mode="milp")
         # Rebuild the same model and solve with our B&B via the internal API.
         from tests.helpers_milp import solve_patrol_with_bnb
 
@@ -230,6 +357,82 @@ class TestFlowDecomposition:
         routes = decompose_flow_into_routes(graph, sol.edge_flows)
         assert sum(r.weight for r in routes) == pytest.approx(1.0, abs=1e-4)
 
+    @pytest.mark.parametrize("seed", [0, 3, 8, 13])
+    @pytest.mark.parametrize("concave", [True, False])
+    def test_unit_flow_mass_is_conserved(self, seed, concave):
+        """Acceptance bar: weights sum to 1 +- 1e-6 on unit flows."""
+        __, graph, milp, utilities = make_instance(seed=seed, concave=concave)
+        sol = milp.solve(utilities)
+        routes = decompose_flow_into_routes(graph, sol.edge_flows)
+        assert sum(r.weight for r in routes) == pytest.approx(1.0, abs=1e-6)
+
+    def test_mass_not_lost_on_sub_min_weight_split(self):
+        """Regression: a greedy path that dead-ends on a sub-``min_weight``
+        edge used to abort the whole decomposition, silently dropping the
+        residual strategy mass."""
+        grid = Grid.rectangular(1, 3)
+        graph = TimeUnrolledGraph(grid, source_cell=0, horizon=4)
+        out_edges, __ = graph.incidence_lists()
+        edges = graph.edges
+        nodes = graph.nodes
+
+        def follow(choices):
+            """Edge indices of the path visiting the given cell sequence."""
+            node = graph.source_node
+            path = []
+            for cell in choices:
+                for e in out_edges[node]:
+                    head = int(edges[e, 1])
+                    if nodes[head][0] == cell:
+                        path.append(e)
+                        node = head
+                        break
+                else:
+                    raise AssertionError("path not in graph")
+            return path
+
+        flows = np.zeros(graph.n_edges)
+        # 0.5 on (0,0,0,0); after extracting it, the greedy walk re-enters
+        # the shared first edge of (0,1,...) and then splits 0.25 / 0.25 —
+        # both below min_weight=0.3, which aborted the old implementation
+        # (its routes then summed to 0.5, not 1).
+        for cells, w in [((0, 0, 0), 0.5), ((1, 1, 0), 0.25), ((1, 0, 0), 0.25)]:
+            flows[follow(cells)] += w
+
+        # Below the threshold the split routes fold into the kept one...
+        routes = decompose_flow_into_routes(graph, flows, min_weight=0.3)
+        assert sum(r.weight for r in routes) == pytest.approx(1.0, abs=1e-9)
+        # ...and above it every route survives with its exact weight.
+        routes = decompose_flow_into_routes(graph, flows, min_weight=0.1)
+        assert sum(r.weight for r in routes) == pytest.approx(1.0, abs=1e-9)
+        assert len(routes) == 3
+        assert sorted(r.weight for r in routes) == pytest.approx([0.25, 0.25, 0.5])
+
+    def test_numerical_dead_end_is_skipped(self):
+        """Drift-level inflow to a node with no residual outflow is retired
+        instead of raising or aborting."""
+        grid = Grid.rectangular(1, 3)
+        graph = TimeUnrolledGraph(grid, source_cell=0, horizon=4)
+        out_edges, __ = graph.incidence_lists()
+        edges = graph.edges
+        nodes = graph.nodes
+        flows = np.zeros(graph.n_edges)
+        # Whole unit mass stays at the post...
+        node = graph.source_node
+        while node != graph.sink_node:
+            for e in out_edges[node]:
+                head = int(edges[e, 1])
+                if nodes[head][0] == 0:
+                    flows[e] += 1.0
+                    node = head
+                    break
+        # ...plus non-conserving drift into cell 1 at t=1 that dead-ends.
+        for e in out_edges[graph.source_node]:
+            if nodes[int(edges[e, 1])][0] == 1:
+                flows[e] += 1e-12
+        routes = decompose_flow_into_routes(graph, flows)
+        assert sum(r.weight for r in routes) == pytest.approx(1.0, abs=1e-9)
+
     def test_routes_follow_adjacency(self):
         grid, graph, milp, utilities = make_instance(seed=4)
         sol = milp.solve(utilities)
@@ -253,8 +456,43 @@ class TestFlowDecomposition:
         routes = decompose_flow_into_routes(graph, sol.edge_flows)
         picked = sample_routes(routes, n_patrols=4, rng=rng)
         assert len(picked) == 4
-        coverage = coverage_of_routes(graph, picked)
+        coverage = coverage_of_routes(graph, picked, weighted=False)
         assert coverage.sum() == pytest.approx(4 * graph.horizon)
+
+    @pytest.mark.parametrize("seed", [1, 6, 9])
+    def test_weighted_coverage_reconciles_with_milp(self, seed):
+        """Property: MILP coverage == K x weighted decomposed coverage."""
+        __, graph, milp, utilities = make_instance(seed=seed)
+        sol = milp.solve(utilities)
+        routes = decompose_flow_into_routes(graph, sol.edge_flows)
+        coverage = coverage_of_routes(
+            graph, routes, weighted=True, n_patrols=milp.n_patrols
+        )
+        np.testing.assert_allclose(coverage, sol.coverage, atol=1e-4)
+        # Per-weight scaling: K times the unit-strategy expected coverage.
+        unit = coverage_of_routes(graph, routes, weighted=True, n_patrols=1)
+        np.testing.assert_allclose(milp.n_patrols * unit, coverage, atol=1e-12)
+
+    def test_weighted_coverage_uses_route_weights(self):
+        """Regression: a half-weight route must contribute half its cells."""
+        grid = Grid.rectangular(1, 3)
+        graph = TimeUnrolledGraph(grid, source_cell=0, horizon=4)
+        routes = [
+            # weights deliberately not uniform
+            PatrolRoute(cells=(0, 0, 0, 0), weight=0.75),
+            PatrolRoute(cells=(0, 1, 1, 0), weight=0.25),
+        ]
+        coverage = coverage_of_routes(graph, routes, weighted=True)
+        assert coverage[0] == pytest.approx(0.75 * 4 + 0.25 * 2)
+        assert coverage[1] == pytest.approx(0.25 * 2)
+        flat = coverage_of_routes(graph, routes, weighted=False)
+        assert flat[0] == pytest.approx(4 + 2)
+
+    def test_coverage_of_routes_validation(self):
+        grid = Grid.rectangular(1, 3)
+        graph = TimeUnrolledGraph(grid, source_cell=0, horizon=4)
+        with pytest.raises(ConfigurationError):
+            coverage_of_routes(graph, [], n_patrols=0)
 
     def test_bad_flow_shape(self):
         __, graph, __m, __u = make_instance()

@@ -1,0 +1,194 @@
+"""Tests for repro.planning.service (the multi-post PlanService)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PawsPredictor
+from repro.data import MFNP, generate_dataset
+from repro.exceptions import ConfigurationError
+from repro.planning import PatrolPlanner, RobustObjective
+from repro.planning.service import PlanService
+from repro.runtime.service import RiskMapService
+
+SMALL = MFNP.scaled(0.4)
+PLANNER_KW = dict(horizon=6, n_patrols=2, n_segments=4)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = generate_dataset(SMALL, seed=0)
+    split = data.dataset.split_by_test_year(SMALL.years - 1)
+    predictor = PawsPredictor(
+        model="dtb", iware=True, n_classifiers=3, seed=1
+    ).fit(split.train)
+    features = predictor.cell_feature_matrix(data.park, data.recorded_effort[-1])
+    return data, predictor, features
+
+
+@pytest.fixture()
+def service(setup):
+    data, predictor, __ = setup
+    return PlanService(
+        RiskMapService(predictor),
+        data.park.grid,
+        data.park.patrol_posts,
+        **PLANNER_KW,
+    )
+
+
+def assert_plans_equal(a, b):
+    assert a.objective_value == b.objective_value
+    assert a.beta == b.beta
+    np.testing.assert_array_equal(a.coverage, b.coverage)
+    np.testing.assert_array_equal(a.solution.edge_flows, b.solution.edge_flows)
+    assert a.solution.method == b.solution.method
+    assert [(r.cells, r.weight) for r in a.routes] == [
+        (r.cells, r.weight) for r in b.routes
+    ]
+
+
+class TestPlanAll:
+    def test_plans_every_post(self, setup, service):
+        data, __, features = setup
+        plans = service.plan_all(features, beta=0.5)
+        assert sorted(plans) == sorted(int(p) for p in data.park.patrol_posts)
+        t_times_k = PLANNER_KW["horizon"] * PLANNER_KW["n_patrols"]
+        for post, plan in plans.items():
+            assert plan.coverage.sum() == pytest.approx(t_times_k, rel=1e-6)
+            assert plan.routes
+            assert all(r.cells[0] == post for r in plan.routes)
+
+    def test_parallel_bit_identical_to_serial(self, setup, service):
+        __, __p, features = setup
+        serial = service.plan_all(features, beta=0.5, n_jobs=1)
+        parallel = service.plan_all(features, beta=0.5, n_jobs=3)
+        assert sorted(serial) == sorted(parallel)
+        for post in serial:
+            assert_plans_equal(serial[post], parallel[post])
+
+    def test_subset_of_posts(self, setup, service):
+        data, __, features = setup
+        subset = [int(data.park.patrol_posts[0])]
+        plans = service.plan_all(features, beta=0.5, posts=subset)
+        assert list(plans) == subset
+
+    def test_duplicate_subset_rejected(self, setup, service):
+        data, __, features = setup
+        post = int(data.park.patrol_posts[0])
+        with pytest.raises(ConfigurationError):
+            service.plan_all(features, beta=0.5, posts=[post, post])
+
+    def test_empty_subset_rejected(self, setup, service):
+        __, __p, features = setup
+        with pytest.raises(ConfigurationError):
+            service.plan_all(features, beta=0.5, posts=[])
+
+    def test_breakpoints_match_every_planner(self, setup, service):
+        __, __p, __f = setup
+        for post in service.posts:
+            np.testing.assert_array_equal(
+                service.breakpoints(), service.planner_for(post).breakpoints()
+            )
+
+    def test_timed_plan_all_reports_wall_clock(self, setup, service):
+        __, __p, features = setup
+        plans, elapsed = service.timed_plan_all(features, beta=0.5)
+        assert len(plans) == len(service.posts)
+        assert elapsed > 0
+
+
+class TestBetaSweep:
+    BETAS = (0.0, 0.5, 1.0)
+
+    def test_matches_fresh_planner_bit_identically(self, setup, service):
+        data, predictor, features = setup
+        post = int(data.park.patrol_posts[0])
+        sweep = service.beta_sweep(post, features, self.BETAS)
+
+        xs = service.breakpoints()
+        risk, nu = predictor.effort_response(features, xs)
+        objective = RobustObjective(xs, risk, nu, beta=self.BETAS[0])
+        for beta, plan in zip(self.BETAS, sweep):
+            fresh = PatrolPlanner(
+                data.park.grid, post, **PLANNER_KW
+            ).plan(objective, beta=beta)
+            assert_plans_equal(plan, fresh)
+
+    def test_reuses_model_structure(self, setup):
+        data, predictor, features = setup
+        # Pin the solver so every beta shares one structure ("auto" may
+        # legitimately build both an LP and a MILP structure when
+        # concavity changes with beta).
+        service = PlanService(
+            RiskMapService(predictor), data.park.grid,
+            data.park.patrol_posts, solver_mode="milp", **PLANNER_KW,
+        )
+        post = int(data.park.patrol_posts[0])
+        service.beta_sweep(post, features, self.BETAS)
+        info = service.cache_info()
+        # One structure assembly, then objective-only swaps.
+        assert info["structure"]["misses"] == 1
+        assert info["structure"]["hits"] == len(self.BETAS) - 1
+        assert info["structure"]["entries"] == 1
+
+    def test_hits_prediction_cache(self, setup, service):
+        __, __p, features = setup
+        service.plan_all(features, beta=0.0)
+        service.plan_all(features, beta=1.0)
+        info = service.cache_info()
+        assert info["prediction"]["hits"] >= 1
+        assert info["prediction"]["misses"] == 1
+
+    def test_empty_betas_rejected(self, setup, service):
+        data, __, features = setup
+        with pytest.raises(ConfigurationError):
+            service.beta_sweep(int(data.park.patrol_posts[0]), features, [])
+
+
+class TestConstruction:
+    def test_wraps_bare_predictor(self, setup):
+        data, predictor, __ = setup
+        service = PlanService(
+            predictor, data.park.grid, data.park.patrol_posts, **PLANNER_KW
+        )
+        assert isinstance(service.service, RiskMapService)
+
+    def test_from_saved_plans_identically(self, setup, service, tmp_path):
+        data, predictor, features = setup
+        predictor.save(tmp_path / "model")
+        loaded = PlanService.from_saved(
+            tmp_path / "model", data.park.grid, data.park.patrol_posts,
+            **PLANNER_KW,
+        )
+        post = int(data.park.patrol_posts[0])
+        assert_plans_equal(
+            loaded.plan_post(post, features, beta=0.5),
+            service.plan_post(post, features, beta=0.5),
+        )
+
+    def test_unserved_post_rejected(self, setup, service):
+        data, __, features = setup
+        bad = int(max(data.park.patrol_posts)) + 1
+        with pytest.raises(ConfigurationError):
+            service.plan_post(bad, features, beta=0.5)
+
+    def test_validation(self, setup):
+        data, predictor, __ = setup
+        grid = data.park.grid
+        with pytest.raises(ConfigurationError):
+            PlanService(object(), grid, [0])
+        with pytest.raises(ConfigurationError):
+            PlanService(predictor, grid, [])
+        with pytest.raises(ConfigurationError):
+            PlanService(predictor, grid, [0, 0])
+        with pytest.raises(ConfigurationError):
+            PlanService(predictor, grid, [0], solver_mode="fastest")
+
+    def test_lazy_export_from_planning_package(self):
+        import repro.planning as planning
+
+        assert planning.PlanService is PlanService
+        with pytest.raises(AttributeError):
+            planning.no_such_symbol
