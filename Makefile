@@ -1,21 +1,25 @@
 # Development workflows for the PAWS reproduction.
 #
-#   make test    unit/integration suite
-#   make bench   paper-artifact benchmarks (writes benchmarks/results/)
-#   make smoke   CLI entry points all exit 0
-#   make lint    byte-compile every source tree
-#   make check   lint + smoke + test
+#   make test        unit/integration suite
+#   make bench       paper-artifact benchmarks (writes benchmarks/results/)
+#   make bench-fit   training-engine throughput benchmark only
+#   make smoke       CLI entry points all exit 0
+#   make lint        byte-compile every source tree
+#   make check       lint + smoke + test
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench smoke lint check
+.PHONY: test bench bench-fit smoke lint check
 
 test:
 	$(PYTHON) -m pytest tests -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+bench-fit:
+	$(PYTHON) -m pytest benchmarks/test_fit_throughput.py -q
 
 smoke:
 	$(PYTHON) -m repro --help > /dev/null

@@ -29,8 +29,11 @@ def test_fig9_runtime_and_convergence(mfnp_data, fitted_gpb_mfnp, benchmark):
         park, mfnp_data.recorded_effort[-1]
     )
 
+    methods: list[str] = []
+
     def sweep():
         rows = []
+        methods.clear()
         for n_segments in SEGMENTS:
             planner = PatrolPlanner(
                 park.grid, post, horizon=HORIZON,
@@ -42,6 +45,7 @@ def test_fig9_runtime_and_convergence(mfnp_data, fitted_gpb_mfnp, benchmark):
             start = time.perf_counter()
             plan = planner.plan(objective)
             elapsed = time.perf_counter() - start
+            methods.append(plan.solution.method)
             # Score every plan under a common fine-grained ground truth so
             # utilities are comparable across segment counts.
             fine_planner = PatrolPlanner(
@@ -56,9 +60,10 @@ def test_fig9_runtime_and_convergence(mfnp_data, fitted_gpb_mfnp, benchmark):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    reported = [row + [method] for row, method in zip(rows, methods)]
     table = format_table(
-        ["segments", "runtime (s)", "utility U_1(C_1)"], rows,
-        float_format="{:.4f}",
+        ["segments", "runtime (s)", "utility U_1(C_1)", "solver path"],
+        reported, float_format="{:.4f}",
     )
     write_report("fig9_scalability", table)
 
@@ -66,6 +71,11 @@ def test_fig9_runtime_and_convergence(mfnp_data, fitted_gpb_mfnp, benchmark):
     utilities = [row[2] for row in rows]
     # Solves stay tractable (the paper reports seconds).
     assert max(runtimes) < 60.0
+    # The certified envelope path removed the fine-segmentation MILP cliff:
+    # no segment count falls back to the full SOS2 MILP (a machine-
+    # independent check; the old behaviour was a ~100x runtime spike at
+    # 25 segments).
+    assert all(method != "milp" for method in methods), methods
     # Utility converges with more segments: the last two settings agree
     # far more closely than the coarsest does with the finest.
     assert abs(utilities[-1] - utilities[-2]) <= max(

@@ -111,7 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fit the flat baseline instead of iWare-E")
     predict.add_argument("--n-classifiers", type=int, default=6)
     predict.add_argument("--n-jobs", type=int, default=1,
-                         help="fitting threads (results identical to serial)")
+                         help="fitting workers (results identical to serial)")
+    predict.add_argument("--backend", default="auto",
+                         choices=("auto", "thread", "process"),
+                         help="fitting pool: auto routes GIL-bound weak "
+                         "learners (dtb/svb) to processes, BLAS-heavy gpb "
+                         "to threads")
     predict.add_argument("--effort", type=float, default=None,
                          help="hypothetical patrol effort in km "
                          "(default: the park's median recorded effort)")
@@ -296,6 +301,7 @@ def _cmd_predict(args, out) -> int:
             balanced=_use_balanced_bagging(profile),
             seed=args.seed + 1,
             n_jobs=args.n_jobs,
+            backend=args.backend,
         ).fit(split.train)
         setup = time.perf_counter() - start
         source = f"fitted on {split.train.n_points} points"

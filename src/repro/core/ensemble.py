@@ -54,9 +54,13 @@ class IWareEnsemble:
     rng:
         Randomness for CV shuffling.
     n_jobs:
-        Worker threads for fitting the per-threshold classifiers (1 =
+        Pool workers for fitting the per-threshold classifiers (1 =
         serial, -1 = all cores). Child seeds are drawn serially before the
         fan-out, so parallel fits are bit-identical to serial ones.
+    backend:
+        Pool flavour for the fan-out: ``"thread"``, ``"process"``, or
+        ``"auto"`` (process pool iff every deferred fit advertises
+        GIL-bound work — e.g. DTB trees; GP weak learners keep threads).
     """
 
     def __init__(
@@ -69,7 +73,10 @@ class IWareEnsemble:
         cv_folds: int = 5,
         rng: np.random.Generator | None = None,
         n_jobs: int = 1,
+        backend: str = "auto",
     ):
+        from repro.runtime.parallel import check_backend
+
         if threshold_scheme not in ("percentile", "equal"):
             raise ConfigurationError(f"unknown threshold scheme '{threshold_scheme}'")
         if weighting not in ("optimal", "qualified"):
@@ -86,6 +93,7 @@ class IWareEnsemble:
         self.cv_folds = cv_folds
         self.rng = rng or np.random.default_rng()
         self.n_jobs = n_jobs
+        self.backend = check_backend(backend)
         self.thresholds_: np.ndarray | None = None
         self.weights_: np.ndarray | None = None
         self.classifiers_: list[Classifier] = []
@@ -126,14 +134,15 @@ class IWareEnsemble:
         )
 
     def _fit_classifiers(self, dataset: PoachingDataset) -> list[Classifier]:
-        from repro.runtime.parallel import parallel_map
+        from repro.ml.base import PrefittedTask
+        from repro.runtime.parallel import run_deferred
 
         assert self.thresholds_ is not None
         # Phase 1 (serial): filter each subset, construct each weak learner,
         # and let it consume every shared-generator draw it needs (child
         # seeds for its own members, bootstrap indices) via fit_deferred —
         # in exactly the order a serial fit would.
-        thunks: list[Callable[[], Classifier]] = []
+        tasks: list[Callable[[], Classifier]] = []
         for theta in self.thresholds_:
             subset = filter_by_effort_threshold(dataset, float(theta))
             X = subset.feature_matrix
@@ -142,11 +151,12 @@ class IWareEnsemble:
                 fallback = ConstantClassifier().fit(
                     X if subset.n_points else dataset.feature_matrix[:1], y
                 )
-                thunks.append(lambda member=fallback: member)
+                tasks.append(PrefittedTask(fallback))
             else:
-                thunks.append(self.weak_learner_factory().fit_deferred(X, y))
-        # Phase 2 (parallel): the deferred fits only touch per-member state.
-        return parallel_map(lambda thunk: thunk(), thunks, n_jobs=self.n_jobs)
+                tasks.append(self.weak_learner_factory().fit_deferred(X, y))
+        # Phase 2 (parallel): the deferred fits only touch per-task state, so
+        # they can fan out to threads or worker processes interchangeably.
+        return run_deferred(tasks, n_jobs=self.n_jobs, backend=self.backend)
 
     #: Minimum positive labels for CV weight learning to be trustworthy;
     #: below this the optimiser chases fold noise (it can put all weight on
@@ -391,6 +401,7 @@ class IWareEnsemble:
                 "weighting": self.weighting,
                 "cv_folds": self.cv_folds,
                 "n_jobs": self.n_jobs,
+                "backend": self.backend,
             },
             "full_positive_rate": self.full_positive_rate_,
             "classifiers": [

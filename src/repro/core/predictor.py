@@ -38,6 +38,7 @@ def make_weak_learner(
     n_estimators: int = 5,
     gp_max_points: int = 250,
     n_jobs: int = 1,
+    backend: str = "auto",
 ) -> Callable[[], Classifier]:
     """Factory-of-factories for the Table II weak learners.
 
@@ -56,8 +57,11 @@ def make_weak_learner(
     gp_max_points:
         Training-point cap per GP member (exact GPs are cubic).
     n_jobs:
-        Worker threads for each bagging ensemble's member fits (results are
+        Pool workers for each bagging ensemble's member fits (results are
         bit-identical to serial).
+    backend:
+        Pool flavour for those member fits (see
+        :mod:`repro.runtime.parallel`).
     """
     if kind not in WEAK_LEARNERS:
         raise ConfigurationError(
@@ -91,6 +95,7 @@ def make_weak_learner(
             n_estimators=n_estimators,
             rng=np.random.default_rng(seed),
             n_jobs=n_jobs,
+            backend=backend,
         )
 
     return factory
@@ -119,10 +124,15 @@ class PawsPredictor:
     seed:
         Master seed for every stochastic component.
     n_jobs:
-        Worker threads for fitting (1 = serial, -1 = all cores). With
+        Pool workers for fitting (1 = serial, -1 = all cores). With
         iWare-E the parallelism fans out over threshold classifiers;
         without, over bagging members. Seeds are pre-drawn serially, so any
         ``n_jobs`` produces bit-identical models.
+    backend:
+        Pool flavour for the fitting fan-out: ``"thread"``, ``"process"``,
+        or ``"auto"`` (the default picks the process pool exactly when the
+        weak learners are GIL-bound Python work — DTB trees, SVB epochs —
+        and keeps threads for BLAS-heavy GPB members).
     """
 
     def __init__(
@@ -137,11 +147,15 @@ class PawsPredictor:
         gp_max_points: int = 250,
         seed: int = 0,
         n_jobs: int = 1,
+        backend: str = "auto",
     ):
+        from repro.runtime.parallel import check_backend
+
         if model not in WEAK_LEARNERS:
             raise ConfigurationError(
                 f"unknown model '{model}'; expected one of {WEAK_LEARNERS}"
             )
+        self.backend = check_backend(backend)
         self.model = model
         self.iware = iware
         self.n_classifiers = n_classifiers
@@ -173,6 +187,7 @@ class PawsPredictor:
             n_estimators=self.n_estimators,
             gp_max_points=self.gp_max_points,
             n_jobs=n_jobs,
+            backend=self.backend,
         )
 
     def fit(self, dataset: PoachingDataset) -> "PawsPredictor":
@@ -190,6 +205,7 @@ class PawsPredictor:
                 weighting=self.weighting,
                 rng=self._rng,
                 n_jobs=self.n_jobs,
+                backend=self.backend,
             ).fit(dataset)
         else:
             X, y = dataset.feature_matrix, dataset.labels
@@ -369,6 +385,7 @@ class PawsPredictor:
                 "gp_max_points": self.gp_max_points,
                 "seed": self.seed,
                 "n_jobs": self.n_jobs,
+                "backend": self.backend,
             },
         }
         if self._ensemble is not None:

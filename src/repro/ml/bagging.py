@@ -10,11 +10,14 @@ The ensemble also records per-estimator in-bag counts so the infinitesimal
 jackknife (:mod:`repro.ml.jackknife`) can compute random-forest confidence
 intervals for the Fig. 7 comparison.
 
-Fitting is optionally parallel (``n_jobs``): bootstrap indices and member
-construction still run serially, so every draw from the shared generator
-happens in the same order as a serial fit, and only the independent member
-``fit`` calls fan out to a thread pool — results are bit-identical either
-way (see :mod:`repro.runtime.parallel`).
+Fitting is optionally parallel (``n_jobs`` workers on a ``backend`` pool):
+bootstrap indices and member construction still run serially, so every draw
+from the shared generator happens in the same order as a serial fit, and only
+the independent member ``fit`` calls fan out — results are bit-identical
+either way (see :mod:`repro.runtime.parallel`). The phase-2 task object
+(:class:`_MemberFits`) carries no factory closure, so whole deferred fits can
+cross a process boundary: pure-Python weak learners (trees, SVMs) scale with
+cores instead of serialising behind the GIL.
 """
 
 from __future__ import annotations
@@ -36,6 +39,76 @@ def _unavailable_factory() -> Classifier:
     )
 
 
+def _fit_member(
+    task: tuple[Classifier, np.ndarray | None, np.ndarray | None]
+) -> Classifier:
+    """Fit one bootstrap member (module-level so process pools can map it)."""
+    member, Xb, yb = task
+    return member if Xb is None else member.fit(Xb, yb)
+
+
+class _MemberFits:
+    """Picklable phase-2 task of a bagging fit.
+
+    Holds the pre-drawn bootstrap tasks and the in-bag matrix; calling it
+    fits every member (optionally through a nested pool) and returns the
+    fitted ensemble. The ensemble reference survives pickling because
+    :class:`BaggingClassifier` drops its factory closure from the pickle
+    state — by phase 2 all members are already constructed, so the factory
+    is no longer needed.
+    """
+
+    def __init__(
+        self,
+        ensemble: "BaggingClassifier",
+        tasks: list[tuple[Classifier, np.ndarray | None, np.ndarray | None]],
+        inbag: np.ndarray,
+    ):
+        self.ensemble = ensemble
+        self.tasks = tasks
+        self.inbag = inbag
+
+    @property
+    def backend_hint(self) -> str:
+        from repro.runtime.parallel import vote_backend
+
+        return vote_backend(
+            [member.fit_backend_hint for member, __, __ in self.tasks]
+        )
+
+    def __call__(self) -> "BaggingClassifier":
+        import pickle
+
+        from repro.runtime.parallel import parallel_map
+
+        ensemble = self.ensemble
+        auto = ensemble.backend == "auto"
+        if auto:
+            backend = "process" if self.backend_hint == "process" else "thread"
+        else:
+            backend = ensemble.backend
+        try:
+            members = parallel_map(
+                _fit_member, self.tasks, n_jobs=ensemble.n_jobs,
+                backend=backend,
+            )
+        except (pickle.PicklingError, AttributeError, TypeError):
+            if not auto:
+                raise
+            # Auto mode's contract: members that turn out not to pickle
+            # (e.g. locally defined classes) fall back to the thread pool
+            # instead of erroring. Member fits are pure, so re-running is
+            # safe.
+            members = parallel_map(
+                _fit_member, self.tasks, n_jobs=ensemble.n_jobs,
+                backend="thread",
+            )
+        ensemble.estimators_ = members
+        ensemble.inbag_counts_ = self.inbag
+        ensemble._mark_fitted()
+        return ensemble
+
+
 class BaggingClassifier(Classifier):
     """Bootstrap-aggregated ensemble of probabilistic classifiers.
 
@@ -51,8 +124,12 @@ class BaggingClassifier(Classifier):
     rng:
         Randomness for bootstrap sampling.
     n_jobs:
-        Worker threads for member fitting (1 = serial, -1 = all cores).
+        Pool workers for member fitting (1 = serial, -1 = all cores).
         Parallel fits are bit-identical to serial ones.
+    backend:
+        Pool flavour for the member fits: ``"thread"``, ``"process"``, or
+        ``"auto"`` (process iff every member's ``fit_backend_hint`` asks
+        for it). See :mod:`repro.runtime.parallel`.
     """
 
     def __init__(
@@ -62,8 +139,11 @@ class BaggingClassifier(Classifier):
         max_samples: float = 1.0,
         rng: np.random.Generator | None = None,
         n_jobs: int = 1,
+        backend: str = "auto",
     ):
         super().__init__()
+        from repro.runtime.parallel import check_backend
+
         if n_estimators < 1:
             raise ConfigurationError(f"n_estimators must be >= 1, got {n_estimators}")
         if not 0.0 < max_samples <= 1.0:
@@ -73,9 +153,26 @@ class BaggingClassifier(Classifier):
         self.max_samples = max_samples
         self.rng = rng or np.random.default_rng()
         self.n_jobs = n_jobs
+        self.backend = check_backend(backend)
         self.estimators_: list[Classifier] = []
         #: (n_estimators, n_train) in-bag multiplicity matrix for jackknife.
         self.inbag_counts_: np.ndarray | None = None
+
+    def __getstate__(self) -> dict:
+        # Factory closures cannot cross a process boundary; by the time a
+        # bagging ensemble travels (phase-2 fit tasks, fitted results coming
+        # back) its members are already constructed, so an unpicklable
+        # factory is replaced by the explanatory placeholder. Picklable
+        # factories (module-level functions) are preserved, so ordinary
+        # pickling/deepcopy of a refittable ensemble keeps working.
+        import pickle
+
+        state = self.__dict__.copy()
+        try:
+            pickle.dumps(state["base_factory"])
+        except Exception:
+            state["base_factory"] = _unavailable_factory
+        return state
 
     # ------------------------------------------------------------------
     def _bootstrap_indices(self, y: np.ndarray) -> np.ndarray:
@@ -84,13 +181,15 @@ class BaggingClassifier(Classifier):
         return self.rng.integers(0, n, size=size)
 
     def fit_deferred(self, X: np.ndarray, y: np.ndarray):
-        """Phase 1 now (all shared-generator draws), phase 2 in the thunk.
+        """Phase 1 now (all shared-generator draws), phase 2 in the task.
 
         Bootstrap indices come from this ensemble's generator and member
         construction typically draws child seeds from a factory's *master*
         generator, so both happen here, serially, in the exact order of a
-        serial fit. The returned thunk only runs the independent member
-        fits (optionally in threads) — parallel results are bit-identical.
+        serial fit. The returned :class:`_MemberFits` task only runs the
+        independent member fits (optionally pooled) — parallel results are
+        bit-identical — and is picklable, so an outer ensemble may run it in
+        a worker process.
         """
         X, y = self._check_fit_input(X, y)
         n = y.size
@@ -106,22 +205,7 @@ class BaggingClassifier(Classifier):
                 tasks.append((ConstantClassifier().fit(Xb, yb), None, None))
             else:
                 tasks.append((self.base_factory(), Xb, yb))
-
-        def fit_one(
-            task: tuple[Classifier, np.ndarray | None, np.ndarray | None]
-        ) -> Classifier:
-            member, Xb, yb = task
-            return member if Xb is None else member.fit(Xb, yb)
-
-        def finish() -> "BaggingClassifier":
-            from repro.runtime.parallel import parallel_map
-
-            self.estimators_ = parallel_map(fit_one, tasks, n_jobs=self.n_jobs)
-            self.inbag_counts_ = inbag
-            self._mark_fitted()
-            return self
-
-        return finish
+        return _MemberFits(self, tasks, inbag)
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "BaggingClassifier":
         return self.fit_deferred(X, y)()
@@ -192,6 +276,7 @@ class BaggingClassifier(Classifier):
             "n_estimators": self.n_estimators,
             "max_samples": self.max_samples,
             "n_jobs": self.n_jobs,
+            "backend": self.backend,
         }
 
     def to_manifest(self, store, prefix: str) -> dict:
@@ -250,9 +335,10 @@ class BalancedBaggingClassifier(BaggingClassifier):
         ratio: float = 1.0,
         rng: np.random.Generator | None = None,
         n_jobs: int = 1,
+        backend: str = "auto",
     ):
         super().__init__(base_factory, n_estimators=n_estimators, rng=rng,
-                         n_jobs=n_jobs)
+                         n_jobs=n_jobs, backend=backend)
         if ratio <= 0:
             raise ConfigurationError(f"ratio must be positive, got {ratio}")
         self.ratio = ratio

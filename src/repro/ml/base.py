@@ -44,12 +44,59 @@ def check_features(X: np.ndarray) -> np.ndarray:
     return X
 
 
+class DeferredFit:
+    """Phase 2 of a two-phase fit: a picklable "fit this model now" task.
+
+    Instances are zero-argument callables returned by
+    :meth:`Classifier.fit_deferred`. Because they are plain objects (not
+    closures) they can cross a process boundary whenever the model itself
+    pickles, which is what lets :func:`repro.runtime.parallel.run_deferred`
+    fan pure-Python fits out to a process pool. The ``backend_hint``
+    attribute advertises which pool the fit profits from.
+    """
+
+    def __init__(self, model: "Classifier", X: np.ndarray, y: np.ndarray):
+        self.model = model
+        self.X = X
+        self.y = y
+
+    @property
+    def backend_hint(self) -> str:
+        return self.model.fit_backend_hint
+
+    def __call__(self) -> "Classifier":
+        return self.model.fit(self.X, self.y)
+
+
+class PrefittedTask:
+    """A phase-2 task whose model is already fitted (degenerate fallback).
+
+    A no-op task has no GIL-bound work, so it abstains from the backend
+    vote (``"any"``) rather than dragging a tree/SVM fan-out back to
+    threads.
+    """
+
+    backend_hint = "any"
+
+    def __init__(self, model: "Classifier"):
+        self.model = model
+
+    def __call__(self) -> "Classifier":
+        return self.model
+
+
 class Classifier(ABC):
     """Abstract binary probabilistic classifier."""
 
     #: Whether :meth:`predict_variance` returns a model-intrinsic uncertainty
     #: (Gaussian processes) rather than a surrogate or nothing.
     supports_variance: bool = False
+
+    #: Which pool backend a fit of this model profits from: ``"thread"`` for
+    #: models whose heavy lifting releases the GIL in native code (GP
+    #: Cholesky, BLAS products), ``"process"`` for pure-Python/numpy-dispatch
+    #: work (tree growth, SGD epochs) that threads would serialise.
+    fit_backend_hint: str = "thread"
 
     def __init__(self) -> None:
         self._fitted = False
@@ -63,15 +110,17 @@ class Classifier(ABC):
     def fit_deferred(self, X: np.ndarray, y: np.ndarray):
         """Split a fit into draw-shared-randomness-now / heavy-work-later.
 
-        Returns a zero-argument callable that completes the fit and returns
-        the fitted model. Ensembles that fan member fits out to threads call
-        this serially first, so every draw from a generator shared between
-        models (e.g. a factory's master seed stream) happens in the same
-        order as a fully serial fit — which is what makes parallel fitting
-        bit-identical to serial. The default defers everything: models whose
-        randomness is entirely their own need no split.
+        Returns a zero-argument callable task that completes the fit and
+        returns the fitted model. Ensembles that fan member fits out to a
+        pool call this serially first, so every draw from a generator shared
+        between models (e.g. a factory's master seed stream) happens in the
+        same order as a fully serial fit — which is what makes parallel
+        fitting bit-identical to serial. The default defers everything:
+        models whose randomness is entirely their own need no split. The
+        returned :class:`DeferredFit` is picklable whenever the model is, so
+        it can run in a process pool.
         """
-        return lambda: self.fit(X, y)
+        return DeferredFit(self, X, y)
 
     @abstractmethod
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
@@ -160,6 +209,10 @@ class ConstantClassifier(Classifier):
     class (common at extreme imbalance), ensembles fall back to this model so
     the pipeline never crashes on real-world-shaped data.
     """
+
+    #: Fitting a constant is trivial — abstain from the backend vote so a
+    #: single-class bootstrap does not drag a tree ensemble back to threads.
+    fit_backend_hint = "any"
 
     def __init__(self, probability: float = 0.5):
         super().__init__()

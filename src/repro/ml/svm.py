@@ -39,6 +39,10 @@ class LinearSVMClassifier(Classifier):
         Randomness for coordinate-order shuffling.
     """
 
+    #: Dual coordinate descent is a Python-level loop, so fits of SVM
+    #: ensembles profit from the process backend.
+    fit_backend_hint = "process"
+
     def __init__(
         self,
         c: float = 1.0,

@@ -27,6 +27,23 @@ Two structural optimisations keep repeated solves cheap:
   relaxation is exact: a maximising LP never pays for choosing
   non-adjacent breakpoints, so the ``z`` binaries and SOS2 rows are dropped
   entirely and the problem solves as a pure LP.
+* **Certified envelope fast path** — fine PWL sampling of the step-like
+  iWare-E effort response produces *mildly* non-concave utilities, which
+  used to cliff every solve back to the full SOS2 MILP (the Fig. 9
+  25-segment spike). In ``mode="auto"``, non-concave utilities are first
+  relaxed to their least concave majorants
+  (:meth:`~repro.planning.pwl.PiecewiseLinear.concave_envelope`) and solved
+  as a pure LP. The LP optimum is a valid upper bound; evaluating the *true*
+  utilities at the returned coverage gives a lower bound — when the two
+  agree to within ``envelope_gap`` (relative; default 1%, far inside the PWL
+  discretisation error this model already carries) the solution is accepted
+  with a certificate (``method="lp-envelope"``, certified gap recorded in
+  ``MILPSolution.bound_gap``). Otherwise the few cells whose envelope gap
+  was actually realised get their ``z`` binaries back and the mixed model is
+  re-solved (``method="milp-partial"``); only if the certificate still fails
+  does the full MILP run. Every accepted solution reports the true (not
+  envelope) objective value. ``envelope_gap=0`` tightens the certificate to
+  ``mip_gap`` — the same optimality guarantee the full MILP itself provides.
 """
 
 from __future__ import annotations
@@ -68,7 +85,11 @@ class MILPStructure:
     n_vars:
         Total variable count.
     lp_mode:
-        True when the ``z`` binaries were dropped (concave fast path).
+        True when every ``z`` binary was dropped (concave fast path).
+    binary_cells:
+        Cells that carry ``z`` binaries; ``None`` means all of them (the
+        classic MILP). The certified envelope path re-solves with binaries
+        on just the offending cells.
     """
 
     matrix: sparse.csc_matrix
@@ -80,6 +101,7 @@ class MILPStructure:
     lam_offset: dict[int, int]
     n_vars: int
     lp_mode: bool
+    binary_cells: tuple[int, ...] | None = None
 
 
 @dataclass
@@ -115,7 +137,15 @@ class MILPSolution:
         Solver status string.
     method:
         ``"lp"`` when the concave fast path solved the instance as a pure
-        LP, ``"milp"`` for the full SOS2 formulation.
+        LP, ``"lp-envelope"`` / ``"milp-partial"`` when the certified
+        envelope path accepted a relaxed solve (objective_value is the
+        *true* utility of the coverage), and ``"milp"`` for the full SOS2
+        formulation.
+    bound_gap:
+        Certified relative optimality gap: the relaxation's upper bound
+        minus the realised utility, over the bound. Zero on the exact
+        paths; at most ``max(mip_gap, envelope_gap)`` on the certified
+        envelope paths.
     """
 
     objective_value: float
@@ -123,6 +153,7 @@ class MILPSolution:
     edge_flows: np.ndarray
     status: str
     method: str = "milp"
+    bound_gap: float = 0.0
 
 
 class PatrolMILP:
@@ -138,6 +169,14 @@ class PatrolMILP:
         HiGHS wall-clock limit in seconds.
     mip_gap:
         Relative optimality gap at which HiGHS may stop.
+    envelope_gap:
+        Acceptance tolerance (relative) of the certified envelope fast path
+        in ``mode="auto"``: a relaxed solve is accepted when its valid
+        upper bound is within ``max(mip_gap, envelope_gap)`` of the
+        realised utility. The default 1% sits far inside the PWL
+        discretisation error of the model itself; 0 tightens the
+        certificate to ``mip_gap``, the same guarantee the full SOS2 MILP
+        provides.
     """
 
     def __init__(
@@ -146,13 +185,19 @@ class PatrolMILP:
         n_patrols: int = 4,
         time_limit: float = 60.0,
         mip_gap: float = 1e-4,
+        envelope_gap: float = 1e-2,
     ):
         if n_patrols < 1:
             raise ConfigurationError(f"n_patrols must be >= 1, got {n_patrols}")
+        if envelope_gap < 0:
+            raise ConfigurationError(
+                f"envelope_gap must be >= 0, got {envelope_gap}"
+            )
         self.graph = graph
         self.n_patrols = int(n_patrols)
         self.time_limit = time_limit
         self.mip_gap = mip_gap
+        self.envelope_gap = envelope_gap
         self._structures: dict[tuple, MILPStructure] = {}
         self.structure_hits = 0
         self.structure_misses = 0
@@ -194,7 +239,10 @@ class PatrolMILP:
 
     @staticmethod
     def _structure_key(
-        cells: list[int], utilities: dict[int, PiecewiseLinear], lp_mode: bool
+        cells: list[int],
+        utilities: dict[int, PiecewiseLinear],
+        lp_mode: bool,
+        binary_cells: tuple[int, ...] | None,
     ) -> tuple:
         digest = hashlib.sha256()
         for v in cells:
@@ -203,20 +251,38 @@ class PatrolMILP:
             # partitions of identical concatenated bytes cannot collide.
             digest.update(str(xs.size).encode())
             digest.update(xs.tobytes())
-        return (lp_mode, tuple(cells), digest.hexdigest())
+        return (lp_mode, binary_cells, tuple(cells), digest.hexdigest())
 
     # ------------------------------------------------------------------
     def build_structure(
-        self, utilities: dict[int, PiecewiseLinear], lp_mode: bool = False
+        self,
+        utilities: dict[int, PiecewiseLinear],
+        lp_mode: bool = False,
+        binary_cells: tuple[int, ...] | list[int] | None = None,
     ) -> MILPStructure:
         """Assemble (or fetch from cache) the constraint system.
 
         The result depends only on the graph, the per-cell breakpoint
-        abscissae, and ``lp_mode`` — beta sweeps and other objective-only
-        changes hit the cache.
+        abscissae, ``lp_mode``, and the ``binary_cells`` selection — beta
+        sweeps and other objective-only changes hit the cache.
+
+        Parameters
+        ----------
+        binary_cells:
+            Cells that carry ``z`` binaries and SOS2 rows; ``None`` means
+            all of them. Ignored in ``lp_mode`` (no binaries at all).
         """
         cells = self._check_utilities(utilities)
-        key = self._structure_key(cells, utilities, lp_mode)
+        if lp_mode:
+            binary_set: set[int] = set()
+            binary_key: tuple[int, ...] | None = None
+        elif binary_cells is None:
+            binary_set = set(cells)
+            binary_key = None
+        else:
+            binary_set = set(int(v) for v in binary_cells)
+            binary_key = tuple(sorted(binary_set))
+        key = self._structure_key(cells, utilities, lp_mode, binary_key)
         cached = self._structures.get(key)
         if cached is not None:
             self.structure_hits += 1
@@ -232,8 +298,8 @@ class PatrolMILP:
         for v in cells:
             lam_offset[v] = cursor
             cursor += utilities[v].xs.size
-        if not lp_mode:
-            for v in cells:
+        for v in cells:
+            if v in binary_set:
                 z_offset[v] = cursor
                 cursor += utilities[v].n_segments
         n_vars = cursor
@@ -280,13 +346,14 @@ class PatrolMILP:
             rhs = K if v == graph.source_cell else 0.0
             add_row(col_idx, coeffs, rhs, rhs)
 
-        # Convexity; plus the SOS2 adjacency system unless concave utilities
-        # made the plain lambda relaxation exact.
+        # Convexity; plus the SOS2 adjacency system for binary cells (concave
+        # utilities make the plain lambda relaxation exact, so their cells
+        # carry no binaries).
         for v in cells:
             m = utilities[v].n_segments
             lam_idx = list(range(lam_offset[v], lam_offset[v] + m + 1))
             add_row(lam_idx, [1.0] * (m + 1), 1.0, 1.0)
-            if lp_mode:
+            if v not in binary_set:
                 continue
             z_idx = list(range(z_offset[v], z_offset[v] + m))
             add_row(z_idx, [1.0] * m, 1.0, 1.0)
@@ -309,10 +376,8 @@ class PatrolMILP:
         ).tocsc()
 
         integrality = np.zeros(n_vars)
-        if not lp_mode:
-            for v in cells:
-                z0 = z_offset[v]
-                integrality[z0 : z0 + utilities[v].n_segments] = 1
+        for v, z0 in z_offset.items():
+            integrality[z0 : z0 + utilities[v].n_segments] = 1
 
         structure = MILPStructure(
             matrix=matrix,
@@ -324,6 +389,7 @@ class PatrolMILP:
             lam_offset=lam_offset,
             n_vars=n_vars,
             lp_mode=lp_mode,
+            binary_cells=binary_key,
         )
         self._structures[key] = structure
         return structure
@@ -365,24 +431,13 @@ class PatrolMILP:
         )
 
     # ------------------------------------------------------------------
-    def _resolve_mode(
-        self, utilities: dict[int, PiecewiseLinear], mode: str
-    ) -> bool:
-        """Whether to take the LP fast path; validates forced modes."""
-        if mode not in SOLVER_MODES:
-            raise ConfigurationError(
-                f"mode must be one of {SOLVER_MODES}, got '{mode}'"
-            )
-        if mode == "milp":
-            return False
-        all_concave = all(pwl.is_concave() for pwl in utilities.values())
-        if mode == "lp" and not all_concave:
-            raise ConfigurationError(
-                "mode='lp' requires every utility to be concave (the lambda "
-                "relaxation is only exact without SOS2 binaries then); use "
-                "mode='auto' to fall back to the MILP"
-            )
-        return all_concave
+    #: Maximum certified-envelope rounds (one pure-LP round plus partial
+    #: re-solves) before auto mode falls back to the full SOS2 MILP.
+    MAX_ENVELOPE_ROUNDS = 3
+
+    #: Realised per-cell envelope slack above which a cell is declared an
+    #: offender and gets its segment binaries back.
+    _OFFENDER_TOL = 1e-9
 
     def solve(
         self, utilities: dict[int, PiecewiseLinear], mode: str = "auto"
@@ -395,22 +450,107 @@ class PatrolMILP:
             Per-reachable-cell PWL utility functions.
         mode:
             ``"auto"`` (default) takes the LP fast path when every utility
-            is concave and the full SOS2 MILP otherwise; ``"lp"`` forces
-            the fast path (rejecting non-concave inputs); ``"milp"``
-            always carries the segment binaries.
+            is concave, the certified envelope path when some are not (see
+            the module docstring), and the full SOS2 MILP only when the
+            envelope certificate fails; ``"lp"`` forces the pure fast path
+            (rejecting non-concave inputs); ``"milp"`` always carries the
+            segment binaries.
         """
-        lp_mode = self._resolve_mode(utilities, mode)
-        model = self.build_model(utilities, lp_mode=lp_mode)
-        n_vars = model.objective.size
-        constraints = LinearConstraint(model.matrix, model.row_lb, model.row_ub)
-        options = {"time_limit": self.time_limit}
-        if not lp_mode:
+        if mode not in SOLVER_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {SOLVER_MODES}, got '{mode}'"
+            )
+        if mode == "milp":
+            return self._solve_model(utilities, utilities, lp_mode=False)
+        all_concave = all(pwl.is_concave() for pwl in utilities.values())
+        if mode == "lp" and not all_concave:
+            raise ConfigurationError(
+                "mode='lp' requires every utility to be concave (the lambda "
+                "relaxation is only exact without SOS2 binaries then); use "
+                "mode='auto' to fall back to the MILP"
+            )
+        if all_concave:
+            return self._solve_model(utilities, utilities, lp_mode=True)
+        return self._solve_enveloped(utilities)
+
+    def _solve_enveloped(
+        self, utilities: dict[int, PiecewiseLinear]
+    ) -> MILPSolution:
+        """Certified envelope fast path for non-concave utilities.
+
+        Solves against the least concave majorants (pure LP first, then with
+        binaries restored on offending cells), accepting a solution only when
+        the relaxation's objective — a valid upper bound — matches the true
+        utility of the returned coverage within ``mip_gap``. Falls back to
+        the full MILP when the certificate keeps failing.
+        """
+        envelopes = {
+            v: pwl if pwl.is_concave() else pwl.concave_envelope()
+            for v, pwl in utilities.items()
+        }
+        accept_tol = max(self.mip_gap, self.envelope_gap)
+        binary: set[int] = set()
+        for _ in range(self.MAX_ENVELOPE_ROUNDS):
+            if binary:
+                relaxed = {
+                    v: utilities[v] if v in binary else envelopes[v]
+                    for v in utilities
+                }
+                solution = self._solve_model(
+                    relaxed, utilities, lp_mode=False,
+                    binary_cells=tuple(sorted(binary)), method="milp-partial",
+                )
+            else:
+                solution = self._solve_model(
+                    envelopes, utilities, lp_mode=True, method="lp-envelope"
+                )
+            upper = solution.objective_value
+            true_value = sum(
+                float(utilities[v](solution.coverage[v])) for v in utilities
+            )
+            if upper - true_value <= accept_tol * max(1.0, abs(upper)):
+                solution.objective_value = true_value
+                solution.bound_gap = max(0.0, upper - true_value) / max(
+                    1.0, abs(upper)
+                )
+                return solution
+            offenders = [
+                v
+                for v in utilities
+                if v not in binary
+                and float(envelopes[v](solution.coverage[v]))
+                - float(utilities[v](solution.coverage[v]))
+                > self._OFFENDER_TOL
+            ]
+            if not offenders:
+                break
+            binary.update(offenders)
+        return self._solve_model(utilities, utilities, lp_mode=False)
+
+    def _solve_model(
+        self,
+        objective_utilities: dict[int, PiecewiseLinear],
+        domain_utilities: dict[int, PiecewiseLinear],
+        lp_mode: bool,
+        binary_cells: tuple[int, ...] | None = None,
+        method: str | None = None,
+    ) -> MILPSolution:
+        """Build (or fetch) a structure, solve it, extract the solution."""
+        structure = self.build_structure(
+            domain_utilities, lp_mode=lp_mode, binary_cells=binary_cells
+        )
+        objective = self.objective_vector(structure, objective_utilities)
+        constraints = LinearConstraint(
+            structure.matrix, structure.row_lb, structure.row_ub
+        )
+        options: dict = {"time_limit": self.time_limit}
+        if structure.integrality.any():
             options["mip_rel_gap"] = self.mip_gap
         result = milp(
-            c=model.objective,
+            c=objective,
             constraints=constraints,
-            bounds=Bounds(np.zeros(n_vars), np.ones(n_vars)),
-            integrality=model.integrality,
+            bounds=Bounds(np.zeros(structure.n_vars), np.ones(structure.n_vars)),
+            integrality=structure.integrality,
             options=options,
         )
         if result.status == 2:
@@ -418,16 +558,16 @@ class PatrolMILP:
         if result.x is None:
             raise PlanningError(f"MILP solve failed: {result.message}")
         return self.extract_solution(
-            model,
+            structure,
             result.x,
             float(-result.fun),
             str(result.message),
-            method="lp" if lp_mode else "milp",
+            method=method or ("lp" if lp_mode else "milp"),
         )
 
     def extract_solution(
         self,
-        model: MILPModel,
+        model: MILPModel | MILPStructure,
         x: np.ndarray,
         objective_value: float,
         status: str,

@@ -62,9 +62,43 @@ class PiecewiseLinear:
         concave PWL needs no SOS2 segment binaries, because the plain
         convex-combination (lambda) relaxation already attains the function
         value at every coverage level (see :class:`~repro.planning.milp.PatrolMILP`).
+
+        ``tol`` is *relative to the slope magnitude* (with an absolute floor
+        of ``tol`` itself for sub-unit slopes): slope differences are rounded
+        quotients of breakpoint values, so their float noise scales with the
+        slopes — an absolute test misfires on steep functions whose benign
+        noise exceeds it.
         """
         slopes = np.diff(self.ys) / np.diff(self.xs)
-        return bool((np.diff(slopes) <= tol).all())
+        scale = max(1.0, float(np.abs(slopes).max()))
+        return bool((np.diff(slopes) <= tol * scale).all())
+
+    def concave_envelope(self) -> "PiecewiseLinear":
+        """Least concave majorant of this function on the same breakpoints.
+
+        The upper concave hull of the breakpoints, evaluated back at every
+        breakpoint: pointwise ``>=`` this function, equal wherever the
+        function is already concave. This is what the planner's certified
+        envelope fast path relaxes non-concave utilities to (see
+        :class:`~repro.planning.milp.PatrolMILP`).
+        """
+        xs, ys = self.xs, self.ys
+        hull: list[int] = []
+        for i in range(xs.size):
+            # Drop hull points that fall below the chord to the new point.
+            while len(hull) >= 2:
+                i0, i1 = hull[-2], hull[-1]
+                cross = (xs[i1] - xs[i0]) * (ys[i] - ys[i0]) - (
+                    ys[i1] - ys[i0]
+                ) * (xs[i] - xs[i0])
+                if cross >= 0:
+                    hull.pop()
+                else:
+                    break
+            hull.append(i)
+        env = np.interp(xs, xs[hull], ys[hull])
+        # Guarantee the majorant property against interpolation rounding.
+        return PiecewiseLinear(xs, np.maximum(env, ys))
 
 
 def sample_breakpoints(

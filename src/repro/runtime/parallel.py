@@ -1,4 +1,4 @@
-"""Thread-pool fan-out for model fitting and multi-post planning.
+"""Thread/process fan-out for model fitting and multi-post planning.
 
 Fitting an iWare-E ensemble is embarrassingly parallel at two levels — one
 weak learner per effort threshold, one base classifier per bootstrap — but
@@ -7,35 +7,59 @@ single master generator in a fixed order, or results stop being
 reproducible. The contract used throughout the package is therefore
 *two-phase execution*: perform all shared/stateful work serially (draw
 randomness, construct members, compute shared surfaces), then fan the pure
-per-item calls out through :func:`parallel_map`. The fanned work only
-touches per-item state, so parallel results are bit-identical to serial
-ones.
+per-item calls out through :func:`parallel_map` / :func:`run_deferred`. The
+fanned work only touches per-item state, so parallel results are
+bit-identical to serial ones — with any backend.
 
-Two workloads ride on this machinery:
+Two pool backends are available, because the fanned workloads split into two
+classes:
 
-* **fitting** — each member's ``fit`` touches only its own pre-drawn child
-  generator (:class:`~repro.core.ensemble.IWareEnsemble`, bagging);
-* **planning** — :class:`~repro.planning.service.PlanService` computes the
-  shared effort-response surfaces once, then solves each patrol post's
-  (deterministic) MILP/LP on its own planner.
+* ``"thread"`` — right when the heavy lifting happens in GIL-releasing
+  native code (GP Cholesky factorisations, kernel products, HiGHS solves).
+  Zero serialisation cost; tasks may share state by reference.
+* ``"process"`` — right for pure-Python/numpy-dispatch work (decision-tree
+  growth, SVM epochs) that the GIL would serialise in a thread pool. Tasks
+  cross the process boundary by pickling, so they must be picklable
+  (two-phase fit tasks are: phase 1 strips the unpicklable factory
+  closures, and fitted models travel back as plain arrays — the same
+  representation the npz persistence layer uses).
+* ``"auto"`` — inspects the tasks' ``backend_hint`` attributes (see
+  :meth:`repro.ml.base.Classifier.fit_backend_hint`) and picks the process
+  pool only when every task asks for it; anything that fails to pickle
+  falls back to threads rather than erroring.
 
-Threads (not processes) are the right pool here: weak-learner factories are
-closures over the master generator and cannot be pickled, and the expensive
-work (GP Cholesky factorisations, kernel products, HiGHS solves) lives in
-GIL-releasing native code.
+Worker counts are clamped to the CPUs actually available to this process
+(cgroup/affinity aware): oversubscribing a small container with more workers
+than cores only adds pool overhead, so ``n_jobs=8`` on a 2-core box runs 2
+workers — and on a single core every backend degrades to the plain serial
+loop, keeping "parallel" never slower than serial.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TypeVar
 
 from repro.exceptions import ConfigurationError
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Valid ``backend`` arguments accepted throughout the package.
+BACKENDS = ("auto", "thread", "process")
+
+
+def effective_cpu_count() -> int:
+    """CPUs usable by this process (respects scheduler affinity masks)."""
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return max(1, os.cpu_count() or 1)
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -55,18 +79,109 @@ def resolve_n_jobs(n_jobs: int | None) -> int:
     return n_jobs
 
 
-def parallel_map(
-    fn: Callable[[T], R], items: Iterable[T], n_jobs: int | None = 1
-) -> list[R]:
-    """``[fn(x) for x in items]``, optionally through a thread pool.
+def check_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"backend must be one of {BACKENDS}, got '{backend}'"
+        )
+    return backend
 
-    Results come back in input order. With ``n_jobs`` of ``None``/``1`` (or
-    fewer than two items) this is a plain list comprehension, so the serial
-    path has zero overhead and identical semantics.
+
+def _call(task: Callable[[], R]) -> R:
+    """Invoke a zero-argument task (module-level so process pools can map it)."""
+    return task()
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    n_jobs: int | None = 1,
+    backend: str = "thread",
+) -> list[R]:
+    """``[fn(x) for x in items]``, optionally through a worker pool.
+
+    Results come back in input order. With ``n_jobs`` of ``None``/``1``,
+    fewer than two items, or a single usable CPU, this is a plain list
+    comprehension — the serial path has zero overhead and identical
+    semantics. ``backend="process"`` requires ``fn`` and every item to be
+    picklable (``fn`` should be a module-level function).
     """
+    if backend == "auto":
+        raise ConfigurationError(
+            "parallel_map needs an explicit backend; use run_deferred for "
+            "hint-based auto selection"
+        )
+    check_backend(backend)
     materialised: Sequence[T] = list(items)
-    workers = min(resolve_n_jobs(n_jobs), len(materialised))
+    workers = min(
+        resolve_n_jobs(n_jobs), len(materialised), effective_cpu_count()
+    )
     if workers <= 1 or len(materialised) <= 1:
         return [fn(item) for item in materialised]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, materialised))
+    if backend == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, materialised))
+    chunksize = max(1, len(materialised) // (workers * 2))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, materialised, chunksize=chunksize))
+
+
+def vote_backend(hints: Sequence[str]) -> str:
+    """Resolve a pool flavour from per-task backend hints.
+
+    The process pool only pays off when every *substantive* task is
+    GIL-bound Python work (a single thread-happy GP fit would serialise
+    behind the pickling anyway): ``"process"`` wins iff at least one task
+    asks for it and none asks for ``"thread"``. Trivial no-op tasks
+    advertise ``"any"`` and do not get a vote; a group of nothing but
+    abstainers stays ``"any"`` so it cannot poison an outer vote either.
+    """
+    votes = [hint for hint in hints if hint != "any"]
+    if not votes:
+        return "any"
+    if all(vote == "process" for vote in votes):
+        return "process"
+    return "thread"
+
+
+def preferred_backend(tasks: Sequence[object]) -> str:
+    """Resolve ``"auto"`` from the tasks' ``backend_hint`` attributes."""
+    result = vote_backend(
+        [getattr(task, "backend_hint", "thread") for task in tasks]
+    )
+    return "process" if result == "process" else "thread"
+
+
+def run_deferred(
+    tasks: Sequence[Callable[[], R]],
+    n_jobs: int | None = 1,
+    backend: str = "auto",
+) -> list[R]:
+    """Run phase-2 fit tasks (zero-argument callables), optionally pooled.
+
+    This is the fan-out entry point of the two-phase fit protocol
+    (:meth:`repro.ml.base.Classifier.fit_deferred`): phase 1 has already
+    drawn all shared randomness serially, so the tasks here are pure and
+    order-independent — any backend yields bit-identical results.
+
+    With ``backend="auto"`` the pool is chosen from the tasks'
+    ``backend_hint`` attributes, and tasks that turn out not to pickle
+    (e.g. closures over live model state) quietly fall back to the thread
+    pool. An explicit ``backend="process"`` propagates pickling errors.
+    """
+    check_backend(backend)
+    tasks = list(tasks)
+    workers = min(resolve_n_jobs(n_jobs), len(tasks), effective_cpu_count())
+    if workers <= 1 or len(tasks) <= 1:
+        return [task() for task in tasks]
+    chosen = preferred_backend(tasks) if backend == "auto" else backend
+    if chosen == "process" and backend == "auto":
+        # Phase-2 tasks are pure and idempotent, so if anything in the batch
+        # turns out not to pickle the whole fan-out can simply re-run on the
+        # thread pool — no wasted up-front probe serialisation of the
+        # training data.
+        try:
+            return parallel_map(_call, tasks, n_jobs=workers, backend="process")
+        except (pickle.PicklingError, AttributeError, TypeError):
+            chosen = "thread"
+    return parallel_map(_call, tasks, n_jobs=workers, backend=chosen)

@@ -9,6 +9,10 @@ from hypothesis import strategies as st
 
 from repro.exceptions import ConfigurationError
 from repro.geo import Grid, chamfer_distance, geodesic_distance
+from repro.geo.distance import (
+    chamfer_distance_reference,
+    geodesic_distance_reference,
+)
 
 
 class TestChamfer:
@@ -101,6 +105,75 @@ class TestGeodesic:
         for cid in range(grid.n_cells):
             for nid in grid.neighbors(cid):
                 assert abs(dist[cid] - dist[nid]) <= grid.cell_km + 1e-9
+
+
+class TestReferenceEquivalence:
+    """The vectorised transforms are bit-identical to the original per-cell
+    implementations — the golden contract of the O(n) rewrite."""
+
+    def test_chamfer_matches_reference_on_random_masks(self):
+        rng = np.random.default_rng(0)
+        for trial in range(15):
+            h, w = rng.integers(2, 50, size=2)
+            mask = rng.random((h, w)) < rng.uniform(0.01, 0.3)
+            if not mask.any():
+                mask[rng.integers(h), rng.integers(w)] = True
+            cell_km = float(rng.choice([1.0, 0.5, 2.5]))
+            np.testing.assert_array_equal(
+                chamfer_distance(mask, cell_km),
+                chamfer_distance_reference(mask, cell_km),
+            )
+
+    def test_chamfer_matches_reference_on_empty_and_full_masks(self):
+        empty = np.zeros((7, 9), dtype=bool)
+        np.testing.assert_array_equal(
+            chamfer_distance(empty), chamfer_distance_reference(empty)
+        )
+        full = np.ones((7, 9), dtype=bool)
+        np.testing.assert_array_equal(
+            chamfer_distance(full), chamfer_distance_reference(full)
+        )
+
+    def test_chamfer_matches_reference_on_degenerate_shapes(self):
+        for shape in [(1, 12), (12, 1), (1, 1), (2, 2)]:
+            rng = np.random.default_rng(sum(shape))
+            mask = rng.random(shape) < 0.2
+            mask.flat[0] = True
+            np.testing.assert_array_equal(
+                chamfer_distance(mask), chamfer_distance_reference(mask)
+            )
+
+    def test_geodesic_matches_reference_on_masked_grids_with_holes(self):
+        rng = np.random.default_rng(1)
+        for trial in range(12):
+            h, w = map(int, rng.integers(3, 30, size=2))
+            mask = rng.random((h, w)) < 0.75  # plenty of holes/pockets
+            if not mask.any():
+                mask[0, 0] = True
+            grid = Grid(h, w, cell_km=float(rng.choice([1.0, 0.7])), mask=mask)
+            n_src = int(rng.integers(1, min(4, grid.n_cells) + 1))
+            sources = rng.choice(grid.n_cells, size=n_src, replace=False)
+            np.testing.assert_array_equal(
+                geodesic_distance(grid, sources),
+                geodesic_distance_reference(grid, sources),
+            )
+
+    def test_geodesic_unreachable_pockets_stay_inf(self):
+        mask = np.ones((5, 5), dtype=bool)
+        mask[2, :] = False  # wall splits the park in two
+        grid = Grid(5, 5, mask=mask)
+        dist = geodesic_distance(grid, [grid.cell_id(0, 0)])
+        ref = geodesic_distance_reference(grid, [grid.cell_id(0, 0)])
+        np.testing.assert_array_equal(dist, ref)
+        assert np.isinf(dist[grid.cell_id(4, 4)])
+
+    def test_geodesic_fractional_cell_km_accumulates_identically(self):
+        # Repeated addition of a non-representable step (0.3) is where a
+        # level*step formulation would drift; the BFS must accumulate.
+        grid = Grid.rectangular(3, 40, cell_km=0.3)
+        np.testing.assert_array_equal(
+            geodesic_distance(grid, [0]), geodesic_distance_reference(grid, [0])
+        )
 
 
 @settings(max_examples=20, deadline=None)

@@ -131,10 +131,34 @@ class TestLPFastPath:
         __, __g, milp, utilities = make_instance(seed=12)
         assert milp.solve(utilities).method == "lp"
 
-    def test_auto_falls_back_on_nonconcave(self):
+    def test_auto_certified_on_nonconcave(self):
+        """Auto mode handles non-concave utilities through the certified
+        envelope path (or the full MILP when the certificate fails): the
+        accepted solution is within the certified gap of the full SOS2
+        MILP's optimum, and the certificate honours ``envelope_gap``."""
         __, __g, milp, utilities = make_instance(concave=False, seed=12)
         assert any(not u.is_concave() for u in utilities.values())
-        assert milp.solve(utilities).method == "milp"
+        sol_auto = milp.solve(utilities)
+        sol_milp = milp.solve(utilities, mode="milp")
+        assert sol_auto.method in ("lp-envelope", "milp-partial", "milp")
+        scale = max(1.0, abs(sol_milp.objective_value))
+        tol = max(milp.envelope_gap, milp.mip_gap)
+        assert (
+            sol_auto.objective_value
+            >= sol_milp.objective_value - tol * scale - 1e-9
+        )
+        assert sol_auto.bound_gap <= tol + 1e-12
+
+    def test_envelope_gap_zero_matches_milp_quality(self):
+        """envelope_gap=0 tightens the certificate to mip_gap — auto-mode
+        solutions then carry the same guarantee as the full SOS2 MILP."""
+        __, graph, __m, utilities = make_instance(concave=False, seed=12)
+        exact = PatrolMILP(graph, n_patrols=2, envelope_gap=0.0)
+        sol_auto = exact.solve(utilities)
+        sol_milp = exact.solve(utilities, mode="milp")
+        assert sol_auto.objective_value == pytest.approx(
+            sol_milp.objective_value, abs=1e-4
+        )
 
     def test_forced_lp_rejects_nonconcave(self):
         __, __g, milp, utilities = make_instance(concave=False, seed=13)
@@ -145,6 +169,54 @@ class TestLPFastPath:
         __, __g, milp, utilities = make_instance()
         with pytest.raises(ConfigurationError):
             milp.solve(utilities, mode="simplex")
+
+    def test_is_concave_tolerance_is_relative(self):
+        """Regression for the Fig. 9 cliff: slope noise scales with slope
+        magnitude, so a steep concave function with float jitter above the
+        old 1e-9 absolute tolerance must still register as concave."""
+        xs = np.array([0.0, 1.0, 2.0])
+        steep = PiecewiseLinear(xs, np.array([0.0, 1e7, 2e7 + 1e-3]))
+        slopes = np.diff(steep.ys) / np.diff(steep.xs)
+        assert np.diff(slopes).max() > 1e-9  # absolute test would misfire
+        assert steep.is_concave()
+        # A genuinely convex function is still rejected at any scale.
+        convex = PiecewiseLinear(xs, np.array([0.0, 1e7, 3e7]))
+        assert not convex.is_concave()
+
+    def test_concave_envelope_is_least_concave_majorant(self):
+        xs = np.linspace(0.0, 5.0, 11)
+        rng = np.random.default_rng(3)
+        ys = np.cumsum(rng.random(11))  # increasing, generically non-concave
+        pwl = PiecewiseLinear(xs, ys)
+        env = pwl.concave_envelope()
+        assert env.is_concave()
+        assert (env.ys >= pwl.ys - 1e-12).all()
+        # Envelope of a concave function is the function itself.
+        conc = PiecewiseLinear(xs, 1 - np.exp(-xs))
+        np.testing.assert_allclose(conc.concave_envelope().ys, conc.ys)
+
+    def test_envelope_path_reports_true_objective(self):
+        """Certified envelope solutions report utility(coverage), not the
+        relaxation's optimistic bound."""
+        __, graph, milp, utilities = make_instance(concave=False, seed=21)
+        sol = milp.solve(utilities, mode="auto")
+        recomputed = sum(
+            utilities[int(v)](sol.coverage[int(v)])
+            for v in graph.reachable_cells
+        )
+        assert sol.objective_value == pytest.approx(recomputed, abs=1e-6)
+
+    def test_partial_binary_structure_smaller_than_full(self):
+        """Restoring binaries on a subset of cells yields strictly fewer
+        integer variables than the classic all-binary MILP."""
+        __, __g, milp, utilities = make_instance(concave=False, seed=22)
+        cells = sorted(utilities)
+        full = milp.build_structure(utilities, lp_mode=False)
+        partial = milp.build_structure(
+            utilities, lp_mode=False, binary_cells=cells[:3]
+        )
+        assert partial.integrality.sum() < full.integrality.sum()
+        assert partial.binary_cells == tuple(cells[:3])
 
     def test_lp_coverage_objective_consistent(self):
         """LP-path solutions still report utility(coverage) exactly."""
