@@ -3,6 +3,7 @@
 #   make test        unit/integration suite
 #   make bench       paper-artifact benchmarks (writes benchmarks/results/)
 #   make bench-fit   training-engine throughput benchmark only
+#   make bench-serve full 1.6k->1M serving scalability sweep (regenerates its results/ artifact)
 #   make smoke       CLI entry points all exit 0
 #   make lint        byte-compile every source tree
 #   make check       lint + smoke + test
@@ -10,7 +11,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-fit smoke lint check
+.PHONY: test bench bench-fit bench-serve smoke lint check
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -20,6 +21,9 @@ bench:
 
 bench-fit:
 	$(PYTHON) -m pytest benchmarks/test_fit_throughput.py -q
+
+bench-serve:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/test_serve_scalability.py -q
 
 smoke:
 	$(PYTHON) -m repro --help > /dev/null

@@ -1,0 +1,235 @@
+"""Serving engine at scale: tiled, parallel, memory-bounded risk maps.
+
+PR 1 batched the effort grid, PR 3 made fitting fast; this benchmark guards
+the serving engine that makes *prediction* scale to the ROADMAP's
+million-cell parks (Section VII serves risk maps far more often than it
+trains). A Fig. 9-style sweep over grid sizes from 1.6k to 1M cells
+records, per configuration, the ``effort_response`` latency, throughput,
+and peak transient allocation for
+
+* the untiled serial path (the pre-tiling engine: each GP member
+  materialises an ``O(n_train x n_cells)`` kernel slab),
+* the tiled serial path (``tile_size`` rows per task — transient memory
+  drops to ``O(n_train x tile)`` and the working set fits in cache), and
+* the tiled parallel path (``n_jobs=4`` over the ``(member x tile)``
+  fan-out; worker counts clamp to usable cores).
+
+Acceptance, asserted below: >= 4x wall-clock speedup over the untiled
+serial path at the >= 250k-cell size given >= 4 usable cores (workers
+clamp to cores; a single-core box only sees the ~1.4x L2-resident tiling
+win, which must still hold), peak transient allocation bounded by
+outputs + ``O(n_train x tile x workers)`` instead of ``O(n_train x n)``,
+and max |tiled - untiled| deviation == 0 at every configuration.
+
+Three sweep modes balance fidelity against wall-clock:
+
+* ``REPRO_BENCH_FULL=1`` (``make bench-serve``) — the complete 1.6k -> 1M
+  sweep; the only mode that (re)writes ``results/serve_scalability.txt``.
+  Budget ~15 minutes on one core (the million-cell configurations are
+  most of it).
+* default (plain ``pytest benchmarks``) — stops at 62.5k cells, where the
+  tiling contrast is already fully visible; a couple of minutes.
+* ``REPRO_BENCH_SMOKE=1`` (the CI smoke step) — stops at 40k cells with a
+  relaxed speedup floor that still fails loudly on a regression.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+import tracemalloc
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core import PawsPredictor
+from repro.data import MFNP, generate_dataset
+from repro.evaluation import format_table
+from repro.ml.gp import GaussianProcessClassifier
+from repro.runtime.parallel import effective_cpu_count
+
+from conftest import write_report
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+FULL = not SMOKE and os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+#: MFNP terrain statistics on a full 40x40 lattice (the same XL park the
+#: other engine benchmarks use); larger grids resample its feature rows.
+PROFILE = replace(MFNP.scaled(5.0 / 3.0), name="MFNP-XL", geometry="rectangle")
+
+N_CLASSIFIERS = 6
+N_ESTIMATORS = 3
+N_GRID = 10
+#: 1024 rows x 250 training points x 8 bytes = a 2 MB kernel slab — small
+#: enough to stay L2-resident, which is where the serial cache win lives
+#: (4096-row tiles already fall back to L3 and give half the win).
+TILE = 1024
+N_JOBS = 4
+
+#: Cell counts swept (1.6k -> 1M in full mode). The untiled path is
+#: measured everywhere except 1M, where its 2 GB-per-member kernel slabs
+#: are exactly the allocation pattern the tiled engine exists to remove;
+#: the report carries the 250k-cell latency contrast instead.
+if SMOKE:
+    SIZES = (1_600, 10_000, 40_000)
+elif FULL:
+    SIZES = (1_600, 10_000, 62_500, 250_000, 1_000_000)
+else:
+    SIZES = (1_600, 10_000, 62_500)
+UNTILED_MAX = 40_000 if SMOKE else 250_000
+
+#: Floors on t_untiled / t_tiled_parallel at the largest dual-measured
+#: size. With >= 4 usable cores the (member x tile) fan-out must clear
+#: the acceptance bar (>= 4x at the >= 250k-cell size in the full sweep;
+#: noise headroom on the reduced sweeps). With fewer cores the pool
+#: clamps toward the serial tiled path, whose cache win depends on the
+#: grid: parity-to-1.4x at the reduced sweeps' sizes (inside timing
+#: noise on shared single-core runners, so those floors only demand
+#: "never meaningfully slower"), 5x+ at the full sweep's 250k cells
+#: where the untiled slabs collapse to <900 cells/s.
+PARALLEL_FLOOR = 4.0 if FULL else (1.5 if SMOKE else 2.0)
+SERIAL_FLOOR = 2.0 if FULL else 0.9
+
+
+def _timed(fn) -> tuple[float, float, object]:
+    """(seconds, peak transient bytes, result) for one serving call."""
+    tracemalloc.reset_peak()
+    before = tracemalloc.get_traced_memory()[0]
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    peak = tracemalloc.get_traced_memory()[1] - before
+    return elapsed, peak, result
+
+
+def _max_gp_train_rows(predictor: PawsPredictor) -> int:
+    """Largest per-member GP training set (the n_train of the memory bound)."""
+    assert predictor._ensemble is not None
+    rows = [
+        member._X_train.shape[0]
+        for classifier in predictor._ensemble.classifiers_
+        if hasattr(classifier, "estimators_")
+        for member in classifier.estimators_
+        if isinstance(member, GaussianProcessClassifier)
+    ]
+    return max(rows)
+
+
+def test_serve_scalability(benchmark):
+    data = generate_dataset(PROFILE, seed=0)
+    split = data.dataset.split_by_test_year(PROFILE.years - 1)
+    predictor = PawsPredictor(
+        model="gpb", iware=True, n_classifiers=N_CLASSIFIERS,
+        n_estimators=N_ESTIMATORS, seed=1,
+    ).fit(split.train)
+    base = predictor.cell_feature_matrix(data.park, data.recorded_effort[-1])
+    n_train = _max_gp_train_rows(predictor)
+    effort_grid = np.linspace(0.0, 4.0, N_GRID)
+    rng = np.random.default_rng(0)
+    cores = effective_cpu_count()
+
+    rows: list[list] = []
+    times: dict[tuple[int, str], float] = {}
+    peaks: dict[tuple[int, str], float] = {}
+    tracemalloc.start()
+    for n_cells in SIZES:
+        X = base[rng.integers(0, base.shape[0], size=n_cells)]
+
+        def serve(**kwargs):
+            return lambda: predictor.effort_response(X, effort_grid, **kwargs)
+
+        configs = []
+        if n_cells <= UNTILED_MAX:
+            configs.append(("untiled serial", serve()))
+        configs.append(("tiled serial", serve(tile_size=TILE)))
+        configs.append(
+            (f"tiled n_jobs={N_JOBS}", serve(tile_size=TILE, n_jobs=N_JOBS))
+        )
+        results = {}
+        for label, fn in configs:
+            elapsed, peak, (risk, nu) = _timed(fn)
+            results[label] = (risk, nu)
+            times[(n_cells, label)] = elapsed
+            peaks[(n_cells, label)] = peak
+            rows.append(
+                [f"{n_cells:>9,} cells, {label}", elapsed,
+                 n_cells / elapsed, peak / 1e6]
+            )
+        # Bit-identity at every configuration: the tile size, worker count,
+        # and pool flavour must not change a single bit of either surface.
+        reference = results[configs[0][0]]
+        for label, (risk, nu) in results.items():
+            assert np.abs(risk - reference[0]).max() == 0.0, (n_cells, label)
+            assert np.abs(nu - reference[1]).max() == 0.0, (n_cells, label)
+        # At sizes where the untiled path is skipped, check tiled-vs-tiled
+        # identity across a different tile size instead.
+        if n_cells > UNTILED_MAX:
+            risk_alt, nu_alt = serve(tile_size=TILE // 2, n_jobs=N_JOBS)()
+            assert np.abs(risk_alt - reference[0]).max() == 0.0
+            assert np.abs(nu_alt - reference[1]).max() == 0.0
+    tracemalloc.stop()
+    benchmark.pedantic(
+        lambda: predictor.effort_response(
+            base, effort_grid, tile_size=TILE, n_jobs=N_JOBS
+        ),
+        rounds=3, iterations=1,
+    )
+
+    largest_untiled = max(n for n in SIZES if n <= UNTILED_MAX)
+    speedup = (
+        times[(largest_untiled, "untiled serial")]
+        / times[(largest_untiled, f"tiled n_jobs={N_JOBS}")]
+    )
+    floor = PARALLEL_FLOOR if cores >= 4 else SERIAL_FLOOR
+    maxrss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    table = format_table(
+        [f"{PROFILE.name} serve sweep (tile={TILE}, {cores} usable cores)",
+         "latency (s)", "cells/s", "peak alloc (MB)"],
+        rows, "{:,.2f}",
+    )
+    note = (
+        f"\nnote: every configuration is exactness-checked — max deviation "
+        f"between tiled/parallel and untiled surfaces is asserted == 0. "
+        f"Peak alloc is the tracemalloc-traced transient high-water mark "
+        f"per call; the untiled path allocates O(n_train x n_cells) GP "
+        f"kernel slabs (n_train={n_train} here), the tiled path "
+        f"O(n_train x {TILE}) per in-flight task plus the output surfaces. "
+        f"Untiled serving is skipped beyond {UNTILED_MAX:,} cells (minutes "
+        f"per call; the pathology the tiled engine removes). "
+        f"effort_response speedup at {largest_untiled:,} cells: "
+        f"{speedup:.1f}x with n_jobs={N_JOBS} (floor {floor}x at "
+        f"{cores} usable cores; workers clamp to cores, so the single-core "
+        f"win is pure cache locality — parity-to-1.4x below the untiled "
+        f"path's cache cliff, 5x+ at 250k cells where it collapses — and "
+        f"the >= {PARALLEL_FLOOR}x bar applies from 4 cores up). "
+        f"Process peak RSS after the sweep: {maxrss_mb:,.0f} MB."
+    )
+    if FULL:
+        write_report("serve_scalability", table + note)
+    else:
+        # Reduced sweeps must not overwrite the full-sweep report.
+        print(table + note)
+
+    # --- Acceptance ------------------------------------------------------
+    # 1. Tiled, parallel serving beats the pre-tiling serial path: >= 4x
+    #    at the >= 250k-cell size given >= 4 usable cores (the fan-out
+    #    cannot beat the hardware — on fewer cores it clamps toward the
+    #    serial tiled path, which must still win on cache locality alone).
+    assert speedup >= floor
+    # 2. Memory bound: the tiled path's transient peak is outputs plus
+    #    O(n_train x tile x workers) — not O(n_train x n_cells). The
+    #    output surfaces (risk, nu, member stats, scaler temps) are
+    #    ~56 doubles per cell at this grid/ensemble size; 4x covers numpy
+    #    temporaries, and the per-task budget gets an 8x allowance.
+    for n_cells in SIZES:
+        out_bytes = 8 * n_cells * (2 * N_GRID + 2 * N_CLASSIFIERS)
+        budget = 4 * out_bytes + 8 * (8 * n_train * TILE) * N_JOBS + 32e6
+        for label in ("tiled serial", f"tiled n_jobs={N_JOBS}"):
+            assert peaks[(n_cells, label)] <= budget, (n_cells, label)
+    # ... while the untiled path really does pay O(n_train x n_cells): at
+    # the largest dual-measured size it allocates at least one full kernel
+    # slab and dwarfs the tiled peak.
+    untiled_peak = peaks[(largest_untiled, "untiled serial")]
+    assert untiled_peak >= 8 * n_train * largest_untiled
+    assert untiled_peak >= 4 * peaks[(largest_untiled, f"tiled n_jobs={N_JOBS}")]

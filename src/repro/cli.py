@@ -10,6 +10,8 @@ Exposes the main workflows without writing any Python::
     python -m repro plan --park MFNP --beta 0.8 --post 0
     python -m repro predict --park MFNP --save-model models/mfnp
     python -m repro predict --park MFNP --load-model models/mfnp --effort 2.5
+    python -m repro predict --park MFNP --load-model models/mfnp \
+        --tile-size 4096 --n-jobs 4
 
 All commands are deterministic given ``--seed``.
 """
@@ -103,7 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
         "predict",
         help="serve a risk map from a fitted (or saved) model",
         description="Fit the predictor once — or load one saved earlier — "
-        "and serve a per-cell risk map without refitting.",
+        "and serve a per-cell risk map without refitting. Serving streams "
+        "cells through fixed-size tiles (--tile-size bounds transient "
+        "memory) and fans (member x tile) tasks over --n-jobs workers; "
+        "the map is bit-identical at every setting.",
     )
     add_park(predict)
     predict.add_argument("--model", default="gpb", choices=("svb", "dtb", "gpb"))
@@ -111,12 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fit the flat baseline instead of iWare-E")
     predict.add_argument("--n-classifiers", type=int, default=6)
     predict.add_argument("--n-jobs", type=int, default=1,
-                         help="fitting workers (results identical to serial)")
+                         help="workers for fitting AND serving "
+                         "(results identical to serial)")
+    predict.add_argument("--tile-size", type=int, default=None,
+                         help="cells per serving tile; bounds the predict "
+                         "path's transient memory at O(n_train x tile) "
+                         "(default: one untiled pass)")
     predict.add_argument("--backend", default="auto",
                          choices=("auto", "thread", "process"),
-                         help="fitting pool: auto routes GIL-bound weak "
-                         "learners (dtb/svb) to processes, BLAS-heavy gpb "
-                         "to threads")
+                         help="fitting/serving pool: auto routes GIL-bound "
+                         "weak learners (dtb/svb) to processes, BLAS-heavy "
+                         "gpb to threads")
     predict.add_argument("--effort", type=float, default=None,
                          help="hypothetical patrol effort in km "
                          "(default: the park's median recorded effort)")
@@ -289,7 +299,7 @@ def _cmd_predict(args, out) -> int:
         source = f"loaded from {args.load_model}"
         out.write(
             "serving from a saved model; fitting flags (--model, --no-iware, "
-            "--n-classifiers, --n-jobs) are ignored\n"
+            "--n-classifiers) are ignored\n"
         )
     else:
         split = data.dataset.split_by_test_year(profile.years - 1)
@@ -306,15 +316,23 @@ def _cmd_predict(args, out) -> int:
         setup = time.perf_counter() - start
         source = f"fitted on {split.train.n_points} points"
 
-    service = RiskMapService(predictor)
+    service = RiskMapService(
+        predictor,
+        tile_size=args.tile_size,
+        n_jobs=args.n_jobs,
+        backend=args.backend,
+    )
     features = predictor.cell_feature_matrix(data.park, data.recorded_effort[-1])
+    # Register the park's features so repeated queries key the cache by
+    # token instead of re-hashing the full matrix.
+    park_token = service.register_features(profile.name, features)
     effort = (
         args.effort
         if args.effort is not None
         else float(np.median(data.dataset.current_effort))
     )
     start = time.perf_counter()
-    risk = service.risk_map(features, effort=effort)
+    risk = service.risk_map(park_token, effort=effort)
     serve = time.perf_counter() - start
     out.write(
         f"{predictor.name} risk map for {profile.name} at effort "

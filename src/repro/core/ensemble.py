@@ -219,67 +219,124 @@ class IWareEnsemble:
         if self.thresholds_ is None or not self.classifiers_:
             raise NotFittedError("IWareEnsemble is not fitted")
 
-    def member_probabilities(self, X: np.ndarray) -> np.ndarray:
-        """``(I, n)`` raw probabilities from every threshold classifier."""
-        self._check_fitted()
-        return np.stack([c.predict_proba(X) for c in self.classifiers_])
+    def member_probabilities(
+        self,
+        X: np.ndarray,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
+    ) -> np.ndarray:
+        """``(I, n)`` raw probabilities from every threshold classifier.
 
-    def corrected_member_probabilities(self, X: np.ndarray) -> np.ndarray:
+        ``tile_size`` / ``n_jobs`` / ``backend`` route the sweep through the
+        ``(member x tile)`` prediction fan-out; any combination is
+        bit-identical to the serial defaults.
+        """
+        from repro.runtime.parallel import predict_map
+
+        self._check_fitted()
+        return np.stack(
+            predict_map(
+                self.classifiers_, X, tile_size=tile_size, n_jobs=n_jobs,
+                backend=backend, method="predict_proba",
+            )
+        )
+
+    def corrected_member_probabilities(
+        self,
+        X: np.ndarray,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
+    ) -> np.ndarray:
         """``(I, n)`` probabilities prior-corrected to the full base rate.
 
         Each filtered classifier is calibrated to its own subset's positive
         rate; the odds-ratio correction (Elkan 2001) maps all of them onto
         the unfiltered prior so they can be mixed on a common scale.
         """
-        probs = self.member_probabilities(X)
+        probs = self.member_probabilities(
+            X, tile_size=tile_size, n_jobs=n_jobs, backend=backend
+        )
         assert self.subset_positive_rates_ is not None
         assert self.full_positive_rate_ is not None
         return _prior_correct(
             probs, self.subset_positive_rates_, self.full_positive_rate_
         )
 
-    def member_variances(self, X: np.ndarray) -> np.ndarray:
+    def member_variances(
+        self,
+        X: np.ndarray,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
+    ) -> np.ndarray:
         """``(I, n)`` uncertainty from every threshold classifier.
 
         Bagging weak learners report their members' intrinsic (GP) variance
         when available, falling back to between-member variance otherwise.
         """
-        self._check_fitted()
-        rows = []
-        for c in self.classifiers_:
-            if isinstance(c, BaggingClassifier):
-                rows.append(c.mean_member_variance(X))
-            else:
-                rows.append(c.predict_variance(X))
-        return np.stack(rows)
+        from repro.runtime.parallel import predict_map
 
-    def member_statistics(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        self._check_fitted()
+        methods = [
+            "mean_member_variance"
+            if isinstance(c, BaggingClassifier)
+            else "predict_variance"
+            for c in self.classifiers_
+        ]
+        return np.stack(
+            predict_map(
+                self.classifiers_, X, tile_size=tile_size, n_jobs=n_jobs,
+                backend=backend, method=methods,
+            )
+        )
+
+    def member_statistics(
+        self,
+        X: np.ndarray,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
+    ) -> tuple[np.ndarray, np.ndarray]:
         """``(I, n)`` member probabilities and variances from one model pass.
 
         Equal to ``(member_probabilities(X), member_variances(X))``, but each
         threshold classifier is visited once (via ``prediction_stats``)
         instead of twice — bagged GP members in particular solve their latent
         moments a single time. This is the workhorse of the batched serving
-        path.
+        path: test rows stream through in ``tile_size``-row tiles (bounding
+        transient memory at ``O(n_train x tile)`` per task) and the
+        ``(member x tile)`` tasks fan out over ``n_jobs`` workers, with the
+        same hint-based ``backend`` auto selection — and the same
+        bit-identity guarantee — as the fitting fan-out.
         """
+        from repro.runtime.parallel import predict_map
+
         self._check_fitted()
-        probs: list[np.ndarray] = []
-        variances: list[np.ndarray] = []
-        for c in self.classifiers_:
-            p, v = c.prediction_stats(X)
-            probs.append(p)
-            variances.append(v)
-        return np.stack(probs), np.stack(variances)
+        stats = predict_map(
+            self.classifiers_, X,
+            tile_size=tile_size, n_jobs=n_jobs, backend=backend,
+        )
+        probs = np.stack([p for p, __ in stats])
+        variances = np.stack([v for __, v in stats])
+        return probs, variances
 
     def batched_effort_response(
-        self, X: np.ndarray, effort_grid: np.ndarray
+        self,
+        X: np.ndarray,
+        effort_grid: np.ndarray,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
     ) -> tuple[np.ndarray, np.ndarray]:
         """Risk and raw variance surfaces over a whole effort grid at once.
 
         The per-level path re-runs every ensemble member for every effort
         level, although member predictions do not depend on the hypothesised
         effort at all — effort only selects which members are *qualified* to
-        vote. Here member statistics are computed once and the per-level
+        vote. Here member statistics are computed once (tiled and parallel
+        when requested; see :meth:`member_statistics`) and the per-level
         mixtures collapse to two ``(n, I) @ (I, L)`` products.
 
         Returns
@@ -287,11 +344,15 @@ class IWareEnsemble:
         (risk, raw_variance):
             Two ``(n, len(effort_grid))`` arrays matching per-level
             ``predict_proba`` / ``predict_variance`` calls to within
-            floating-point reduction order.
+            floating-point reduction order — and matching the untiled,
+            serial batched path *exactly*, whatever the tile size, worker
+            count, or pool flavour.
         """
         assert self.weights_ is not None and self.thresholds_ is not None
         effort_grid = np.asarray(effort_grid, dtype=float)
-        probs, variances = self.member_statistics(X)
+        probs, variances = self.member_statistics(
+            X, tile_size=tile_size, n_jobs=n_jobs, backend=backend
+        )
         # (I, L) qualification per effort level — the same rule the
         # per-level path applies per point, evaluated once per grid level.
         mask = self._qualification(effort_grid, effort_grid.size)
@@ -329,7 +390,12 @@ class IWareEnsemble:
         return (weighted * probs).sum(axis=0) / denom
 
     def predict_proba(
-        self, X: np.ndarray, effort: np.ndarray | float | None = None
+        self,
+        X: np.ndarray,
+        effort: np.ndarray | float | None = None,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
     ) -> np.ndarray:
         """Ensemble probability of detected poaching for each row of ``X``.
 
@@ -343,16 +409,39 @@ class IWareEnsemble:
             from every classifier; a value/array mixes the raw probabilities
             of the classifiers qualified at that effort, which is the
             effort-response ``g_v(c)`` the planner consumes.
+        tile_size, n_jobs, backend:
+            Serving fan-out controls (see :meth:`member_statistics`); the
+            mixed map is bit-identical for every combination.
         """
         if effort is None:
-            return self._mix(self.corrected_member_probabilities(X), None)
-        return self._mix(self.member_probabilities(X), effort)
+            return self._mix(
+                self.corrected_member_probabilities(
+                    X, tile_size=tile_size, n_jobs=n_jobs, backend=backend
+                ),
+                None,
+            )
+        return self._mix(
+            self.member_probabilities(
+                X, tile_size=tile_size, n_jobs=n_jobs, backend=backend
+            ),
+            effort,
+        )
 
     def predict_variance(
-        self, X: np.ndarray, effort: np.ndarray | float | None = None
+        self,
+        X: np.ndarray,
+        effort: np.ndarray | float | None = None,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
     ) -> np.ndarray:
         """Ensemble uncertainty score, mixed like the probabilities."""
-        return self._mix(self.member_variances(X), effort)
+        return self._mix(
+            self.member_variances(
+                X, tile_size=tile_size, n_jobs=n_jobs, backend=backend
+            ),
+            effort,
+        )
 
     def predict_at_effort(self, X: np.ndarray, effort_km: float) -> np.ndarray:
         """``g_v(c)``: risk of *detecting* an attack at hypothetical effort c."""

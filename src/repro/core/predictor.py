@@ -226,26 +226,60 @@ class PawsPredictor:
     # Point predictions
     # ------------------------------------------------------------------
     def predict_proba(
-        self, X: np.ndarray, effort: np.ndarray | float | None = None
+        self,
+        X: np.ndarray,
+        effort: np.ndarray | float | None = None,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
     ) -> np.ndarray:
-        """Probability of detected poaching for each input row."""
+        """Probability of detected poaching for each input row.
+
+        ``tile_size`` / ``n_jobs`` / ``backend`` stream the rows through the
+        ``(member x tile)`` serving fan-out; results are bit-identical to
+        the serial, untiled defaults.
+        """
+        from repro.runtime.parallel import predict_map
+
         self._check_fitted()
         if self._ensemble is not None:
-            return self._ensemble.predict_proba(X, effort=effort)
+            return self._ensemble.predict_proba(
+                X, effort=effort,
+                tile_size=tile_size, n_jobs=n_jobs, backend=backend,
+            )
         assert self._flat_model is not None
-        return self._flat_model.predict_proba(X)
+        return predict_map(
+            [self._flat_model], X, tile_size=tile_size, n_jobs=n_jobs,
+            backend=backend, method="predict_proba",
+        )[0]
 
     def predict_variance(
-        self, X: np.ndarray, effort: np.ndarray | float | None = None
+        self,
+        X: np.ndarray,
+        effort: np.ndarray | float | None = None,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
     ) -> np.ndarray:
         """Raw (unsquashed) uncertainty of each prediction."""
+        from repro.runtime.parallel import predict_map
+
         self._check_fitted()
         if self._ensemble is not None:
-            return self._ensemble.predict_variance(X, effort=effort)
+            return self._ensemble.predict_variance(
+                X, effort=effort,
+                tile_size=tile_size, n_jobs=n_jobs, backend=backend,
+            )
         assert self._flat_model is not None
-        if isinstance(self._flat_model, BaggingClassifier):
-            return self._flat_model.mean_member_variance(X)
-        return self._flat_model.predict_variance(X)
+        method = (
+            "mean_member_variance"
+            if isinstance(self._flat_model, BaggingClassifier)
+            else "predict_variance"
+        )
+        return predict_map(
+            [self._flat_model], X, tile_size=tile_size, n_jobs=n_jobs,
+            backend=backend, method=method,
+        )[0]
 
     def evaluate_auc(self, test: PoachingDataset) -> float:
         """AUC on a held-out dataset (the Table II metric)."""
@@ -273,6 +307,9 @@ class PawsPredictor:
         features: np.ndarray,
         effort_grid: np.ndarray,
         batched: bool = True,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
     ) -> tuple[np.ndarray, np.ndarray]:
         """Risk and squashed uncertainty across hypothetical effort levels.
 
@@ -283,11 +320,16 @@ class PawsPredictor:
         effort_grid:
             Increasing effort levels (km) at which to evaluate the model.
         batched:
-            Compute all effort levels from a single pass over the ensemble
-            members (the serving path: member predictions do not depend on
-            the hypothesised effort, only the mixing weights do). ``False``
-            falls back to one full ensemble sweep per level — kept as the
-            reference implementation for equivalence benchmarks.
+            Mix all effort levels with two matrix products from one set of
+            member statistics (the serving path). ``False`` mixes level by
+            level through ``_mix`` instead — same member statistics, kept
+            as the per-level reference mixing for equivalence tests.
+        tile_size, n_jobs, backend:
+            Serving fan-out controls: test rows stream through
+            ``tile_size``-row tiles (bounding transient memory at
+            ``O(n_train x tile)``) and the ``(member x tile)`` tasks spread
+            over ``n_jobs`` workers on the hint-selected pool. Every
+            combination returns bit-identical surfaces.
 
         Returns
         -------
@@ -302,9 +344,13 @@ class PawsPredictor:
         if (np.diff(effort_grid) < 0).any():
             raise ConfigurationError("effort_grid must be nondecreasing")
         if batched:
-            risk, raw_var = self._effort_surfaces_batched(features, effort_grid)
+            risk, raw_var = self._effort_surfaces_batched(
+                features, effort_grid, tile_size, n_jobs, backend
+            )
         else:
-            risk, raw_var = self._effort_surfaces_per_level(features, effort_grid)
+            risk, raw_var = self._effort_surfaces_per_level(
+                features, effort_grid, tile_size, n_jobs, backend
+            )
         # With zero patrol effort nothing can be detected: the training data
         # only contains patrolled points, so the model has no c=0 regime and
         # g_v(0) must be anchored at 0 (Pr[o=1 | c=0] = 0 by construction).
@@ -313,16 +359,49 @@ class PawsPredictor:
         nu = self._uncertainty_scaler.transform(raw_var)
         return risk, nu
 
+    def _member_surfaces(
+        self,
+        features: np.ndarray,
+        tile_size: int | None,
+        n_jobs: int | None,
+        backend: str,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One tiled model pass shared by both effort-surface mixings."""
+        if self._ensemble is not None:
+            return self._ensemble.member_statistics(
+                features, tile_size=tile_size, n_jobs=n_jobs, backend=backend
+            )
+        assert self._flat_model is not None
+        if isinstance(self._flat_model, BaggingClassifier):
+            proba, raw_var = self._flat_model.prediction_stats(
+                features, tile_size=tile_size, n_jobs=n_jobs, backend=backend
+            )
+        else:
+            from repro.runtime.parallel import predict_map
+
+            proba, raw_var = predict_map(
+                [self._flat_model], features,
+                tile_size=tile_size, n_jobs=n_jobs, backend=backend,
+            )[0]
+        return proba, raw_var
+
     def _effort_surfaces_batched(
-        self, features: np.ndarray, effort_grid: np.ndarray
+        self,
+        features: np.ndarray,
+        effort_grid: np.ndarray,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
     ) -> tuple[np.ndarray, np.ndarray]:
         """One ensemble pass for the whole grid (see ``batched_effort_response``)."""
         if self._ensemble is not None:
-            return self._ensemble.batched_effort_response(features, effort_grid)
-        assert self._flat_model is not None
+            return self._ensemble.batched_effort_response(
+                features, effort_grid,
+                tile_size=tile_size, n_jobs=n_jobs, backend=backend,
+            )
         # Flat models ignore the hypothesised effort entirely: one
         # prediction pass, broadcast across the grid.
-        proba, raw_var = self._flat_model.prediction_stats(features)
+        proba, raw_var = self._member_surfaces(features, tile_size, n_jobs, backend)
         n_levels = effort_grid.size
         return (
             np.repeat(proba[:, None], n_levels, axis=1),
@@ -330,15 +409,36 @@ class PawsPredictor:
         )
 
     def _effort_surfaces_per_level(
-        self, features: np.ndarray, effort_grid: np.ndarray
+        self,
+        features: np.ndarray,
+        effort_grid: np.ndarray,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
     ) -> tuple[np.ndarray, np.ndarray]:
-        """The original per-level loop: every member re-runs per effort level."""
+        """Per-level mixing over one shared member pass.
+
+        Member predictions do not depend on the hypothesised effort, so the
+        model pass runs once — through the same tiled engine as the batched
+        path — and only the qualification mixing repeats per level. Output
+        equals the historical one-full-prediction-per-level loop bit for
+        bit, at the cost of one member sweep instead of ``len(effort_grid)``.
+        """
+        probs, raw_vars = self._member_surfaces(
+            features, tile_size, n_jobs, backend
+        )
+        if self._ensemble is None:
+            n_levels = effort_grid.size
+            return (
+                np.repeat(probs[:, None], n_levels, axis=1),
+                np.repeat(raw_vars[:, None], n_levels, axis=1),
+            )
         risk = np.stack(
-            [self.predict_proba(features, effort=float(c)) for c in effort_grid],
+            [self._ensemble._mix(probs, float(c)) for c in effort_grid],
             axis=1,
         )
         raw_var = np.stack(
-            [self.predict_variance(features, effort=float(c)) for c in effort_grid],
+            [self._ensemble._mix(raw_vars, float(c)) for c in effort_grid],
             axis=1,
         )
         return risk, raw_var

@@ -211,6 +211,23 @@ class BaggingClassifier(Classifier):
         return self.fit_deferred(X, y)()
 
     # ------------------------------------------------------------------
+    @property
+    def predict_backend_hint(self) -> str:
+        """Serving-pool vote: what this ensemble's members predict like.
+
+        A DTB ensemble is GIL-bound per-level tree traversal all the way
+        down (``"process"``); a GPB ensemble is BLAS solves (``"thread"``).
+        Mirrors the phase-2 fit vote so ``backend="auto"`` serving fan-outs
+        route whole ensembles the same way fitting did.
+        """
+        from repro.runtime.parallel import vote_backend
+
+        if not self.estimators_:
+            return "thread"
+        return vote_backend(
+            [getattr(m, "predict_backend_hint", "thread") for m in self.estimators_]
+        )
+
     def member_probabilities(self, X: np.ndarray) -> np.ndarray:
         """``(n_estimators, n_samples)`` probabilities of each member."""
         X = self._check_predict_input(X)
@@ -245,17 +262,32 @@ class BaggingClassifier(Classifier):
             return self.predict_variance(X)
         return np.stack([m.predict_variance(X) for m in intrinsic]).mean(axis=0)
 
-    def prediction_stats(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def prediction_stats(
+        self,
+        X: np.ndarray,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Mean probability and :meth:`mean_member_variance` in one sweep.
 
         Separate ``predict_proba`` + ``mean_member_variance`` calls run every
         member twice (and GP members re-solve their latent moments each
         time); this visits each member once via its own ``prediction_stats``.
+        ``tile_size`` / ``n_jobs`` / ``backend`` fan the ``(member x tile)``
+        sweep out through :func:`repro.runtime.parallel.predict_map` — tiled
+        and parallel results are bit-identical to the serial defaults, and
+        per-member transient memory stays ``O(n_train x tile_size)``.
         """
+        from repro.runtime.parallel import predict_map
+
         X = self._check_predict_input(X)
         if not self.estimators_:
             raise NotFittedError("bagging ensemble has no members")
-        stats = [m.prediction_stats(X) for m in self.estimators_]
+        stats = predict_map(
+            self.estimators_, X,
+            tile_size=tile_size, n_jobs=n_jobs, backend=backend,
+        )
         member_probs = np.stack([p for p, __ in stats])
         mean = member_probs.mean(axis=0)
         intrinsic = [

@@ -98,6 +98,12 @@ class Classifier(ABC):
     #: work (tree growth, SGD epochs) that threads would serialise.
     fit_backend_hint: str = "thread"
 
+    #: Same vote for the *prediction* fan-out (:func:`repro.runtime.parallel.
+    #: predict_map`). Most predictors reduce to BLAS/ufunc sweeps that
+    #: release the GIL, so the default is ``"thread"``; per-level tree
+    #: traversal overrides with ``"process"``.
+    predict_backend_hint: str = "thread"
+
     def __init__(self) -> None:
         self._fitted = False
         self._n_features: int | None = None
@@ -210,9 +216,11 @@ class ConstantClassifier(Classifier):
     the pipeline never crashes on real-world-shaped data.
     """
 
-    #: Fitting a constant is trivial — abstain from the backend vote so a
-    #: single-class bootstrap does not drag a tree ensemble back to threads.
+    #: Fitting (or serving) a constant is trivial — abstain from the backend
+    #: votes so a single-class fallback does not drag a tree ensemble's
+    #: fan-out back to threads.
     fit_backend_hint = "any"
+    predict_backend_hint = "any"
 
     def __init__(self, probability: float = 0.5):
         super().__init__()

@@ -7,6 +7,23 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 
 
+def _cross_products(X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+    """``X @ Z.T`` with a fixed, operand-independent reduction order.
+
+    BLAS GEMM kernels are selected by operand geometry (and, observed with
+    the bundled OpenBLAS, can vary with buffer placement for very wide
+    operands), which perturbs the feature-reduction order — and therefore
+    the last ulp — between a full-width cross-kernel and a tiled one.
+    Serving guarantees bit-identical tiled/untiled surfaces, so the
+    prediction-side cross products run through einsum's fixed summation-
+    of-products loops instead: identical for every tile width, ~2x a GEMM
+    on a reduction this small (k ~ a dozen features). The symmetric
+    fit-time ``K(X)`` keeps the BLAS product — it is computed once, on one
+    fixed-size training set, so there is nothing to keep consistent.
+    """
+    return np.einsum("ik,jk->ij", X, Z)
+
+
 class RBFKernel:
     """Squared-exponential (RBF) kernel with signal variance.
 
@@ -27,14 +44,16 @@ class RBFKernel:
     def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
         """Covariance matrix between the rows of ``X`` and ``Z``."""
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        Z = X if Z is None else np.atleast_2d(np.asarray(Z, dtype=float))
+        symmetric = Z is None
+        Z = X if symmetric else np.atleast_2d(np.asarray(Z, dtype=float))
         if X.shape[1] != Z.shape[1]:
             raise ConfigurationError(
                 f"dimension mismatch: {X.shape[1]} vs {Z.shape[1]}"
             )
         x_sq = np.einsum("ij,ij->i", X, X)[:, None]
         z_sq = np.einsum("ij,ij->i", Z, Z)[None, :]
-        sq_dist = np.maximum(x_sq + z_sq - 2.0 * X @ Z.T, 0.0)
+        prods = X @ Z.T if symmetric else _cross_products(X, Z)
+        sq_dist = np.maximum(x_sq + z_sq - 2.0 * prods, 0.0)
         return self.variance * np.exp(-0.5 * sq_dist / self.lengthscale**2)
 
     def diag(self, X: np.ndarray) -> np.ndarray:
@@ -62,14 +81,16 @@ class MaternKernel:
 
     def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        Z = X if Z is None else np.atleast_2d(np.asarray(Z, dtype=float))
+        symmetric = Z is None
+        Z = X if symmetric else np.atleast_2d(np.asarray(Z, dtype=float))
         if X.shape[1] != Z.shape[1]:
             raise ConfigurationError(
                 f"dimension mismatch: {X.shape[1]} vs {Z.shape[1]}"
             )
         x_sq = np.einsum("ij,ij->i", X, X)[:, None]
         z_sq = np.einsum("ij,ij->i", Z, Z)[None, :]
-        r = np.sqrt(np.maximum(x_sq + z_sq - 2.0 * X @ Z.T, 0.0))
+        prods = X @ Z.T if symmetric else _cross_products(X, Z)
+        r = np.sqrt(np.maximum(x_sq + z_sq - 2.0 * prods, 0.0))
         scaled = np.sqrt(3.0) * r / self.lengthscale
         return self.variance * (1.0 + scaled) * np.exp(-scaled)
 

@@ -96,10 +96,15 @@ class LogisticRegression(Classifier):
         return self
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
-        """Log-odds of the positive class."""
+        """Log-odds of the positive class.
+
+        einsum keeps the per-row reduction order independent of the row
+        count, so tiled serving is bit-identical to a single pass.
+        """
         X = self._check_predict_input(X)
         assert self.coef_ is not None
-        return self._scaler.transform(X) @ self.coef_ + self.intercept_
+        Xs = self._scaler.transform(X)
+        return np.einsum("ij,j->i", Xs, self.coef_) + self.intercept_
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         return _stable_sigmoid(self.decision_function(X))

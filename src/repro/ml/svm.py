@@ -117,10 +117,18 @@ class LinearSVMClassifier(Classifier):
         return self
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
-        """Signed margin for each row (positive = positive class)."""
+        """Signed margin for each row (positive = positive class).
+
+        The margin reduction runs through einsum, whose per-row accumulation
+        order does not depend on the row count — so serving the rows in
+        tiles (``repro.runtime.parallel.predict_map``) is bit-identical to
+        serving them all at once. (Fit-time Platt scores keep the BLAS
+        product above: they are computed once, on the whole training set.)
+        """
         X = self._check_predict_input(X)
         assert self.weights_ is not None
-        return self._scaler.transform(X) @ self.weights_ + self.bias_
+        Xs = self._scaler.transform(X)
+        return np.einsum("ij,j->i", Xs, self.weights_) + self.bias_
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         return self._platt.transform(self.decision_function(X))

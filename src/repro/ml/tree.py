@@ -151,8 +151,11 @@ class DecisionTreeClassifier(Classifier):
     """
 
     #: Tree growth is pure-Python/numpy bound, so the process backend is the
-    #: profitable way to parallelise fits of tree-based ensembles.
+    #: profitable way to parallelise fits of tree-based ensembles. The
+    #: per-level prediction walk is the same flavour of work, so serving
+    #: fan-outs route tree members to processes too.
     fit_backend_hint = "process"
+    predict_backend_hint = "process"
 
     def __init__(
         self,

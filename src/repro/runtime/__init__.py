@@ -5,8 +5,10 @@ package turns it into a serving engine for the deployment workloads of
 Section VII:
 
 * :mod:`repro.runtime.parallel` — two-phase (seed-serial, fit-parallel)
-  thread fan-out used by bagging and iWare-E fitting; parallel results are
-  bit-identical to serial ones.
+  pool fan-out used by bagging and iWare-E fitting, plus the tiled
+  ``(member x tile)`` prediction fan-out (:func:`predict_map`) that serves
+  million-cell risk maps memory-bounded and multi-core; parallel results
+  are bit-identical to serial ones in both directions.
 * :mod:`repro.runtime.persistence` — ``save()``/``load()`` for every
   classifier, :class:`~repro.core.ensemble.IWareEnsemble`, and
   :class:`~repro.core.predictor.PawsPredictor` as an npz + json-manifest
@@ -19,11 +21,18 @@ persistence codec, so this ``__init__`` must not import ``repro.core`` at
 module scope; :class:`RiskMapService` is exposed lazily instead.
 """
 
-from repro.runtime.parallel import parallel_map, resolve_n_jobs
+from repro.runtime.parallel import (
+    parallel_map,
+    predict_map,
+    resolve_n_jobs,
+    tile_slices,
+)
 from repro.runtime.persistence import load_model, save_model
 
 __all__ = [
     "parallel_map",
+    "predict_map",
+    "tile_slices",
     "resolve_n_jobs",
     "save_model",
     "load_model",

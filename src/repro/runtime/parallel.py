@@ -1,4 +1,4 @@
-"""Thread/process fan-out for model fitting and multi-post planning.
+"""Thread/process fan-out for model fitting, prediction, and planning.
 
 Fitting an iWare-E ensemble is embarrassingly parallel at two levels — one
 weak learner per effort threshold, one base classifier per bootstrap — but
@@ -10,6 +10,14 @@ randomness, construct members, compute shared surfaces), then fan the pure
 per-item calls out through :func:`parallel_map` / :func:`run_deferred`. The
 fanned work only touches per-item state, so parallel results are
 bit-identical to serial ones — with any backend.
+
+Prediction is even easier: a fitted model is read-only state and every test
+row is independent, so *serving* fans out over ``(member x tile)`` tasks
+with no phase split at all (:func:`predict_map`). Tiling the test rows
+serves a second purpose beyond parallelism: each task's transient
+allocations (a GP member's ``(n_train x tile)`` kernel slab, a tree's
+per-level index lanes) are bounded by the tile size instead of the full
+query, which is what keeps million-cell risk maps memory-bounded.
 
 Two pool backends are available, because the fanned workloads split into two
 classes:
@@ -42,6 +50,8 @@ import pickle
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TypeVar
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError
 
@@ -185,3 +195,132 @@ def run_deferred(
         except (pickle.PicklingError, AttributeError, TypeError):
             chosen = "thread"
     return parallel_map(_call, tasks, n_jobs=workers, backend=chosen)
+
+
+# ---------------------------------------------------------------------------
+# Prediction fan-out: (member x tile) tasks over fitted, read-only models
+# ---------------------------------------------------------------------------
+
+def tile_slices(n: int, tile_size: int | None) -> list[slice]:
+    """Row slices covering ``[0, n)`` in fixed-size tiles.
+
+    ``None`` means one whole-array tile (the untiled path). A final partial
+    tile covers any remainder; ``n == 0`` still yields one empty slice so
+    downstream assembly produces correctly-shaped empty outputs.
+    """
+    if tile_size is None:
+        return [slice(0, n)]
+    tile_size = int(tile_size)
+    if tile_size < 1:
+        raise ConfigurationError(f"tile_size must be >= 1, got {tile_size}")
+    if n <= 0:
+        return [slice(0, 0)]
+    return [slice(s, min(s + tile_size, n)) for s in range(0, n, tile_size)]
+
+
+class PredictTask:
+    """One ``(member, tile)`` unit of a prediction fan-out.
+
+    A zero-argument callable invoking ``getattr(model, method)(X_tile)``.
+    Models are fitted and read-only, rows are independent, so tasks need no
+    phase split; they pickle whenever the model does (``X_tile`` is a view
+    that serialises as just the tile). ``backend_hint`` advertises the
+    model's :attr:`~repro.ml.base.Classifier.predict_backend_hint`, so the
+    ``"auto"`` vote routes GIL-bound members (trees) to the process pool and
+    BLAS-heavy members (GPs) to threads — mirroring the fitting fan-out.
+    """
+
+    def __init__(self, model, X, method: str = "prediction_stats"):
+        self.model = model
+        self.X = X
+        self.method = method
+
+    @property
+    def backend_hint(self) -> str:
+        return getattr(self.model, "predict_backend_hint", "thread")
+
+    def __call__(self):
+        return getattr(self.model, self.method)(self.X)
+
+
+def _assemble(chunks: list):
+    """Concatenate one model's per-tile results back into full arrays."""
+    if len(chunks) == 1:
+        return chunks[0]
+    if isinstance(chunks[0], tuple):
+        return tuple(
+            np.concatenate([chunk[i] for chunk in chunks])
+            for i in range(len(chunks[0]))
+        )
+    return np.concatenate(chunks)
+
+
+def predict_map(
+    models: Sequence[object],
+    X,
+    tile_size: int | None = None,
+    n_jobs: int | None = 1,
+    backend: str = "auto",
+    method: str | Sequence[str] = "prediction_stats",
+) -> list:
+    """Tiled, parallel prediction over fitted models — bit-identical to serial.
+
+    Schedules one :class:`PredictTask` per ``(model, tile)`` pair through
+    :func:`run_deferred` and reassembles each model's tiles in order, so the
+    result equals ``[getattr(m, method)(X) for m in models]`` exactly: every
+    per-row statistic the package serves (GP latent moments, tree paths,
+    bagging member mixtures) is computed row-independently, and tiles are
+    concatenated in input order, so neither the tile size nor the pool
+    flavour can change a single bit of the output.
+
+    Parameters
+    ----------
+    models:
+        Fitted predictors; each needs the requested ``method``.
+    X:
+        ``(n, k)`` test rows, tiled along axis 0.
+    tile_size:
+        Rows per tile (``None`` = one tile). Besides enabling parallelism,
+        this bounds per-task transient memory: a GP member touching a tile
+        allocates ``O(n_train x tile_size)`` instead of ``O(n_train x n)``.
+    n_jobs, backend:
+        Pool request, resolved exactly like the fitting fan-out (hint-based
+        ``"auto"`` vote, worker clamping, pickling fallback to threads).
+        The process pool serialises each task's model per tile — fine for
+        the compact packed-array models that vote for it (trees), while
+        the BLAS-heavy models that would be expensive to ship vote for
+        threads and are shared by reference.
+    method:
+        Bound-method name to call per task (default ``"prediction_stats"``),
+        or one name per model (e.g. mixing ``"mean_member_variance"`` for
+        bagging members with ``"predict_variance"`` for plain ones).
+
+    Returns
+    -------
+    One entry per model: the assembled return value of its ``method``
+    (an array, or a tuple of arrays for ``"prediction_stats"``).
+    """
+    check_backend(backend)
+    models = list(models)
+    methods = (
+        [method] * len(models)
+        if isinstance(method, str)
+        else [str(m) for m in method]
+    )
+    if len(methods) != len(models):
+        raise ConfigurationError(
+            f"got {len(methods)} methods for {len(models)} models"
+        )
+    X = np.asarray(X)
+    slices = tile_slices(X.shape[0], tile_size)
+    tasks = [
+        PredictTask(model, X[sl], name)
+        for model, name in zip(models, methods)
+        for sl in slices
+    ]
+    results = run_deferred(tasks, n_jobs=n_jobs, backend=backend)
+    n_tiles = len(slices)
+    return [
+        _assemble(results[i * n_tiles : (i + 1) * n_tiles])
+        for i in range(len(models))
+    ]

@@ -7,16 +7,25 @@ re-solve under different robustness weights. :class:`RiskMapService` wraps a
 fitted :class:`~repro.core.predictor.PawsPredictor` with
 
 * the **batched** effort-response path (one ensemble pass per request
-  instead of one per effort level), and
+  instead of one per effort level),
+* the **tiled, parallel** prediction engine (``tile_size`` bounds transient
+  memory at ``O(n_train x tile)``; ``n_jobs`` spreads ``(member x tile)``
+  tasks over the hint-selected pool — surfaces are bit-identical to the
+  serial, untiled path at any setting),
 * an **LRU result cache** keyed on the request arrays, so repeated queries
   (the common case: same park features, same planner breakpoints) cost a
-  dictionary lookup.
+  dictionary lookup, and
+* **feature registration**: parks whose feature matrix is served over and
+  over register it once (:meth:`register_features`), paying the SHA-256
+  content hash at registration instead of on every query.
 
 Combined with model persistence, this is the "serve without refit" workload::
 
     predictor.save("models/mfnp-gpb")           # once, after training
-    service = RiskMapService.from_saved("models/mfnp-gpb")
-    risk, nu = service.effort_response(features, planner.breakpoints())
+    service = RiskMapService.from_saved("models/mfnp-gpb",
+                                        tile_size=4096, n_jobs=4)
+    park = service.register_features("mfnp", features)
+    risk, nu = service.effort_response(park, planner.breakpoints())
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ import numpy as np
 
 from repro.core.predictor import PawsPredictor
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.runtime.parallel import check_backend, resolve_n_jobs
 
 
 class RiskMapService:
@@ -40,9 +50,27 @@ class RiskMapService:
     max_entries:
         LRU capacity; each entry holds one query's result arrays. Zero
         disables caching.
+    tile_size:
+        Rows per prediction tile (``None`` = untiled). Bounds the serving
+        path's transient memory at ``O(n_train x tile_size)`` per in-flight
+        task instead of ``O(n_train x n_cells)``.
+    n_jobs:
+        Workers for the ``(member x tile)`` prediction fan-out (1 = serial,
+        -1 = all cores). Served surfaces are bit-identical to serial.
+    backend:
+        Pool flavour for that fan-out: ``"thread"``, ``"process"``, or
+        ``"auto"`` (hint-based, like fitting: tree members to processes,
+        BLAS-heavy GP members to threads).
     """
 
-    def __init__(self, predictor: PawsPredictor, max_entries: int = 32):
+    def __init__(
+        self,
+        predictor: PawsPredictor,
+        max_entries: int = 32,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
+    ):
         if not isinstance(predictor, PawsPredictor):
             raise ConfigurationError(
                 f"expected a PawsPredictor, got {type(predictor).__name__}"
@@ -56,9 +84,19 @@ class RiskMapService:
             ) from None
         if max_entries < 0:
             raise ConfigurationError(f"max_entries must be >= 0, got {max_entries}")
+        if tile_size is not None and int(tile_size) < 1:
+            raise ConfigurationError(f"tile_size must be >= 1, got {tile_size}")
+        resolve_n_jobs(n_jobs)
         self.predictor = predictor
         self.max_entries = max_entries
-        self._cache: OrderedDict[str, tuple[np.ndarray, ...]] = OrderedDict()
+        self.tile_size = None if tile_size is None else int(tile_size)
+        self.n_jobs = n_jobs
+        self.backend = check_backend(backend)
+        self._cache: OrderedDict[str, tuple] = OrderedDict()
+        #: name -> (array, registration-time digest); see register_features.
+        self._registered: dict[str, tuple[np.ndarray, str]] = {}
+        #: id(array) -> name, so passing the registered object skips hashing.
+        self._registered_ids: dict[int, str] = {}
         self.hits = 0
         self.misses = 0
 
@@ -66,29 +104,98 @@ class RiskMapService:
     # Construction from a saved model
     # ------------------------------------------------------------------
     @classmethod
-    def from_saved(cls, path, max_entries: int = 32) -> "RiskMapService":
+    def from_saved(
+        cls,
+        path,
+        max_entries: int = 32,
+        tile_size: int | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
+    ) -> "RiskMapService":
         """Serve a predictor persisted with ``PawsPredictor.save``."""
-        return cls(PawsPredictor.load(path), max_entries=max_entries)
+        return cls(
+            PawsPredictor.load(path), max_entries=max_entries,
+            tile_size=tile_size, n_jobs=n_jobs, backend=backend,
+        )
 
     def save(self, path) -> None:
         """Persist the underlying predictor (the cache is not saved)."""
         self.predictor.save(path)
 
     # ------------------------------------------------------------------
+    # Feature registration (hash once, serve many)
+    # ------------------------------------------------------------------
+    def register_features(self, name: str, features: np.ndarray) -> str:
+        """Register a park's feature matrix; returns a token for queries.
+
+        The SHA-256 content hash — linear in the matrix, tens of
+        milliseconds per million cells — is computed **once**, here.
+        Queries made with the returned token (or with the registered array
+        object itself) key the LRU by token + cheap metadata instead of
+        re-hashing the full matrix every call; unregistered arrays fall
+        back to per-query content hashing.
+
+        **Mutation contract**: the service keys the cache by the
+        registration-time hash and does not re-inspect the array, so
+        mutating a registered array in place serves stale results. Treat
+        registered arrays as frozen — copy before editing, or call
+        :meth:`register_features` again (same name) to re-hash.
+
+        Registering a new array under an existing name replaces the
+        registration; cached results of the old array are keyed by its old
+        digest and simply age out of the LRU.
+        """
+        features = np.asarray(features, dtype=float)
+        previous = self._registered.get(name)
+        if previous is not None:
+            self._registered_ids.pop(id(previous[0]), None)
+        digest = self._array_digest(features)
+        self._registered[name] = (features, digest)
+        self._registered_ids[id(features)] = name
+        return name
+
+    def _resolve_features(self, features) -> tuple[np.ndarray, str]:
+        """``(array, cache-key part)`` for a token, registered, or ad-hoc query."""
+        if isinstance(features, str):
+            if features not in self._registered:
+                raise ConfigurationError(
+                    f"no features registered under '{features}' "
+                    "(call register_features first)"
+                )
+            array, digest = self._registered[features]
+            return array, f"token/{features}/{digest}"
+        array = np.asarray(features, dtype=float)
+        name = self._registered_ids.get(id(array))
+        if name is not None and self._registered[name][0] is array:
+            return array, f"token/{name}/{self._registered[name][1]}"
+        return array, self._array_digest(array)
+
+    # ------------------------------------------------------------------
     # Cached queries
     # ------------------------------------------------------------------
     @staticmethod
-    def _key(tag: str, *arrays: np.ndarray) -> str:
+    def _array_digest(array: np.ndarray) -> str:
+        """Content hash of one array (shape + dtype + bytes)."""
+        array = np.ascontiguousarray(array)
         digest = hashlib.sha256()
-        digest.update(tag.encode())
-        for array in arrays:
-            array = np.ascontiguousarray(array)
-            digest.update(str(array.shape).encode())
-            digest.update(array.dtype.str.encode())
-            digest.update(array.tobytes())
+        digest.update(str(array.shape).encode())
+        digest.update(array.dtype.str.encode())
+        digest.update(array.tobytes())
         return digest.hexdigest()
 
-    def _cached(self, key: str, compute) -> tuple[np.ndarray, ...]:
+    @classmethod
+    def _key(cls, tag: str, *parts) -> str:
+        """Cache key from a tag and string/array parts (arrays are hashed)."""
+        digest = hashlib.sha256()
+        digest.update(tag.encode())
+        for part in parts:
+            if isinstance(part, str):
+                digest.update(part.encode())
+            else:
+                digest.update(cls._array_digest(np.asarray(part)).encode())
+        return digest.hexdigest()
+
+    def _cached(self, key: str, compute) -> tuple:
         if self.max_entries == 0:
             return compute()
         if key in self._cache:
@@ -103,43 +210,53 @@ class RiskMapService:
         return result
 
     def effort_response(
-        self, features: np.ndarray, effort_grid: np.ndarray
+        self, features, effort_grid: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Cached batched ``(g_v(c), nu_v(c))`` surfaces for planner input.
 
-        Returns copies, so callers may mutate the results freely without
-        poisoning the cache. The predictor's ``uncertainty_scaler`` is
-        cached with each result and restored on hits, so it always matches
-        the surfaces just returned — exactly as if the query had been
-        recomputed.
+        ``features`` is a matrix, a registered array, or a token from
+        :meth:`register_features`. Returns copies, so callers may mutate the
+        results freely without poisoning the cache. The predictor's
+        ``uncertainty_scaler`` is cached with each result and restored on
+        hits, so it always matches the surfaces just returned — exactly as
+        if the query had been recomputed.
         """
-        features = np.asarray(features, dtype=float)
+        array, feature_key = self._resolve_features(features)
         effort_grid = np.asarray(effort_grid, dtype=float)
-        key = self._key("effort_response", features, effort_grid)
+        key = self._key("effort_response", feature_key, effort_grid)
 
         def compute():
-            risk, nu = self.predictor.effort_response(features, effort_grid)
+            risk, nu = self.predictor.effort_response(
+                array, effort_grid,
+                tile_size=self.tile_size, n_jobs=self.n_jobs,
+                backend=self.backend,
+            )
             return risk, nu, self.predictor.uncertainty_scaler
 
         risk, nu, scaler = self._cached(key, compute)
         self.predictor._uncertainty_scaler = scaler
         return risk.copy(), nu.copy()
 
-    def risk_map(
-        self, features: np.ndarray, effort: float | None = None
-    ) -> np.ndarray:
+    def risk_map(self, features, effort: float | None = None) -> np.ndarray:
         """Cached per-cell attack-detection probability at one effort level.
 
         ``effort=None`` gives the unconditional (prior-corrected) map; a
         value conditions on that hypothetical patrol effort, as in the
-        Fig. 6 risk maps.
+        Fig. 6 risk maps. ``features`` may be a token, as in
+        :meth:`effort_response`.
         """
-        features = np.asarray(features, dtype=float)
+        array, feature_key = self._resolve_features(features)
         effort_tag = "none" if effort is None else repr(float(effort))
-        key = self._key(f"risk_map/{effort_tag}", features)
+        key = self._key(f"risk_map/{effort_tag}", feature_key)
         (risk,) = self._cached(
             key,
-            lambda: (self.predictor.predict_proba(features, effort=effort),),
+            lambda: (
+                self.predictor.predict_proba(
+                    array, effort=effort,
+                    tile_size=self.tile_size, n_jobs=self.n_jobs,
+                    backend=self.backend,
+                ),
+            ),
         )
         return risk.copy()
 

@@ -88,3 +88,68 @@ def test_box_filter_bounded_by_extremes(seed, radius):
     out = box_filter(raster, radius=radius)
     assert out.min() >= raster.min() - 1e-12
     assert out.max() <= raster.max() + 1e-12
+
+
+def _ragged_holey_raster(seed: int, height: int, width: int) -> np.ndarray:
+    """A non-square raster with ~30% NaN holes punched into it."""
+    rng = np.random.default_rng(seed)
+    raster = rng.random((height, width))
+    raster[rng.random((height, width)) < 0.3] = np.nan
+    return raster
+
+
+class TestVectorizedEquivalence:
+    """The numpy rewrites against the original per-cell double loops."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 9999),
+        height=st.integers(1, 13),
+        width=st.integers(1, 13),
+        radius=st.integers(1, 3),
+    )
+    def test_box_sum_bit_identical(self, seed, height, width, radius):
+        from repro.geo.convolve import _box_sum, _box_sum_reference
+
+        raster = np.nan_to_num(_ragged_holey_raster(seed, height, width))
+        k = 2 * radius + 1
+        np.testing.assert_array_equal(
+            _box_sum(raster, k), _box_sum_reference(raster, k)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 9999),
+        height=st.integers(1, 13),
+        width=st.integers(1, 13),
+        block=st.integers(1, 5),
+    )
+    def test_block_mean_equivalent_on_ragged_holey_rasters(
+        self, seed, height, width, block
+    ):
+        """Exact NaN placement, values equal up to summation order."""
+        from repro.geo.convolve import block_mean_reference
+
+        raster = _ragged_holey_raster(seed, height, width)
+        got = block_mean(raster, block)
+        expected = block_mean_reference(raster, block)
+        np.testing.assert_array_equal(np.isnan(got), np.isnan(expected))
+        np.testing.assert_allclose(got, expected, rtol=1e-12, atol=0.0)
+
+    def test_box_filter_on_holey_raster_matches_reference_sums(self):
+        from repro.geo.convolve import _box_sum_reference
+
+        raster = _ragged_holey_raster(7, 9, 12)
+        finite = np.isfinite(raster)
+        filled = np.where(finite, raster, 0.0)
+        summed = _box_sum_reference(filled, 3)
+        counts = _box_sum_reference(finite.astype(float), 3)
+        expected = np.full_like(raster, np.nan)
+        has_data = counts > 0
+        expected[has_data] = summed[has_data] / counts[has_data]
+        expected[~finite] = np.nan
+        got = box_filter(raster, radius=1)
+        np.testing.assert_array_equal(np.isnan(got), np.isnan(expected))
+        np.testing.assert_array_equal(
+            got[np.isfinite(got)], expected[np.isfinite(expected)]
+        )
