@@ -4,6 +4,7 @@
 #   make bench       paper-artifact benchmarks (writes benchmarks/results/)
 #   make bench-fit   training-engine throughput benchmark only
 #   make bench-serve full 1.6k->1M serving scalability sweep (regenerates its results/ artifact)
+#   make test-zoo    solver zoo only (pinned B&B search behaviour)
 #   make smoke       CLI entry points all exit 0
 #   make lint        byte-compile every source tree
 #   make check       lint + smoke + test
@@ -11,10 +12,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-fit bench-serve smoke lint check
+.PHONY: test test-zoo bench bench-fit bench-serve smoke lint check
 
 test:
 	$(PYTHON) -m pytest tests -x -q
+
+test-zoo:
+	$(PYTHON) -m pytest tests/solver_zoo -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

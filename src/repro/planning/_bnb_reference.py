@@ -1,0 +1,117 @@
+"""Retained reference: the original naive depth-first branch and bound.
+
+This is the pre-upgrade ``BranchAndBoundSolver`` kept verbatim (cold
+``linprog`` solve at every node, most-fractional branching, incumbent
+pruning) so the warm-started solver in ``branch_and_bound.py`` can be
+golden-tested and benchmarked against it — the repo's standing contract
+that every rewrite keeps its naive ancestor as an executable spec.  The
+only change from the seed implementation is that the incumbent objective
+is recomputed as ``c @ x_round`` after rounding the binaries, matching the
+upgraded solver bit-for-bit on integer-valued instances.
+
+Do not "improve" this module; its value is that it stays naive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.exceptions import ConfigurationError, InfeasibleError, PlanningError
+from repro.planning.branch_and_bound import BnBResult, _split_rows
+
+
+class ReferenceDFSSolver:
+    """Depth-first 0/1 branch and bound with cold LP-relaxation bounds."""
+
+    def __init__(self, integrality_tol: float = 1e-6, max_nodes: int = 20_000):
+        if max_nodes < 1:
+            raise ConfigurationError(f"max_nodes must be >= 1, got {max_nodes}")
+        self.integrality_tol = integrality_tol
+        self.max_nodes = max_nodes
+
+    def solve(
+        self,
+        c: np.ndarray,
+        a_matrix: sparse.spmatrix,
+        row_lb: np.ndarray,
+        row_ub: np.ndarray,
+        binary_mask: np.ndarray,
+    ) -> BnBResult:
+        """Minimise ``c @ x`` over the constrained 0/1-mixed polytope."""
+        c = np.asarray(c, dtype=float)
+        binary_mask = np.asarray(binary_mask, dtype=bool)
+        n = c.size
+        if binary_mask.shape != (n,):
+            raise ConfigurationError("binary_mask length must match c")
+
+        a_csr = sparse.csr_matrix(a_matrix)
+        if a_csr.shape[1] != n:
+            raise ConfigurationError("constraint matrix width must match c")
+
+        a_ub, b_ub, a_eq, b_eq = _split_rows(a_csr, row_lb, row_ub)
+
+        best_obj = np.inf
+        best_x: np.ndarray | None = None
+        n_explored = 0
+        stack: list[tuple[np.ndarray, np.ndarray]] = [
+            (np.zeros(n), np.ones(n))
+        ]
+        while stack:
+            if n_explored >= self.max_nodes:
+                break
+            lower, upper = stack.pop()
+            n_explored += 1
+            res = linprog(
+                c,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=np.stack([lower, upper], axis=1),
+                method="highs",
+            )
+            if res.status != 0 or res.x is None:
+                continue  # infeasible or unbounded branch
+            if res.fun >= best_obj - 1e-9:
+                continue  # bound prune
+            x = res.x
+            frac = np.abs(x - np.round(x))
+            frac[~binary_mask] = 0.0
+            worst = int(np.argmax(frac))
+            if frac[worst] <= self.integrality_tol:
+                x_round = x.copy()
+                x_round[binary_mask] = np.round(x_round[binary_mask])
+                best_obj = float(c @ x_round)
+                best_x = x_round
+                continue
+            # Branch on the most fractional binary; explore the branch that
+            # rounds toward the LP value first (pushed last = popped first).
+            lo0, up0 = lower.copy(), upper.copy()
+            up0[worst] = 0.0
+            lo1, up1 = lower.copy(), upper.copy()
+            lo1[worst] = 1.0
+            if x[worst] >= 0.5:
+                stack.append((lo0, up0))
+                stack.append((lo1, up1))
+            else:
+                stack.append((lo1, up1))
+                stack.append((lo0, up0))
+
+        if best_x is None:
+            if n_explored >= self.max_nodes:
+                raise PlanningError(
+                    f"branch and bound hit the {self.max_nodes}-node cap "
+                    "without an incumbent"
+                )
+            raise InfeasibleError("branch and bound found no feasible solution")
+        status = "node-limit" if stack else "optimal"
+        return BnBResult(
+            objective_value=best_obj,
+            x=best_x.copy(),
+            n_nodes_explored=n_explored,
+            status=status,
+            best_bound=best_obj if status == "optimal" else -np.inf,
+            strategy="reference-dfs",
+        )

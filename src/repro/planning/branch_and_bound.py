@@ -1,39 +1,132 @@
-"""From-scratch branch-and-bound MILP solver.
+"""Certified 0/1 branch-and-bound MILP solver.
 
-A minimal but correct B&B over LP relaxations (scipy ``linprog``/HiGHS as
-the LP oracle) used to cross-validate the production HiGHS MILP backend on
-small instances and as the ablation "solver" axis. Branches on the most
-fractional integer variable; explores depth-first (best-bound tie-break);
-prunes by incumbent bound.
+Solves ``min c @ x`` subject to ``row_lb <= A x <= row_ub`` and variable
+bounds (binaries in ``[0, 1]``), with a designated subset of binary
+variables.  Used to cross-validate the production HiGHS MILP backend and
+to serve non-concave, low-tolerance solves on the ablation "solver" axis.
 
-This is a generic 0/1-MILP solver: minimise ``c @ x`` subject to
-``lb_row <= A x <= ub_row`` and ``0 <= x <= 1``, with a designated subset of
-binary variables.
+Compared to the retained naive reference (``_bnb_reference.py``) this
+solver adds, per ROADMAP item 5:
+
+* **Warm-started node LPs** — each :class:`BnBNode` carries its parent's
+  optimal simplex basis, and :class:`~repro.planning.simplex.NodeLPOracle`
+  re-optimises the child with a certified bounded-variable dual simplex
+  instead of a cold HiGHS solve (falling back to cold whenever a warm
+  verdict cannot be verified — never wrong, only slow).
+* **Pluggable search strategy** — ``dfs`` (the reference order),
+  ``best_bound`` (global best-first on the parent LP bound), and
+  ``pseudo_cost`` (best-bound node order + pseudo-cost variable choice).
+* **Cover / flow-cover cuts** at the root (``cuts.py``), separated from
+  the rows flagged knapsack-shaped by ``row_kinds`` metadata.
+* **Certified gaps** — every exit reports ``best_bound`` (the minimum
+  over all pruned-subtree bounds and the open frontier) and the relative
+  ``bound_gap``, so a ``node-limit`` exit is a usable certificate rather
+  than a bare status string.
+* **Exploration fingerprints** — the branch history is recorded and
+  hashed, so the solver-zoo tests pin the search tree itself and a
+  speedup that silently changes exploration fails loudly.
+
+All tie-breaks are deterministic: most-fractional branching resolves ties
+by lowest variable index (``np.argmax``), the child that rounds toward
+the LP value is explored first, and the best-bound heap breaks equal
+bounds by creation order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import heapq
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy import sparse
-from scipy.optimize import linprog
 
 from repro.exceptions import ConfigurationError, InfeasibleError, PlanningError
+from repro.planning.cuts import cuts_to_rows, separate_cover_cuts
+from repro.planning.simplex import (
+    LP_CUTOFF,
+    LP_INFEASIBLE,
+    LP_OPTIMAL,
+    LP_UNBOUNDED,
+    Basis,
+    NodeLP,
+    NodeLPOracle,
+)
+
+#: Node/variable selection strategies accepted by :class:`BranchAndBoundSolver`.
+BNB_STRATEGIES = ("dfs", "best_bound", "pseudo_cost")
+
+#: ``row_kinds`` values the cut separator treats as knapsack-shaped.
+KNAPSACK_ROW_KINDS = frozenset(
+    {"knapsack", "capacity", "sos2-sum", "sos2-adjacency"}
+)
+
+_PRUNE_TOL = 1e-9
+
+
+@dataclass
+class BnBNode:
+    """One open branch-and-bound node.
+
+    ``bound`` is the parent's LP objective (a valid lower bound for the
+    subtree) and ``basis`` the parent's optimal basis used to warm-start
+    this node's LP.  ``branch_var``/``branch_value`` record the branching
+    decision that created the node (``-1`` for the root) and
+    ``parent_frac`` the parent LP value of the branched variable, which
+    feeds the pseudo-cost estimates.  The root carries its already-solved
+    relaxation in ``lp`` so the cut loop's final solve is not repeated.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    depth: int
+    bound: float
+    basis: Basis | None
+    seq: int
+    branch_var: int = -1
+    branch_value: int = -1
+    parent_frac: float = 0.0
+    lp: NodeLP | None = None
 
 
 @dataclass
 class BnBResult:
-    """Solution of a branch-and-bound run."""
+    """Solution of a branch-and-bound run.
+
+    ``best_bound`` is a certified lower bound on the true optimum (equal
+    to ``objective_value`` on ``optimal`` exits); ``bound_gap`` is the
+    relative gap ``(objective_value - best_bound) / max(1, |objective|)``.
+    ``branch_history`` lists one ``(branch_var, branch_value, event,
+    chosen_var)`` tuple per processed node — event ``B`` branched on
+    ``chosen_var``, ``I`` integral, ``P`` pruned before the LP, ``C`` cut
+    off by the incumbent bound, ``X`` infeasible — and
+    ``exploration_fingerprint`` is its stable hash.
+    """
 
     objective_value: float
     x: np.ndarray
     n_nodes_explored: int
     status: str
+    best_bound: float = -np.inf
+    bound_gap: float = 0.0
+    n_lp_solves: int = 0
+    n_cuts: int = 0
+    strategy: str = "dfs"
+    exploration_fingerprint: str = ""
+    branch_history: tuple = ()
+    lp_stats: dict = field(default_factory=dict)
+
+
+def exploration_fingerprint(history) -> str:
+    """Stable 16-hex-digit hash of a branch history."""
+    payload = ";".join(
+        f"{var},{val},{event},{chosen}" for var, val, event, chosen in history
+    )
+    return hashlib.sha1(payload.encode()).hexdigest()[:16]
 
 
 class BranchAndBoundSolver:
-    """Depth-first 0/1 branch and bound with LP-relaxation bounds.
+    """0/1 branch and bound with warm-started LP bounds and root cuts.
 
     Parameters
     ----------
@@ -41,14 +134,42 @@ class BranchAndBoundSolver:
         Values within this of an integer count as integral.
     max_nodes:
         Hard cap on explored B&B nodes.
+    strategy:
+        ``dfs`` | ``best_bound`` | ``pseudo_cost`` (see module docstring).
+    cuts:
+        Separate cover/flow-cover cuts at the root before branching.
+    warm_start:
+        Warm-start node LPs from the parent basis; ``False`` solves every
+        node cold, which is slower but exercises the identical search.
+    max_cut_rounds, max_cuts_per_round:
+        Root cut-loop limits.
     """
 
-    def __init__(self, integrality_tol: float = 1e-6, max_nodes: int = 20_000):
+    def __init__(
+        self,
+        integrality_tol: float = 1e-6,
+        max_nodes: int = 20_000,
+        strategy: str = "best_bound",
+        cuts: bool = True,
+        warm_start: bool = True,
+        max_cut_rounds: int = 4,
+        max_cuts_per_round: int = 16,
+    ):
         if max_nodes < 1:
             raise ConfigurationError(f"max_nodes must be >= 1, got {max_nodes}")
+        if strategy not in BNB_STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be one of {BNB_STRATEGIES}, got {strategy!r}"
+            )
         self.integrality_tol = integrality_tol
         self.max_nodes = max_nodes
+        self.strategy = strategy
+        self.cuts = cuts
+        self.warm_start = warm_start
+        self.max_cut_rounds = max_cut_rounds
+        self.max_cuts_per_round = max_cuts_per_round
 
+    # ------------------------------------------------------------------
     def solve(
         self,
         c: np.ndarray,
@@ -56,6 +177,9 @@ class BranchAndBoundSolver:
         row_lb: np.ndarray,
         row_ub: np.ndarray,
         binary_mask: np.ndarray,
+        var_lb: np.ndarray | None = None,
+        var_ub: np.ndarray | None = None,
+        row_kinds: tuple | None = None,
     ) -> BnBResult:
         """Minimise ``c @ x`` over the constrained 0/1-mixed polytope.
 
@@ -69,85 +193,301 @@ class BranchAndBoundSolver:
             Row bounds (use ``-inf`` / ``inf`` for one-sided rows).
         binary_mask:
             Boolean per-variable flag marking the binaries.
+        var_lb, var_ub:
+            Variable bounds; default ``[0, 1]`` for every column.
+        row_kinds:
+            Optional per-row tags (see ``MILPStructure.row_kinds``); rows
+            tagged in :data:`KNAPSACK_ROW_KINDS` are scanned for cover
+            cuts, ``None`` scans every row.
         """
         c = np.asarray(c, dtype=float)
         binary_mask = np.asarray(binary_mask, dtype=bool)
         n = c.size
         if binary_mask.shape != (n,):
             raise ConfigurationError("binary_mask length must match c")
-
         a_csr = sparse.csr_matrix(a_matrix)
         if a_csr.shape[1] != n:
             raise ConfigurationError("constraint matrix width must match c")
+        row_lb = np.asarray(row_lb, dtype=float)
+        row_ub = np.asarray(row_ub, dtype=float)
+        var_lb = (
+            np.zeros(n) if var_lb is None
+            else np.array(var_lb, dtype=float, copy=True)
+        )
+        var_ub = (
+            np.ones(n) if var_ub is None
+            else np.array(var_ub, dtype=float, copy=True)
+        )
+        if var_lb.shape != (n,) or var_ub.shape != (n,):
+            raise ConfigurationError("variable bound shapes must match c")
+        if (var_lb > var_ub).any():
+            bad = int(np.flatnonzero(var_lb > var_ub)[0])
+            raise ConfigurationError(
+                f"variable {bad} has var_lb > var_ub "
+                f"({var_lb[bad]} > {var_ub[bad]})"
+            )
+        if binary_mask.any() and (
+            (var_lb[binary_mask] < -1e-9).any()
+            or (var_ub[binary_mask] > 1.0 + 1e-9).any()
+        ):
+            raise ConfigurationError(
+                "binary variables must have bounds within [0, 1]"
+            )
+        if row_kinds is not None and len(row_kinds) != a_csr.shape[0]:
+            raise ConfigurationError("row_kinds length must match the row count")
 
-        # Convert two-sided rows into A_ub / b_ub form once.
         a_ub, b_ub, a_eq, b_eq = _split_rows(a_csr, row_lb, row_ub)
+        oracle = NodeLPOracle(c, a_ub, b_ub, a_eq, b_eq, self.warm_start)
+        n_lp = 1
+        root = oracle.solve(var_lb, var_ub)
+        if root.status == LP_UNBOUNDED:
+            raise PlanningError(
+                "LP relaxation is unbounded; branch and bound cannot certify "
+                "a finite optimum"
+            )
+        if root.status == LP_INFEASIBLE:
+            raise InfeasibleError("branch and bound found no feasible solution")
 
+        # --- Root cut loop (cut-and-branch) --------------------------------
+        stats_acc: dict[str, int] = dict(oracle.stats)
+        n_cuts = 0
+        if self.cuts and binary_mask.any():
+            row_mask = None
+            if row_kinds is not None:
+                row_mask = np.array(
+                    [kind in KNAPSACK_ROW_KINDS for kind in row_kinds]
+                )
+            seen_keys: set = set()
+            cut_pool: list = []
+            for _ in range(self.max_cut_rounds):
+                fresh = separate_cover_cuts(
+                    a_csr, row_lb, row_ub, binary_mask, var_lb, var_ub,
+                    root.x, row_mask=row_mask,
+                    max_cuts=self.max_cuts_per_round, seen=seen_keys,
+                )
+                if not fresh:
+                    break
+                cut_pool.extend(fresh)
+                cut_rows, cut_rhs = cuts_to_rows(cut_pool, n)
+                a_ub_ext = (
+                    sparse.vstack([a_ub, cut_rows]).tocsr()
+                    if a_ub is not None else cut_rows
+                )
+                b_ub_ext = (
+                    np.concatenate([b_ub, cut_rhs])
+                    if b_ub is not None else cut_rhs
+                )
+                for key, val in oracle.stats.items():
+                    stats_acc[key] = stats_acc.get(key, 0) + val
+                oracle = NodeLPOracle(
+                    c, a_ub_ext, b_ub_ext, a_eq, b_eq, self.warm_start
+                )
+                n_lp += 1
+                root = oracle.solve(var_lb, var_ub)
+                if root.status == LP_INFEASIBLE:
+                    # Cover cuts never exclude an integer-feasible point.
+                    raise InfeasibleError(
+                        "branch and bound found no feasible solution"
+                    )
+            n_cuts = len(cut_pool)
+
+        # --- Main search loop ---------------------------------------------
+        use_heap = self.strategy != "dfs"
         best_obj = np.inf
         best_x: np.ndarray | None = None
+        proof_bound = np.inf  # min certified bound over discarded subtrees
         n_explored = 0
-        # Each stack entry: (forced_lower, forced_upper) variable bounds.
-        stack: list[tuple[np.ndarray, np.ndarray]] = [
-            (np.zeros(n), np.ones(n))
-        ]
-        while stack:
+        seq = 1
+        history: list[tuple[int, int, str, int]] = []
+        # Per-variable pseudo-cost accumulators (objective degradation per
+        # unit of fractionality, split by branch direction).
+        pc_sum = np.zeros((2, n))
+        pc_cnt = np.zeros((2, n), dtype=int)
+
+        root_node = BnBNode(
+            lower=var_lb, upper=var_ub, depth=0,
+            bound=root.objective, basis=root.basis, seq=0, lp=root,
+        )
+        heap_frontier: list[tuple[float, int, BnBNode]] = []
+        stack_frontier: list[BnBNode] = []
+        if use_heap:
+            heapq.heappush(heap_frontier, (root_node.bound, 0, root_node))
+        else:
+            stack_frontier.append(root_node)
+
+        def frontier_size() -> int:
+            return len(heap_frontier) if use_heap else len(stack_frontier)
+
+        while frontier_size():
             if n_explored >= self.max_nodes:
                 break
-            lower, upper = stack.pop()
+            if use_heap:
+                _, _, node = heapq.heappop(heap_frontier)
+            else:
+                node = stack_frontier.pop()
+            cutoff = best_obj - _PRUNE_TOL if best_x is not None else np.inf
+            if node.bound >= cutoff:
+                proof_bound = min(proof_bound, node.bound)
+                if use_heap:
+                    # The heap pops nodes in bound order, so every open
+                    # node is also >= cutoff: the incumbent is certified.
+                    heap_frontier.clear()
+                    break
+                n_explored += 1
+                history.append((node.branch_var, node.branch_value, "P", -1))
+                continue
             n_explored += 1
-            res = linprog(
-                c,
-                A_ub=a_ub,
-                b_ub=b_ub,
-                A_eq=a_eq,
-                b_eq=b_eq,
-                bounds=np.stack([lower, upper], axis=1),
-                method="highs",
-            )
-            if res.status != 0 or res.x is None:
-                continue  # infeasible or unbounded branch
-            if res.fun >= best_obj - 1e-9:
-                continue  # bound prune
-            x = res.x
+            if node.lp is not None:
+                lp = node.lp
+                node.lp = None
+            else:
+                lp = oracle.solve(
+                    node.lower, node.upper, basis=node.basis, cutoff=cutoff
+                )
+                n_lp += 1
+            if lp.status == LP_UNBOUNDED:  # impossible below a bounded root
+                raise PlanningError("node LP relaxation is unbounded")
+            if lp.status == LP_INFEASIBLE:
+                history.append((node.branch_var, node.branch_value, "X", -1))
+                continue
+            if lp.status == LP_OPTIMAL and node.branch_var >= 0:
+                self._update_pseudo_cost(node, lp.objective, pc_sum, pc_cnt)
+            if lp.status == LP_CUTOFF or lp.objective >= cutoff:
+                proof_bound = min(proof_bound, lp.objective)
+                history.append((node.branch_var, node.branch_value, "C", -1))
+                continue
+            x = lp.x
             frac = np.abs(x - np.round(x))
             frac[~binary_mask] = 0.0
-            worst = int(np.argmax(frac))
+            worst = int(np.argmax(frac))  # ties -> lowest index
             if frac[worst] <= self.integrality_tol:
-                best_obj = float(res.fun)
-                best_x = x.copy()
+                x_round = x.copy()
+                x_round[binary_mask] = np.round(x_round[binary_mask])
+                obj_cand = float(c @ x_round)
+                history.append((node.branch_var, node.branch_value, "I", -1))
+                if obj_cand < best_obj:
+                    best_obj = obj_cand
+                    best_x = x_round
                 continue
-            # Branch on the most fractional binary; explore the branch that
-            # rounds toward the LP value first (pushed last = popped first).
-            lo0, up0 = lower.copy(), upper.copy()
-            up0[worst] = 0.0
-            lo1, up1 = lower.copy(), upper.copy()
-            lo1[worst] = 1.0
-            if x[worst] >= 0.5:
-                stack.append((lo0, up0))
-                stack.append((lo1, up1))
+            if self.strategy == "pseudo_cost":
+                bvar = self._select_pseudo_cost(frac, x, pc_sum, pc_cnt)
             else:
-                stack.append((lo1, up1))
-                stack.append((lo0, up0))
+                bvar = worst
+            history.append((node.branch_var, node.branch_value, "B", bvar))
+            down = BnBNode(
+                lower=node.lower, upper=node.upper.copy(),
+                depth=node.depth + 1, bound=lp.objective, basis=lp.basis,
+                seq=0, branch_var=bvar, branch_value=0,
+                parent_frac=float(x[bvar]),
+            )
+            down.upper[bvar] = 0.0
+            up = BnBNode(
+                lower=node.lower.copy(), upper=node.upper,
+                depth=node.depth + 1, bound=lp.objective, basis=lp.basis,
+                seq=0, branch_var=bvar, branch_value=1,
+                parent_frac=float(x[bvar]),
+            )
+            up.lower[bvar] = 1.0
+            # Explore the child that rounds toward the LP value first.
+            first, second = (up, down) if x[bvar] >= 0.5 else (down, up)
+            if use_heap:
+                for child in (first, second):
+                    child.seq = seq
+                    seq += 1
+                    heapq.heappush(
+                        heap_frontier, (child.bound, child.seq, child)
+                    )
+            else:
+                second.seq = seq
+                first.seq = seq + 1
+                seq += 2
+                stack_frontier.append(second)
+                stack_frontier.append(first)
 
+        # --- Result assembly ----------------------------------------------
+        open_nodes = (
+            [node for _, _, node in heap_frontier]
+            if use_heap else stack_frontier
+        )
         if best_x is None:
-            if n_explored >= self.max_nodes:
+            if open_nodes:
                 raise PlanningError(
                     f"branch and bound hit the {self.max_nodes}-node cap "
                     "without an incumbent"
                 )
             raise InfeasibleError("branch and bound found no feasible solution")
-        # Optimality is about whether the search space was exhausted, not
-        # how many nodes that took: hitting max_nodes exactly as the stack
-        # empties is still a complete (optimal) search.
-        status = "node-limit" if stack else "optimal"
-        best_x = best_x.copy()
-        best_x[binary_mask] = np.round(best_x[binary_mask])
+        for key, val in oracle.stats.items():
+            stats_acc[key] = stats_acc.get(key, 0) + val
+        open_bound = min(
+            (node.bound for node in open_nodes), default=np.inf
+        )
+        certified = min(proof_bound, open_bound, best_obj)
+        status = "node-limit" if open_nodes else "optimal"
+        if status == "optimal" or certified >= best_obj - 1e-8:
+            best_bound, gap = best_obj, 0.0
+        else:
+            best_bound = certified
+            gap = (best_obj - certified) / max(1.0, abs(best_obj))
         return BnBResult(
             objective_value=best_obj,
-            x=best_x,
+            x=best_x.copy(),
             n_nodes_explored=n_explored,
             status=status,
+            best_bound=best_bound,
+            bound_gap=gap,
+            n_lp_solves=n_lp,
+            n_cuts=n_cuts,
+            strategy=self.strategy,
+            exploration_fingerprint=exploration_fingerprint(history),
+            branch_history=tuple(history),
+            lp_stats=stats_acc,
         )
+
+    # ------------------------------------------------------------------
+    def _update_pseudo_cost(
+        self,
+        node: BnBNode,
+        child_obj: float,
+        pc_sum: np.ndarray,
+        pc_cnt: np.ndarray,
+    ) -> None:
+        """Record the per-unit objective degradation of a branch."""
+        if not np.isfinite(node.bound):
+            return
+        gain = max(child_obj - node.bound, 0.0)
+        moved = (
+            node.parent_frac if node.branch_value == 0
+            else 1.0 - node.parent_frac
+        )
+        if moved > 1e-9:
+            pc_sum[node.branch_value, node.branch_var] += gain / moved
+            pc_cnt[node.branch_value, node.branch_var] += 1
+
+    def _select_pseudo_cost(
+        self,
+        frac: np.ndarray,
+        x: np.ndarray,
+        pc_sum: np.ndarray,
+        pc_cnt: np.ndarray,
+    ) -> int:
+        """Product-rule pseudo-cost branching over the fractional binaries.
+
+        Uninitialised directions fall back to the average observed
+        pseudo-cost (or 1.0 before any observation), so the very first
+        branchings reduce to most-fractional selection.
+        """
+        cand = np.flatnonzero(frac > self.integrality_tol)
+        scores = np.empty(cand.size)
+        for axis, moved in ((0, x[cand]), (1, 1.0 - x[cand])):
+            cnt = pc_cnt[axis, cand]
+            total = pc_cnt[axis].sum()
+            default = pc_sum[axis].sum() / total if total else 1.0
+            per_unit = np.where(
+                cnt > 0, pc_sum[axis, cand] / np.maximum(cnt, 1), default
+            )
+            est = np.maximum(per_unit * moved, 1e-12)
+            scores = est if axis == 0 else scores * est
+        return int(cand[np.argmax(scores)])  # ties -> lowest index
 
 
 def _split_rows(
@@ -158,11 +498,28 @@ def _split_rows(
     sparse.csr_matrix | None,
     np.ndarray | None,
 ]:
-    """Split two-sided rows into linprog's A_ub/b_ub + A_eq/b_eq form."""
+    """Split two-sided rows into linprog's A_ub/b_ub + A_eq/b_eq form.
+
+    Rejects malformed bounds (NaN, or ``row_lb > row_ub``) with a
+    :class:`ConfigurationError` naming the offending row, instead of
+    letting them fall through to opaque LP-solver failures.
+    """
     row_lb = np.asarray(row_lb, dtype=float)
     row_ub = np.asarray(row_ub, dtype=float)
     if row_lb.shape != row_ub.shape or row_lb.size != a_csr.shape[0]:
         raise ConfigurationError("row bound shapes do not match the matrix")
+    nan_rows = np.isnan(row_lb) | np.isnan(row_ub)
+    if nan_rows.any():
+        bad = int(np.flatnonzero(nan_rows)[0])
+        raise ConfigurationError(
+            f"row {bad} has NaN bounds (lb={row_lb[bad]}, ub={row_ub[bad]})"
+        )
+    inverted = row_lb > row_ub
+    if inverted.any():
+        bad = int(np.flatnonzero(inverted)[0])
+        raise ConfigurationError(
+            f"row {bad} has row_lb > row_ub ({row_lb[bad]} > {row_ub[bad]})"
+        )
     eq_rows = np.isclose(row_lb, row_ub)
     ub_parts: list[sparse.csr_matrix] = []
     ub_vals: list[np.ndarray] = []

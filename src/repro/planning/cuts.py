@@ -1,0 +1,197 @@
+"""Cover-cut separation for the 0/1 branch-and-bound solver.
+
+A knapsack-shaped row ``sum_j a_j x_j <= b`` over binaries admits *cover
+cuts*: for any minimal set ``C`` with ``sum_{j in C} a_j > b``, every
+feasible 0/1 point satisfies ``sum_{j in C} x_j <= |C| - 1``.  Rows with
+negative coefficients are handled by complementing (``x_j -> 1 - x_j``),
+and rows that also touch continuous columns are first relaxed by moving
+each continuous term to its bound-wise extreme — the classic "flow cover"
+relaxation of an effort-capacity row, which keeps the derived cut globally
+valid because only the *root* variable bounds are used.
+
+Separation is deterministic: candidate rows are scanned in order, the
+greedy cover is built most-fractional-first with fixed tie-breaks, and the
+returned cuts are sorted by violation (then by a canonical key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+#: Minimum violation of ``sum x~_j - (|C| - 1)`` for a cut to be kept.
+_VIOLATION_TOL = 1e-4
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class CoverCut:
+    """One cover cut ``sum_k coefs[k] * x[cols[k]] <= rhs`` (coefs are ±1).
+
+    ``kind`` is ``"cover"`` for pure-binary source rows and ``"flow-cover"``
+    when continuous columns had to be relaxed to their bounds first.
+    """
+
+    cols: tuple[int, ...]
+    coefs: tuple[float, ...]
+    rhs: float
+    kind: str
+    violation: float
+    source_row: int
+
+    def key(self) -> tuple:
+        """Canonical identity used for deduplication across rounds."""
+        return (self.cols, self.coefs, round(self.rhs, 9))
+
+
+def cuts_to_rows(
+    cuts: list[CoverCut], n: int
+) -> tuple[sparse.csr_matrix, np.ndarray]:
+    """Assemble cuts into an ``A_ub``-style row block over ``n`` columns."""
+    rows = np.repeat(np.arange(len(cuts)), [len(cut.cols) for cut in cuts])
+    cols = np.concatenate([cut.cols for cut in cuts])
+    vals = np.concatenate([cut.coefs for cut in cuts])
+    mat = sparse.csr_matrix((vals, (rows, cols)), shape=(len(cuts), n))
+    rhs = np.array([cut.rhs for cut in cuts])
+    return mat, rhs
+
+
+def separate_cover_cuts(
+    a_csr: sparse.csr_matrix,
+    row_lb: np.ndarray,
+    row_ub: np.ndarray,
+    binary_mask: np.ndarray,
+    var_lb: np.ndarray,
+    var_ub: np.ndarray,
+    x: np.ndarray,
+    row_mask: np.ndarray | None = None,
+    max_cuts: int = 16,
+    seen: set | None = None,
+) -> list[CoverCut]:
+    """Find cover cuts violated by the LP point ``x``.
+
+    Parameters
+    ----------
+    a_csr, row_lb, row_ub:
+        The *original* (two-sided) row system — both senses of a row are
+        tried when both bounds are finite.
+    row_mask:
+        Optional boolean filter of rows worth scanning (e.g. the
+        knapsack-shaped rows flagged by ``MILPStructure.row_kinds``);
+        ``None`` scans every row.
+    seen:
+        Mutable set of :meth:`CoverCut.key` values from earlier rounds;
+        rediscovered cuts are skipped and new keys are added in place.
+    """
+    m = a_csr.shape[0]
+    found: list[CoverCut] = []
+    keys = seen if seen is not None else set()
+    for i in range(m):
+        if row_mask is not None and not row_mask[i]:
+            continue
+        row = a_csr.getrow(i)
+        if row.nnz < 2:
+            continue
+        a = row.toarray().ravel()
+        senses = []
+        if np.isfinite(row_ub[i]):
+            senses.append((a, float(row_ub[i])))
+        if np.isfinite(row_lb[i]) and not np.isclose(row_lb[i], row_ub[i]):
+            senses.append((-a, -float(row_lb[i])))
+        for a_row, b in senses:
+            cut = _cover_from_knapsack(
+                a_row, b, i, binary_mask, var_lb, var_ub, x
+            )
+            if cut is None or cut.key() in keys:
+                continue
+            keys.add(cut.key())
+            found.append(cut)
+    found.sort(key=lambda cut: (-cut.violation, cut.key()))
+    return found[:max_cuts]
+
+
+def _cover_from_knapsack(
+    a: np.ndarray,
+    b: float,
+    source_row: int,
+    binary_mask: np.ndarray,
+    var_lb: np.ndarray,
+    var_ub: np.ndarray,
+    x: np.ndarray,
+) -> CoverCut | None:
+    """Derive one maximally-violated minimal cover from ``a @ x <= b``."""
+    nz = np.flatnonzero(np.abs(a) > _EPS)
+    bin_idx = nz[binary_mask[nz]]
+    cont_idx = nz[~binary_mask[nz]]
+    if bin_idx.size < 2:
+        return None
+    # Relax continuous terms to their bound-wise minimum contribution; an
+    # infinite bound would make the relaxation vacuous, so give up then.
+    b_eff = b
+    kind = "cover"
+    for j in cont_idx:
+        bound = var_lb[j] if a[j] > 0 else var_ub[j]
+        if not np.isfinite(bound):
+            return None
+        b_eff -= a[j] * bound
+        kind = "flow-cover"
+    # Complement negative binary coefficients: x_j -> 1 - x_j.
+    w = a[bin_idx].astype(float)
+    xt = np.clip(x[bin_idx], 0.0, 1.0)
+    comp = w < 0
+    b_eff -= float(w[comp].sum())
+    xt = np.where(comp, 1.0 - xt, xt)
+    w = np.abs(w)
+    keep = w > _EPS
+    bin_idx, w, xt, comp = bin_idx[keep], w[keep], xt[keep], comp[keep]
+    if bin_idx.size < 2 or b_eff < -_EPS or w.sum() <= b_eff + _EPS:
+        return None
+    # Greedy cover, most-fractional-first: ascending (1 - x~), tie-break by
+    # descending weight, then by lowest column index.
+    order = np.lexsort((bin_idx, -w, 1.0 - xt))
+    csum = np.cumsum(w[order])
+    k = int(np.searchsorted(csum, b_eff + 1e-7, side="right"))
+    if k >= order.size:
+        return None
+    members = order[: k + 1]
+    # Minimalise: dropping a member raises the violation by 1 - x~_j >= 0,
+    # so shed members (smallest x~ first) while the set remains a cover.
+    total = float(w[members].sum())
+    drop_order = members[np.lexsort((bin_idx[members], -w[members], xt[members]))]
+    kept = []
+    for j in drop_order:
+        if total - w[j] > b_eff + 1e-7:
+            total -= w[j]
+        else:
+            kept.append(int(j))
+    if len(kept) < 2:
+        return None
+    # Extend the minimal cover: any binary at least as heavy as the
+    # heaviest cover member could replace it, so it joins the left-hand
+    # side at the same right-hand side (Balas' extended cover).  This is
+    # what collapses symmetric knapsacks, where minimal covers alone are
+    # combinatorially many.
+    w_max = float(w[kept].max())
+    in_cover = np.zeros(bin_idx.size, dtype=bool)
+    in_cover[kept] = True
+    ext = np.flatnonzero(~in_cover & (w >= w_max - 1e-9))
+    members = np.concatenate([np.asarray(kept, dtype=int), ext])
+    violation = float(xt[members].sum()) - (len(kept) - 1)
+    if violation < _VIOLATION_TOL:
+        return None
+    # Map complemented members back to original variables:
+    # sum_{C+} x_j + sum_{C-} (1 - x_j) <= |C| - 1.
+    cols = bin_idx[members]
+    coefs = np.where(comp[members], -1.0, 1.0)
+    rhs = float(len(kept) - 1 - comp[members].sum())
+    sort = np.argsort(cols)
+    return CoverCut(
+        cols=tuple(int(j) for j in cols[sort]),
+        coefs=tuple(float(v) for v in coefs[sort]),
+        rhs=rhs,
+        kind=kind,
+        violation=violation,
+        source_row=source_row,
+    )

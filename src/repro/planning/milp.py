@@ -56,11 +56,14 @@ from scipy import sparse
 from scipy.optimize import LinearConstraint, Bounds, milp
 
 from repro.exceptions import ConfigurationError, InfeasibleError, PlanningError
+from repro.planning.branch_and_bound import BNB_STRATEGIES, BranchAndBoundSolver
 from repro.planning.graph import TimeUnrolledGraph
 from repro.planning.pwl import PiecewiseLinear
 
 #: Accepted values for the ``mode`` argument of :meth:`PatrolMILP.solve`.
-SOLVER_MODES = ("auto", "lp", "milp")
+#: ``bnb`` routes the full SOS2 model through the from-scratch certified
+#: branch-and-bound solver instead of HiGHS.
+SOLVER_MODES = ("auto", "lp", "milp", "bnb")
 
 
 @dataclass
@@ -90,6 +93,12 @@ class MILPStructure:
         Cells that carry ``z`` binaries; ``None`` means all of them (the
         classic MILP). The certified envelope path re-solves with binaries
         on just the offending cells.
+    row_kinds:
+        Per-row structural tag (``flow-source``, ``flow-sink``,
+        ``flow-balance``, ``coverage-link``, ``convexity``, ``sos2-sum``,
+        ``sos2-adjacency``) so downstream consumers — e.g. the cover-cut
+        separator of the branch-and-bound solver — can recognise the
+        knapsack-shaped rows without re-deriving the layout.
     """
 
     matrix: sparse.csc_matrix
@@ -102,6 +111,7 @@ class MILPStructure:
     n_vars: int
     lp_mode: bool
     binary_cells: tuple[int, ...] | None = None
+    row_kinds: tuple[str, ...] = ()
 
 
 @dataclass
@@ -119,6 +129,7 @@ class MILPModel:
     integrality: np.ndarray
     cells: list[int]
     visit_edges: dict[int, list[int]]
+    row_kinds: tuple[str, ...] = ()
 
 
 @dataclass
@@ -177,6 +188,12 @@ class PatrolMILP:
         discretisation error of the model itself; 0 tightens the
         certificate to ``mip_gap``, the same guarantee the full SOS2 MILP
         provides.
+    bnb_strategy:
+        Node/variable selection of the from-scratch branch-and-bound
+        backend used by ``mode="bnb"`` (one of
+        :data:`~repro.planning.branch_and_bound.BNB_STRATEGIES`).
+    bnb_max_nodes:
+        Node cap of the ``mode="bnb"`` backend.
     """
 
     def __init__(
@@ -186,6 +203,8 @@ class PatrolMILP:
         time_limit: float = 60.0,
         mip_gap: float = 1e-4,
         envelope_gap: float = 1e-2,
+        bnb_strategy: str = "best_bound",
+        bnb_max_nodes: int = 100_000,
     ):
         if n_patrols < 1:
             raise ConfigurationError(f"n_patrols must be >= 1, got {n_patrols}")
@@ -193,11 +212,18 @@ class PatrolMILP:
             raise ConfigurationError(
                 f"envelope_gap must be >= 0, got {envelope_gap}"
             )
+        if bnb_strategy not in BNB_STRATEGIES:
+            raise ConfigurationError(
+                f"bnb_strategy must be one of {BNB_STRATEGIES}, "
+                f"got '{bnb_strategy}'"
+            )
         self.graph = graph
         self.n_patrols = int(n_patrols)
         self.time_limit = time_limit
         self.mip_gap = mip_gap
         self.envelope_gap = envelope_gap
+        self.bnb_strategy = bnb_strategy
+        self.bnb_max_nodes = int(bnb_max_nodes)
         self._structures: dict[tuple, MILPStructure] = {}
         self.structure_hits = 0
         self.structure_misses = 0
@@ -309,30 +335,42 @@ class PatrolMILP:
         vals: list[np.ndarray] = []
         lbs: list[float] = []
         ubs: list[float] = []
+        kinds: list[str] = []
         row_id = 0
 
-        def add_row(col_idx: list[int], coeffs: list[float], lo: float, hi: float) -> None:
+        def add_row(
+            col_idx: list[int],
+            coeffs: list[float],
+            lo: float,
+            hi: float,
+            kind: str,
+        ) -> None:
             nonlocal row_id
             rows.append(np.full(len(col_idx), row_id))
             cols.append(np.asarray(col_idx))
             vals.append(np.asarray(coeffs, dtype=float))
             lbs.append(lo)
             ubs.append(hi)
+            kinds.append(kind)
             row_id += 1
 
         out_edges, in_edges = graph.incidence_lists()
 
         # Unit flow out of the source and into the sink; conservation inside.
         src, snk = graph.source_node, graph.sink_node
-        add_row(out_edges[src], [1.0] * len(out_edges[src]), 1.0, 1.0)
-        add_row(in_edges[snk], [1.0] * len(in_edges[snk]), 1.0, 1.0)
+        add_row(
+            out_edges[src], [1.0] * len(out_edges[src]), 1.0, 1.0, "flow-source"
+        )
+        add_row(
+            in_edges[snk], [1.0] * len(in_edges[snk]), 1.0, 1.0, "flow-sink"
+        )
         for node in range(graph.n_nodes):
             if node in (src, snk):
                 continue
             idx = in_edges[node] + out_edges[node]
             coef = [1.0] * len(in_edges[node]) + [-1.0] * len(out_edges[node])
             if idx:
-                add_row(idx, coef, 0.0, 0.0)
+                add_row(idx, coef, 0.0, 0.0, "flow-balance")
 
         # Coverage linking: sum_j lambda_vj x_j - K*(inflow_v + 1{v=src}) = 0.
         visit_edges = graph.cell_visit_edges()
@@ -344,7 +382,7 @@ class PatrolMILP:
             col_idx = lam_idx + edge_idx
             coeffs = list(xs) + [-K] * len(edge_idx)
             rhs = K if v == graph.source_cell else 0.0
-            add_row(col_idx, coeffs, rhs, rhs)
+            add_row(col_idx, coeffs, rhs, rhs, "coverage-link")
 
         # Convexity; plus the SOS2 adjacency system for binary cells (concave
         # utilities make the plain lambda relaxation exact, so their cells
@@ -352,11 +390,11 @@ class PatrolMILP:
         for v in cells:
             m = utilities[v].n_segments
             lam_idx = list(range(lam_offset[v], lam_offset[v] + m + 1))
-            add_row(lam_idx, [1.0] * (m + 1), 1.0, 1.0)
+            add_row(lam_idx, [1.0] * (m + 1), 1.0, 1.0, "convexity")
             if v not in binary_set:
                 continue
             z_idx = list(range(z_offset[v], z_offset[v] + m))
-            add_row(z_idx, [1.0] * m, 1.0, 1.0)
+            add_row(z_idx, [1.0] * m, 1.0, 1.0, "sos2-sum")
             for j in range(m + 1):
                 adjacent = []
                 if j > 0:
@@ -368,6 +406,7 @@ class PatrolMILP:
                     [1.0] + [-1.0] * len(adjacent),
                     -np.inf,
                     0.0,
+                    "sos2-adjacency",
                 )
 
         matrix = sparse.coo_matrix(
@@ -390,6 +429,7 @@ class PatrolMILP:
             n_vars=n_vars,
             lp_mode=lp_mode,
             binary_cells=binary_key,
+            row_kinds=tuple(kinds),
         )
         self._structures[key] = structure
         return structure
@@ -428,6 +468,7 @@ class PatrolMILP:
             integrality=structure.integrality,
             cells=structure.cells,
             visit_edges=structure.visit_edges,
+            row_kinds=structure.row_kinds,
         )
 
     # ------------------------------------------------------------------
@@ -454,12 +495,15 @@ class PatrolMILP:
             the module docstring), and the full SOS2 MILP only when the
             envelope certificate fails; ``"lp"`` forces the pure fast path
             (rejecting non-concave inputs); ``"milp"`` always carries the
-            segment binaries.
+            segment binaries; ``"bnb"`` solves the same full SOS2 model
+            with the from-scratch certified branch and bound.
         """
         if mode not in SOLVER_MODES:
             raise ConfigurationError(
                 f"mode must be one of {SOLVER_MODES}, got '{mode}'"
             )
+        if mode == "bnb":
+            return self._solve_bnb(utilities)
         if mode == "milp":
             return self._solve_model(utilities, utilities, lp_mode=False)
         all_concave = all(pwl.is_concave() for pwl in utilities.values())
@@ -472,6 +516,40 @@ class PatrolMILP:
         if all_concave:
             return self._solve_model(utilities, utilities, lp_mode=True)
         return self._solve_enveloped(utilities)
+
+    def _solve_bnb(
+        self, utilities: dict[int, PiecewiseLinear]
+    ) -> MILPSolution:
+        """Solve the full SOS2 model with the certified B&B backend.
+
+        Uses the same cached :class:`MILPStructure` the HiGHS path builds,
+        handing its ``row_kinds`` to the cut separator and reporting the
+        solver's certified ``bound_gap`` (non-zero only on node-limit
+        exits).
+        """
+        structure = self.build_structure(utilities, lp_mode=False)
+        objective = self.objective_vector(structure, utilities)
+        solver = BranchAndBoundSolver(
+            max_nodes=self.bnb_max_nodes, strategy=self.bnb_strategy
+        )
+        result = solver.solve(
+            objective,
+            structure.matrix,
+            structure.row_lb,
+            structure.row_ub,
+            binary_mask=structure.integrality.astype(bool),
+            row_kinds=structure.row_kinds,
+        )
+        solution = self.extract_solution(
+            structure,
+            result.x,
+            float(-result.objective_value),
+            result.status,
+            method="bnb",
+        )
+        if result.status != "optimal":
+            solution.bound_gap = float(result.bound_gap)
+        return solution
 
     def _solve_enveloped(
         self, utilities: dict[int, PiecewiseLinear]

@@ -18,5 +18,6 @@ def solve_patrol_with_bnb(
         model.row_lb,
         model.row_ub,
         binary_mask=model.integrality.astype(bool),
+        row_kinds=model.row_kinds,
     )
     return -result.objective_value

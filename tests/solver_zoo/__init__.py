@@ -1,0 +1,9 @@
+"""The branch-and-bound test-model zoo.
+
+Programmatically-built MILP instances in the ``simple_mip_solver``
+taxonomy (no-branch, small-branch, deep-branch, infeasible,
+unbounded-relaxation, degenerate-tie) plus serialized patrol-graph
+instances.  Every entry pins objective, status, node count, and the
+exploration-order fingerprint for every search strategy, so a solver
+speedup that silently changes the search tree fails loudly.
+"""

@@ -1,0 +1,184 @@
+"""Programmatic zoo instances in the ``simple_mip_solver`` taxonomy.
+
+Each builder returns a :class:`ZooInstance` whose arrays feed
+:meth:`BranchAndBoundSolver.solve` directly.  The data is integer-valued
+on purpose: rounded incumbents are recomputed as ``c @ x_round``, so the
+pinned objectives are *bit-equal* across solvers and strategies, not
+merely close.
+
+The taxonomy (after simple_mip_solver's test-model zoo):
+
+* ``no_branch`` — the LP relaxation is integral; one node, zero branches.
+* ``small_branch`` — two disjoint knapsacks; a handful of nodes.
+* ``deep_branch`` — a symmetric knapsack whose naive DFS tree is deep
+  and wide; cover cuts collapse it.
+* ``infeasible`` — integer-infeasible by construction.
+* ``unbounded_relaxation`` — the root LP is unbounded, so no finite
+  certificate exists.
+* ``degenerate_tie`` — every branching score ties; pins the
+  lowest-index tie-break and round-toward-LP child ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+
+@dataclass(frozen=True)
+class ZooInstance:
+    """One solver-zoo model: ``min c @ x`` s.t. ``row_lb <= A x <= row_ub``."""
+
+    name: str
+    c: np.ndarray
+    matrix: sparse.csr_matrix
+    row_lb: np.ndarray
+    row_ub: np.ndarray
+    binary_mask: np.ndarray
+    var_lb: np.ndarray | None = None
+    var_ub: np.ndarray | None = None
+    row_kinds: tuple[str, ...] = ()
+    #: "optimal", "infeasible", or "unbounded" — what solving must yield.
+    expected_status: str = "optimal"
+    #: Pinned optimum (bit-equal for integer data); None unless optimal.
+    expected_objective: float | None = None
+    description: str = ""
+
+
+def _dense(rows: list[list[float]]) -> sparse.csr_matrix:
+    return sparse.csr_matrix(np.array(rows, dtype=float))
+
+
+def no_branch() -> ZooInstance:
+    """Totally unimodular assignment rows: the root LP is already 0/1."""
+    # min -(3 x0 + 2 x1 + 2 x2) s.t. x0 + x1 <= 1, x1 + x2 <= 1  (interval
+    # matrix => TU => integral vertices).  Optimum picks x0 and x2.
+    c = np.array([-3.0, -2.0, -2.0])
+    a = _dense([[1, 1, 0], [0, 1, 1]])
+    return ZooInstance(
+        name="no_branch",
+        c=c,
+        matrix=a,
+        row_lb=np.array([-np.inf, -np.inf]),
+        row_ub=np.array([1.0, 1.0]),
+        binary_mask=np.ones(3, dtype=bool),
+        row_kinds=("knapsack", "knapsack"),
+        expected_objective=-5.0,
+        description="TU interval matrix; LP relaxation is integral",
+    )
+
+
+def small_branch() -> ZooInstance:
+    """Two disjoint 3-item knapsacks; a few branches without cuts."""
+    c = np.array([-5.0, -4.0, -3.0, -5.0, -4.0, -3.0])
+    a = _dense([[2, 3, 1, 0, 0, 0], [0, 0, 0, 2, 3, 1]])
+    return ZooInstance(
+        name="small_branch",
+        c=c,
+        matrix=a,
+        row_lb=np.array([-np.inf, -np.inf]),
+        row_ub=np.array([4.0, 4.0]),
+        binary_mask=np.ones(6, dtype=bool),
+        row_kinds=("knapsack", "knapsack"),
+        expected_objective=-16.0,
+        description="two disjoint knapsacks; shallow fractional root",
+    )
+
+
+def deep_branch() -> ZooInstance:
+    """Symmetric knapsack: naive DFS explores hundreds of nodes."""
+    # 12 items of weight 2 into capacity 9: the LP packs 4.5 items, and
+    # near-symmetric values -(3 + i % 3) make naive DFS enumerate a deep,
+    # bushy tree.  An extended cover cut (any 5 items overflow) collapses
+    # the whole thing at the root.
+    n = 12
+    c = -(3.0 + np.arange(n) % 3)
+    a = sparse.csr_matrix(np.full((1, n), 2.0))
+    return ZooInstance(
+        name="deep_branch",
+        c=c,
+        matrix=a,
+        row_lb=np.array([-np.inf]),
+        row_ub=np.array([9.0]),
+        binary_mask=np.ones(n, dtype=bool),
+        row_kinds=("knapsack",),
+        expected_objective=-20.0,
+        description="symmetric knapsack; deep naive-DFS tree",
+    )
+
+
+def infeasible() -> ZooInstance:
+    """No 0/1 point exists: two binaries must sum to at least 3."""
+    c = np.array([1.0, 1.0])
+    a = _dense([[1, 1]])
+    return ZooInstance(
+        name="infeasible",
+        c=c,
+        matrix=a,
+        row_lb=np.array([3.0]),
+        row_ub=np.array([np.inf]),
+        binary_mask=np.ones(2, dtype=bool),
+        row_kinds=("capacity",),
+        expected_status="infeasible",
+        description="x0 + x1 >= 3 over two binaries",
+    )
+
+
+def unbounded_relaxation() -> ZooInstance:
+    """A free continuous column drives the root LP to -inf."""
+    c = np.array([-1.0, -1.0])
+    a = _dense([[1, 0]])
+    return ZooInstance(
+        name="unbounded_relaxation",
+        c=c,
+        matrix=a,
+        row_lb=np.array([-np.inf]),
+        row_ub=np.array([1.0]),
+        binary_mask=np.array([True, False]),
+        var_lb=np.array([0.0, 0.0]),
+        var_ub=np.array([1.0, np.inf]),
+        expected_status="unbounded",
+        description="continuous column with negative cost and no upper bound",
+    )
+
+
+def degenerate_tie() -> ZooInstance:
+    """Both variables sit at 0.5 with equal objective: everything ties.
+
+    The LP relaxation of ``min -(x0 + x1)`` s.t. ``2 x0 <= 1``,
+    ``2 x1 <= 1`` has the unique optimum (0.5, 0.5).  Fractionality and
+    pseudo-cost scores tie exactly, so the branching choice exposes the
+    ``np.argmax`` lowest-index rule, and ``x0 = 0.5`` sits exactly on the
+    round-toward-LP threshold, exposing the up-child-first rule.
+    """
+    c = np.array([-1.0, -1.0])
+    a = _dense([[2, 0], [0, 2]])
+    return ZooInstance(
+        name="degenerate_tie",
+        c=c,
+        matrix=a,
+        row_lb=np.array([-np.inf, -np.inf]),
+        row_ub=np.array([1.0, 1.0]),
+        binary_mask=np.ones(2, dtype=bool),
+        row_kinds=("knapsack", "knapsack"),
+        expected_objective=0.0,
+        description="exact branching-score tie at (0.5, 0.5)",
+    )
+
+
+#: Name -> builder for every programmatic zoo instance.
+ZOO_BUILDERS = {
+    "no_branch": no_branch,
+    "small_branch": small_branch,
+    "deep_branch": deep_branch,
+    "infeasible": infeasible,
+    "unbounded_relaxation": unbounded_relaxation,
+    "degenerate_tie": degenerate_tie,
+}
+
+
+def build_all() -> dict[str, ZooInstance]:
+    """Instantiate the full programmatic zoo."""
+    return {name: builder() for name, builder in ZOO_BUILDERS.items()}

@@ -97,7 +97,8 @@ class TestPlanningEdge:
     def test_bnb_node_cap_raises(self):
         from scipy import sparse
 
-        solver = BranchAndBoundSolver(max_nodes=1)
+        # Cuts off: a root cover cut would make this integral at node 1.
+        solver = BranchAndBoundSolver(max_nodes=1, cuts=False)
         # A 2-binary problem needing branching: LP relaxation fractional.
         c = np.array([-1.0, -1.0])
         a = sparse.csr_matrix(np.array([[1.0, 1.0]]))

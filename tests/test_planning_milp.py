@@ -320,11 +320,15 @@ class TestBranchAndBound:
         a_matrix = sparse.csr_matrix(np.array([[2.0, 3.0, 1.0]]))
         bounds = (np.array([-np.inf]), np.array([4.0]))
         mask = np.array([True, True, True])
-        free = BranchAndBoundSolver().solve(c, a_matrix, *bounds, binary_mask=mask)
-        assert free.status == "optimal"
-        capped = BranchAndBoundSolver(max_nodes=free.n_nodes_explored).solve(
+        # Pin the naive search shape: root cuts would solve this knapsack
+        # at the root, leaving nothing for the cap to interact with.
+        free = BranchAndBoundSolver(strategy="dfs", cuts=False).solve(
             c, a_matrix, *bounds, binary_mask=mask
         )
+        assert free.status == "optimal"
+        capped = BranchAndBoundSolver(
+            max_nodes=free.n_nodes_explored, strategy="dfs", cuts=False
+        ).solve(c, a_matrix, *bounds, binary_mask=mask)
         assert capped.n_nodes_explored == free.n_nodes_explored
         assert capped.status == "optimal"
         assert capped.objective_value == pytest.approx(free.objective_value)
@@ -334,12 +338,18 @@ class TestBranchAndBound:
         a_matrix = sparse.csr_matrix(np.array([[2.0, 3.0, 1.0]]))
         bounds = (np.array([-np.inf]), np.array([4.0]))
         mask = np.array([True, True, True])
-        free = BranchAndBoundSolver().solve(c, a_matrix, *bounds, binary_mask=mask)
-        assert free.n_nodes_explored > 2
-        capped = BranchAndBoundSolver(max_nodes=2).solve(
+        free = BranchAndBoundSolver(strategy="dfs", cuts=False).solve(
             c, a_matrix, *bounds, binary_mask=mask
         )
+        assert free.n_nodes_explored > 2
+        capped = BranchAndBoundSolver(
+            max_nodes=2, strategy="dfs", cuts=False
+        ).solve(c, a_matrix, *bounds, binary_mask=mask)
         assert capped.status == "node-limit"
+        # Satellite of the solver upgrade: a node-limit exit must carry a
+        # certified bound, not just a status string.
+        assert capped.best_bound <= capped.objective_value
+        assert np.isfinite(capped.best_bound)
 
     def test_matches_highs_on_patrol_instance(self):
         """Cross-check the from-scratch solver against HiGHS."""
