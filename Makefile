@@ -6,13 +6,16 @@
 #   make bench-serve full 1.6k->1M serving scalability sweep (regenerates its results/ artifact)
 #   make test-zoo    solver zoo only (pinned B&B search behaviour)
 #   make smoke       CLI entry points all exit 0
-#   make lint        byte-compile every source tree
+#   make lint        byte-compile every source tree AND run the invariant
+#                    analyzer (zero-violations gate: all rules over src/,
+#                    hygiene rule over benchmarks/ and examples/)
+#   make lint-json   machine-readable analyzer report (the CI artifact)
 #   make check       lint + smoke + test
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-zoo bench bench-fit bench-serve smoke lint check
+.PHONY: test test-zoo bench bench-fit bench-serve smoke lint lint-json check
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -31,13 +34,18 @@ bench-serve:
 
 smoke:
 	$(PYTHON) -m repro --help > /dev/null
-	for cmd in stats maps evaluate fieldtest plan predict; do \
+	for cmd in stats maps evaluate fieldtest plan predict lint; do \
 		$(PYTHON) -m repro $$cmd --help > /dev/null || exit 1; \
 	done
 	@echo "smoke: all CLI entry points exit 0"
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
-	@echo "lint: all sources byte-compile"
+	$(PYTHON) -m repro.analysis src/repro
+	$(PYTHON) -m repro.analysis --select RP006 benchmarks examples
+	@echo "lint: sources byte-compile and invariants hold"
+
+lint-json:
+	$(PYTHON) -m repro.analysis src/repro --format json
 
 check: lint smoke test

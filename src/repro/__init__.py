@@ -37,7 +37,7 @@ from repro.exceptions import (
     ReproError,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from repro.pipeline import DataToDeploymentPipeline, PipelineResult
 from repro.planning.service import PlanService

@@ -1,0 +1,42 @@
+"""Static invariant enforcement for the PAWS reproduction.
+
+Five PRs of aggressive rewriting survive on a handful of standing
+contracts: every stochastic draw flows through a seeded generator, every
+library error derives from :class:`~repro.exceptions.ReproError`, every
+process-pool task pickles, every ``@thread_shared`` service mutates its
+caches under its lock, and every vectorized kernel keeps a golden-tested
+``*_reference`` twin. This package turns those conventions into *checked
+artifacts*: a small stdlib-``ast`` analysis framework
+(:mod:`~repro.analysis.core`), a rule suite encoding the contracts
+(:mod:`~repro.analysis.checkers`, rules RP001–RP006), and text/JSON
+reporters (:mod:`~repro.analysis.report`).
+
+Run it as ``repro lint`` or ``python -m repro.analysis``; ``make lint``
+and CI gate ``src/repro`` at zero violations. See ARCHITECTURE §8 for
+the rule table and the suppression syntax.
+"""
+
+from repro.analysis.checkers import ALL_CHECKERS, register_checker, rule_table
+from repro.analysis.core import (
+    AnalysisResult,
+    Checker,
+    Finding,
+    Project,
+    SourceFile,
+    run_analysis,
+)
+from repro.analysis.report import render_json, render_text
+
+__all__ = [
+    "ALL_CHECKERS",
+    "AnalysisResult",
+    "Checker",
+    "Finding",
+    "Project",
+    "SourceFile",
+    "register_checker",
+    "render_json",
+    "render_text",
+    "rule_table",
+    "run_analysis",
+]

@@ -1,0 +1,722 @@
+"""The rule suite: this repository's standing contracts as checkers.
+
+Every rule here encodes an invariant the codebase already relies on (see
+ARCHITECTURE §8 for the narrative): RP001 keeps results reproducible,
+RP002 keeps the error surface catchable, RP003 keeps process-pool tasks
+picklable, RP004 keeps ``@thread_shared`` services data-race free, RP005
+keeps every vectorized kernel pinned to its golden-tested reference twin,
+and RP006 catches the classic python foot-guns (mutable defaults,
+shadowed builtins).
+
+Add a rule by subclassing :class:`~repro.analysis.core.Checker` and
+calling :func:`register_checker` at import time; the CLI, ``make lint``,
+and the self-run test pick it up automatically.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.core import Checker, Finding, Project, SourceFile
+from repro.exceptions import ConfigurationError
+
+#: The live rule registry, in report order.
+ALL_CHECKERS: list[Checker] = []
+
+
+def register_checker(checker: Checker) -> Checker:
+    """Add one checker instance to the suite (one instance per rule id)."""
+    if any(existing.rule == checker.rule for existing in ALL_CHECKERS):
+        raise ConfigurationError(f"rule {checker.rule} is already registered")
+    ALL_CHECKERS.append(checker)
+    return checker
+
+
+def rule_table() -> list[tuple[str, str, str]]:
+    """``(rule, severity, description)`` rows for docs and ``--list-rules``."""
+    return [(c.rule, c.severity, c.description) for c in ALL_CHECKERS]
+
+
+# ---------------------------------------------------------------------------
+# RP001 — determinism
+# ---------------------------------------------------------------------------
+
+class DeterminismChecker(Checker):
+    """No hidden global randomness or wall clocks on library paths.
+
+    Every stochastic draw must flow through a seeded
+    ``np.random.Generator`` (``np.random.default_rng`` constructs one and
+    is allowed); the legacy ``np.random.*`` module functions mutate hidden
+    global state and break the bit-identity contract, as do the stdlib
+    ``random`` module functions. Wall-clock reads (``time.time``,
+    ``datetime.now``) make outputs depend on when they ran — monotonic
+    timers (``perf_counter`` etc.) are fine, they only ever feed benchmark
+    reports.
+    """
+
+    rule = "RP001"
+    severity = "error"
+    description = (
+        "no legacy np.random/global random state or wall-clock reads; "
+        "seeded Generators and monotonic timers only"
+    )
+
+    #: numpy.random attributes that construct explicit generator objects.
+    NUMPY_ALLOWED = frozenset({
+        "default_rng", "Generator", "SeedSequence", "BitGenerator",
+        "PCG64", "PCG64DXSM", "Philox", "SFC64",
+    })
+    #: Wall-clock calls (resolved dotted names).
+    WALL_CLOCKS = frozenset({
+        "time.time", "time.time_ns", "time.ctime", "time.localtime",
+        "time.gmtime", "time.asctime",
+        "datetime.datetime.now", "datetime.datetime.today",
+        "datetime.datetime.utcnow", "datetime.date.today",
+    })
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = source.qualified_name(node.func)
+            if name is None:
+                continue
+            if name in self.WALL_CLOCKS:
+                yield self.finding(
+                    source, node,
+                    f"wall-clock call {name}() makes output depend on run "
+                    "time; inject a clock or use time.perf_counter for "
+                    "durations",
+                )
+            elif name.startswith("numpy.random."):
+                attr = name.split(".")[2]
+                if attr not in self.NUMPY_ALLOWED:
+                    yield self.finding(
+                        source, node,
+                        f"legacy numpy global-state RNG {name}(); use a "
+                        "seeded np.random.default_rng(...) Generator "
+                        "threaded through the call instead",
+                    )
+            elif name.startswith("random."):
+                yield self.finding(
+                    source, node,
+                    f"stdlib global-state RNG {name}(); use a seeded "
+                    "np.random.default_rng(...) Generator instead",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RP002 — exception discipline
+# ---------------------------------------------------------------------------
+
+class ExceptionChecker(Checker):
+    """Library errors derive from ReproError; no bare/silent excepts.
+
+    Callers are promised that ``except ReproError`` catches everything
+    this package raises, so raising builtin exception types leaks
+    uncatchable errors, and bare ``except:`` (or ``except Exception:
+    pass``) hides failures the contract says must surface.
+    """
+
+    rule = "RP002"
+    severity = "error"
+    description = (
+        "raise ReproError subclasses only; no bare except or silently "
+        "swallowed Exception"
+    )
+
+    BUILTIN_RAISES = frozenset({
+        "Exception", "BaseException", "ValueError", "TypeError",
+        "RuntimeError", "KeyError", "IndexError", "AttributeError",
+        "OSError", "IOError", "LookupError", "ArithmeticError",
+        "ZeroDivisionError",
+    })
+
+    @staticmethod
+    def _is_silent(body: list[ast.stmt]) -> bool:
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis)
+            for stmt in body
+        )
+
+    @staticmethod
+    def _protocol_raises(tree: ast.Module) -> set[ast.Raise]:
+        """Raise nodes inside module/class ``__getattr__`` implementations.
+
+        The lazy-import protocol *requires* ``__getattr__`` to raise
+        ``AttributeError`` for unknown names, so those raises are exempt.
+        """
+        exempt: set[ast.Raise] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name in ("__getattr__", "__getattribute__")
+            ):
+                exempt.update(
+                    n for n in ast.walk(node) if isinstance(n, ast.Raise)
+                )
+        return exempt
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        protocol_raises = self._protocol_raises(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield self.finding(
+                        source, node,
+                        "bare 'except:' catches SystemExit/KeyboardInterrupt "
+                        "and hides real failures; name the exceptions "
+                        "(ReproError for library errors)",
+                    )
+                elif (
+                    isinstance(node.type, ast.Name)
+                    and node.type.id in ("Exception", "BaseException")
+                    and self._is_silent(node.body)
+                ):
+                    yield self.finding(
+                        source, node,
+                        f"'except {node.type.id}: pass' silently swallows "
+                        "every failure; handle or narrow it",
+                    )
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                target = exc.func if isinstance(exc, ast.Call) else exc
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in self.BUILTIN_RAISES
+                    and not (
+                        target.id == "AttributeError"
+                        and node in protocol_raises
+                    )
+                ):
+                    yield self.finding(
+                        source, node,
+                        f"raise {target.id} leaks a builtin exception past "
+                        "'except ReproError'; raise a "
+                        "repro.exceptions.ReproError subclass",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RP003 — process-pool picklability
+# ---------------------------------------------------------------------------
+
+class PicklabilityChecker(Checker):
+    """Task classes dispatched to worker pools must stay picklable.
+
+    A class counts as pool-dispatched when (a) its constructor is visibly
+    passed into ``parallel_map`` / ``run_deferred`` / ``predict_map``
+    (directly in the call's arguments, or one assignment hop earlier in
+    the same function), or (b) it advertises the task protocol by defining
+    ``backend_hint``. Such classes must not store lambdas, locally defined
+    functions, or ``threading`` primitives in instance state — those never
+    pickle — unless the class defines ``__getstate__`` to strip them (the
+    ``BaggingClassifier`` factory pattern).
+    """
+
+    rule = "RP003"
+    severity = "error"
+    description = (
+        "pool-dispatched task classes must not capture lambdas/closures/"
+        "locks in instance state unless __getstate__ strips them"
+    )
+
+    DISPATCHERS = frozenset({"parallel_map", "run_deferred", "predict_map"})
+    THREADING_PRIMITIVES = frozenset({
+        "Lock", "RLock", "Condition", "Event", "Semaphore",
+        "BoundedSemaphore", "Barrier",
+    })
+
+    # -- project pass ---------------------------------------------------
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        class_defs: dict[str, tuple[SourceFile, ast.ClassDef]] = {}
+        for source in project.files:
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    class_defs.setdefault(node.name, (source, node))
+
+        dispatched: dict[str, str] = {}  # class name -> evidence
+        for source in project.files:
+            for name, site in self._dispatched_classes(source, class_defs):
+                dispatched.setdefault(name, site)
+        for name, (source, node) in class_defs.items():
+            if name not in dispatched and self._defines(node, "backend_hint"):
+                dispatched.setdefault(name, f"defines backend_hint ({source.display})")
+
+        for name, evidence in sorted(dispatched.items()):
+            source, node = class_defs[name]
+            if self._defines(node, "__getstate__"):
+                continue  # the class strips unpicklable state itself
+            yield from self._check_init(source, node, evidence)
+
+    # -- dispatched-class resolution ------------------------------------
+    def _dispatched_classes(
+        self,
+        source: SourceFile,
+        class_defs: dict[str, tuple[SourceFile, ast.ClassDef]],
+    ) -> Iterable[tuple[str, str]]:
+        """(class name, evidence) pairs for pool call sites in one file."""
+        for scope in ast.walk(source.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                continue
+            assignments: dict[str, list[ast.AST]] = {}
+            for stmt in ast.walk(scope):
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            assignments.setdefault(target.id, []).append(stmt.value)
+            for call in ast.walk(scope):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                tail = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else None
+                )
+                if tail not in self.DISPATCHERS:
+                    continue
+                site = f"{tail}() at {source.display}:{call.lineno}"
+                argument_trees: list[ast.AST] = list(call.args) + [
+                    kw.value for kw in call.keywords
+                ]
+                # one assignment hop: tasks = [...]; run_deferred(tasks)
+                for arg in list(argument_trees):
+                    if isinstance(arg, ast.Name):
+                        argument_trees.extend(assignments.get(arg.id, ()))
+                for tree in argument_trees:
+                    for inner in ast.walk(tree):
+                        if (
+                            isinstance(inner, ast.Call)
+                            and isinstance(inner.func, ast.Name)
+                            and inner.func.id in class_defs
+                        ):
+                            yield inner.func.id, site
+
+    @staticmethod
+    def _defines(node: ast.ClassDef, name: str) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt.name == name:
+                return True
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == name for t in stmt.targets
+            ):
+                return True
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == name
+            ):
+                return True
+        return False
+
+    # -- instance-state inspection --------------------------------------
+    def _check_init(
+        self, source: SourceFile, node: ast.ClassDef, evidence: str
+    ) -> Iterable[Finding]:
+        init = next(
+            (s for s in node.body
+             if isinstance(s, ast.FunctionDef) and s.name == "__init__"),
+            None,
+        )
+        if init is None:
+            return
+        local_defs = {
+            s.name for s in ast.walk(init) if isinstance(s, ast.FunctionDef)
+        } - {"__init__"}
+        for stmt in ast.walk(init):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Attribute)
+                and isinstance(t.value, ast.Name)
+                and t.value.id == "self"
+                for t in stmt.targets
+            ):
+                continue
+            problem = self._unpicklable(source, stmt.value, local_defs)
+            if problem:
+                yield self.finding(
+                    source, stmt,
+                    f"{node.name} is pool-dispatched ({evidence}) but its "
+                    f"__init__ stores {problem} in instance state, which "
+                    "never pickles; strip it in __getstate__ or pass "
+                    "picklable state instead",
+                )
+
+    def _unpicklable(
+        self, source: SourceFile, value: ast.AST, local_defs: set[str]
+    ) -> str | None:
+        if isinstance(value, ast.Lambda):
+            return "a lambda"
+        if isinstance(value, ast.Name) and value.id in local_defs:
+            return f"locally defined function '{value.id}'"
+        if isinstance(value, ast.Call):
+            name = source.qualified_name(value.func)
+            if name and name.startswith("threading."):
+                attr = name.split(".", 1)[1]
+                if attr in self.THREADING_PRIMITIVES:
+                    return f"a threading.{attr}"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# RP004 — lock discipline for @thread_shared classes
+# ---------------------------------------------------------------------------
+
+class LockDisciplineChecker(Checker):
+    """``@thread_shared`` classes mutate ``self._*`` only under their lock.
+
+    The :func:`repro.runtime.concurrency.thread_shared` decorator declares
+    a class safe to share across threads (the park-service daemon's
+    singletons). The enforced contract: ``__init__`` creates ``self._lock``,
+    and every other method mutates underscore-prefixed instance state
+    (cache dicts, LRU registries, counters) only inside a
+    ``with self._lock:`` block. Reads stay lock-free by design — the
+    serving paths are read-mostly — so the rule targets exactly the
+    writes that could corrupt a dict mid-resize or tear an LRU eviction.
+    """
+
+    rule = "RP004"
+    severity = "error"
+    description = (
+        "@thread_shared classes must create self._lock in __init__ and "
+        "mutate self._* attributes only inside 'with self._lock:' blocks"
+    )
+
+    MUTATORS = frozenset({
+        "append", "extend", "insert", "pop", "popitem", "clear", "update",
+        "setdefault", "move_to_end", "add", "remove", "discard",
+        "appendleft", "popleft",
+    })
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and self._is_thread_shared(source, node):
+                yield from self._check_class(source, node)
+
+    @staticmethod
+    def _is_thread_shared(source: SourceFile, node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            name = source.qualified_name(target)
+            if name and name.split(".")[-1] == "thread_shared":
+                return True
+        return False
+
+    def _check_class(
+        self, source: SourceFile, node: ast.ClassDef
+    ) -> Iterable[Finding]:
+        init = next(
+            (s for s in node.body
+             if isinstance(s, ast.FunctionDef) and s.name == "__init__"),
+            None,
+        )
+        if init is None or not self._assigns_lock(init):
+            yield self.finding(
+                source, node,
+                f"@thread_shared class {node.name} must assign self._lock "
+                "(a threading.Lock/RLock) in __init__",
+            )
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue
+            yield from self._scan(source, node.name, method.body, locked=False)
+
+    @staticmethod
+    def _assigns_lock(init: ast.FunctionDef) -> bool:
+        for stmt in ast.walk(init):
+            targets: list[ast.AST] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "_lock"
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _is_self_lock(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == "_lock"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        )
+
+    @classmethod
+    def _guarded_attr(cls, node: ast.AST) -> str | None:
+        """The ``self._x`` attribute a target/chain roots at, if any."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr.startswith("_")
+            and not node.attr.startswith("__")
+            and node.attr != "_lock"
+        ):
+            return node.attr
+        return None
+
+    def _scan(
+        self,
+        source: SourceFile,
+        class_name: str,
+        body: list[ast.stmt],
+        locked: bool,
+    ) -> Iterable[Finding]:
+        for stmt in body:
+            if isinstance(stmt, ast.With):
+                inner_locked = locked or any(
+                    self._is_self_lock(item.context_expr) for item in stmt.items
+                )
+                yield from self._scan(source, class_name, stmt.body, inner_locked)
+                continue
+            if not locked:
+                yield from self._mutations(source, class_name, stmt)
+            # recurse into compound statements, preserving the lock state
+            for child_body in self._child_bodies(stmt):
+                yield from self._scan(source, class_name, child_body, locked)
+
+    @staticmethod
+    def _child_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        bodies = []
+        for field_name in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, field_name, None)
+            if block and not isinstance(stmt, ast.With):
+                bodies.append(block)
+        for handler in getattr(stmt, "handlers", ()):
+            bodies.append(handler.body)
+        return bodies
+
+    def _mutations(
+        self, source: SourceFile, class_name: str, stmt: ast.stmt
+    ) -> Iterable[Finding]:
+        targets: list[ast.AST] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            func = stmt.value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self.MUTATORS
+            ):
+                attr = self._guarded_attr(func.value)
+                if attr is not None:
+                    yield self.finding(
+                        source, stmt,
+                        f"{class_name}.{attr}.{func.attr}(...) mutates "
+                        f"shared state outside 'with self._lock:' "
+                        f"({class_name} is @thread_shared)",
+                    )
+            return
+        for target in targets:
+            attr = self._guarded_attr(target)
+            if attr is not None:
+                yield self.finding(
+                    source, stmt,
+                    f"assignment to {class_name}.{attr} outside "
+                    f"'with self._lock:' ({class_name} is @thread_shared)",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RP005 — reference-twin pairing
+# ---------------------------------------------------------------------------
+
+class ReferenceTwinChecker(Checker):
+    """Every ``*_reference`` twin must be exercised by a test.
+
+    The standing contract since PR 1: every vectorized rewrite keeps its
+    naive predecessor as an executable specification (``*_reference``
+    functions, ``*_reference`` modules) and a test asserts equivalence.
+    A twin nothing references is a contract that silently stopped being
+    checked — this rule fails the gate until a file under the test roots
+    (``tests/``, ``benchmarks/``) mentions the twin again.
+    """
+
+    rule = "RP005"
+    severity = "error"
+    description = (
+        "every *_reference twin (function or module) must be referenced "
+        "by a file under the test roots"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        if not project.test_roots:
+            return
+        referenced = project.test_identifiers
+        for source in project.files:
+            stem = source.path.stem
+            twins: list[tuple[ast.AST, str]] = []
+            if stem.endswith("_reference"):
+                twins.append((source.tree.body[0] if source.tree.body else source.tree, stem))
+            for node in source.tree.body:
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                    and node.name.endswith("_reference")
+                ):
+                    twins.append((node, node.name))
+            for node, name in twins:
+                if name not in referenced:
+                    yield self.finding(
+                        source, node,
+                        f"reference twin '{name}' is not referenced by any "
+                        "file under the test roots "
+                        f"({', '.join(str(r) for r in project.test_roots)}); "
+                        "add an equivalence test or retire the twin",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RP006 — mutable defaults and shadowed builtins
+# ---------------------------------------------------------------------------
+
+class HygieneChecker(Checker):
+    """Mutable default arguments and builtin shadowing.
+
+    Mutable defaults alias one object across calls (the classic stale-cache
+    bug); rebinding builtins like ``id``/``list``/``filter`` makes later
+    code in the same scope silently wrong. Both are cheap to avoid and
+    expensive to debug, so they gate like everything else.
+    """
+
+    rule = "RP006"
+    severity = "warning"
+    description = "no mutable default arguments; no shadowed builtins"
+
+    MUTABLE_FACTORIES = frozenset({
+        "list", "dict", "set", "bytearray", "OrderedDict", "defaultdict",
+        "deque", "Counter",
+    })
+    SHADOWED_BUILTINS = frozenset({
+        "list", "dict", "set", "tuple", "str", "int", "float", "bool",
+        "bytes", "frozenset", "type", "object", "id", "input", "filter",
+        "map", "zip", "range", "sum", "max", "min", "all", "any", "len",
+        "hash", "next", "iter", "sorted", "reversed", "round", "abs",
+        "open", "print", "vars", "format", "repr", "getattr", "setattr",
+        "callable", "enumerate", "slice", "property", "eval", "exec",
+        "compile", "breakpoint", "dir", "bin", "hex", "oct",
+    })
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        # Bindings in a class body (method names, class attributes) live in
+        # the class namespace and cannot shadow builtins for other code.
+        class_scoped: set[ast.stmt] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                class_scoped.update(node.body)
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                yield from self._check_defaults(source, node)
+            yield from self._check_shadowing(
+                source, node, class_level=node in class_scoped
+            )
+
+    def _check_defaults(self, source, node) -> Iterable[Finding]:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        label = getattr(node, "name", "<lambda>")
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                kind = type(default).__name__.lower()
+                yield self.finding(
+                    source, default,
+                    f"mutable default argument ({kind} literal) in "
+                    f"'{label}' is shared across calls; default to None "
+                    "and construct inside",
+                )
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in self.MUTABLE_FACTORIES
+            ):
+                yield self.finding(
+                    source, default,
+                    f"mutable default argument ({default.func.id}()) in "
+                    f"'{label}' is shared across calls; default to None "
+                    "and construct inside",
+                )
+
+    @staticmethod
+    def _store_names(target: ast.AST) -> Iterable[ast.Name]:
+        """Names actually *bound* by a target (not e.g. subscript indices)."""
+        for name_node in ast.walk(target):
+            if isinstance(name_node, ast.Name) and isinstance(
+                name_node.ctx, ast.Store
+            ):
+                yield name_node
+
+    def _check_shadowing(
+        self, source, node, class_level: bool
+    ) -> Iterable[Finding]:
+        bound: list[tuple[ast.AST, str, str]] = []
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            args = node.args
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                bound.append((arg, arg.arg, "parameter"))
+            # A method/class-attribute name lives in the class namespace and
+            # shadows nothing outside it, so class-level defs are exempt.
+            if not isinstance(node, ast.Lambda) and not class_level:
+                bound.append((node, node.name, "function name"))
+        elif isinstance(node, ast.ClassDef) and not class_level:
+            bound.append((node, node.name, "class name"))
+        elif isinstance(node, (ast.Assign, ast.For, ast.AsyncFor)) and not class_level:
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for name_node in self._store_names(target):
+                    bound.append((name_node, name_node.id, "assignment"))
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and not class_level
+            and isinstance(node.target, ast.Name)
+        ):
+            bound.append((node.target, node.target.id, "assignment"))
+        elif isinstance(node, (ast.withitem,)) and node.optional_vars is not None:
+            for name_node in self._store_names(node.optional_vars):
+                bound.append((name_node, name_node.id, "with-binding"))
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.append((node, node.name, "except-binding"))
+        elif isinstance(node, ast.comprehension):
+            for name_node in self._store_names(node.target):
+                bound.append((name_node, name_node.id, "comprehension target"))
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                bound.append((node, local, "import"))
+        for anchor, name, kind in bound:
+            if name in self.SHADOWED_BUILTINS:
+                yield self.finding(
+                    source, anchor,
+                    f"{kind} '{name}' shadows the builtin of the same "
+                    "name; rename it",
+                )
+
+
+register_checker(DeterminismChecker())
+register_checker(ExceptionChecker())
+register_checker(PicklabilityChecker())
+register_checker(LockDisciplineChecker())
+register_checker(ReferenceTwinChecker())
+register_checker(HygieneChecker())

@@ -1,0 +1,96 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro lint``.
+
+Exit status is the gate: 0 when every selected rule is clean over the
+given paths, 1 when any violation survives suppression filtering, 2 on
+bad invocation. ``make lint`` and CI run this over ``src/repro`` with all
+rules and over ``benchmarks``/``examples`` with the hygiene rule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.checkers import ALL_CHECKERS, rule_table
+from repro.analysis.core import run_analysis
+from repro.analysis.report import render_json, render_text
+from repro.exceptions import ReproError
+
+
+DESCRIPTION = (
+    "AST-based invariant analyzer for this repository's standing "
+    "contracts (determinism, exception discipline, picklability, lock "
+    "discipline, reference twins, hygiene). Suppress one finding with a "
+    "trailing '# repro: ignore[RPxxx]'."
+)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the analyzer's arguments (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files/directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the CI artifact format)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore-rules", default=None, metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--test-root", action="append", default=None, metavar="DIR",
+        help="directory whose files count as tests for RP005 "
+        "(repeatable; default: ./tests and ./benchmarks when present)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro lint", description=DESCRIPTION)
+    add_arguments(parser)
+    return parser
+
+
+def _split(value: str | None) -> list[str] | None:
+    if value is None:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def run_from_args(args: argparse.Namespace, out) -> int:
+    """Execute one analyzer invocation from parsed arguments."""
+    if args.list_rules:
+        for rule, severity, description in rule_table():
+            out.write(f"{rule}  {severity:<7}  {description}\n")
+        return 0
+    try:
+        result = run_analysis(
+            args.paths,
+            ALL_CHECKERS,
+            select=_split(args.select),
+            ignore=_split(args.ignore_rules),
+            test_roots=args.test_root,
+        )
+    except ReproError as exc:
+        out.write(f"repro lint: {exc}\n")
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    out.write(renderer(result))
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    return run_from_args(build_parser().parse_args(argv), out or sys.stdout)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

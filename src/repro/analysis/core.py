@@ -1,0 +1,347 @@
+"""Core machinery of the invariant analyzer: files, findings, checkers.
+
+The framework is deliberately small: a :class:`Project` loads python
+sources into :class:`SourceFile` objects (text, ``ast`` tree, suppression
+comments), :class:`Checker` subclasses emit :class:`Finding` objects from
+per-file or cross-file passes, and :func:`run_analysis` orchestrates one
+scan. Everything rests on the stdlib ``ast`` module — no third-party
+linter machinery — because the rules encode *this repository's* contracts
+(seeded generators, ``ReproError`` discipline, process-pool picklability,
+``@thread_shared`` lock discipline, reference twins), not generic style.
+
+Suppressions are explicit and narrow: a trailing ``# repro: ignore[RP004]``
+comment silences exactly the named rule(s) on exactly that line (the line
+the finding anchors to — for a multi-line statement, the line of the
+offending expression). ``# repro: ignore`` with no rule list silences every
+rule on its line; use it sparingly, it defeats the audit trail.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ConfigurationError
+
+#: Severity labels, ordered most severe first. Any finding fails the gate;
+#: the label communicates whether the contract is load-bearing (``error`` —
+#: breaking it corrupts results or crashes pools) or hygienic (``warning``).
+SEVERITIES = ("error", "warning")
+
+#: Matches one suppression comment. Examples::
+#:
+#:     risky_call()          # repro: ignore[RP001]
+#:     legacy_default = []   # repro: ignore[RP006, RP002]
+#:     anything_at_all()     # repro: ignore
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+)
+
+#: Sentinel rule set meaning "every rule" (bare ``# repro: ignore``).
+_ALL_RULES = frozenset({"*"})
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a file position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """``{line number: suppressed rule ids}`` from ``# repro: ignore`` comments."""
+    table: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = _ALL_RULES
+        else:
+            table[lineno] = frozenset(
+                rule.strip() for rule in rules.split(",") if rule.strip()
+            )
+    return table
+
+
+class SourceFile:
+    """One parsed python source: text, AST, imports, suppressions."""
+
+    def __init__(self, path: Path, display_path: str | None = None):
+        self.path = Path(path)
+        self.display = display_path or str(path)
+        self.text = self.path.read_text(encoding="utf-8")
+        self.suppressions = parse_suppressions(self.text)
+        self.parse_error: SyntaxError | None = None
+        try:
+            self.tree: ast.Module = ast.parse(self.text)
+        except SyntaxError as exc:
+            self.parse_error = exc
+            self.tree = ast.Module(body=[], type_ignores=[])
+        self._aliases: dict[str, str] | None = None
+
+    # ------------------------------------------------------------------
+    # Dotted-name resolution through import aliases
+    # ------------------------------------------------------------------
+    @property
+    def aliases(self) -> dict[str, str]:
+        """Local name -> dotted origin, from this module's import statements.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from datetime import
+        datetime as dt`` maps ``dt -> datetime.datetime``. Used to resolve
+        attribute chains (``np.random.seed``) back to canonical module
+        paths (``numpy.random.seed``) regardless of local spelling.
+        """
+        if self._aliases is None:
+            table: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for item in node.names:
+                        local = item.asname or item.name.split(".")[0]
+                        origin = item.name if item.asname else local
+                        table[local] = origin
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    if node.level:  # relative import: origin is package-local
+                        continue
+                    for item in node.names:
+                        local = item.asname or item.name
+                        table[local] = f"{node.module}.{item.name}"
+            self._aliases = table
+        return self._aliases
+
+    def qualified_name(self, node: ast.AST) -> str | None:
+        """Canonical dotted name of a Name/Attribute chain, or ``None``.
+
+        The chain's head is resolved through :attr:`aliases`, so
+        ``np.random.seed`` and ``numpy.random.seed`` both come back as
+        ``"numpy.random.seed"``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = self.aliases.get(node.id, node.id)
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressions.get(finding.line)
+        if rules is None:
+            return False
+        return rules is _ALL_RULES or "*" in rules or finding.rule in rules
+
+
+class Project:
+    """Every file of one analysis run, plus the cross-file indices.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories; directories are walked for ``*.py``.
+    test_roots:
+        Directories whose python files count as "tests" for the
+        reference-twin rule (RP005). Defaults to ``tests/`` and
+        ``benchmarks/`` siblings of the current working directory when they
+        exist. Pass an empty list to disable twin/test resolution.
+    """
+
+    def __init__(
+        self,
+        paths: Sequence[str | Path],
+        test_roots: Sequence[str | Path] | None = None,
+    ):
+        self.files: list[SourceFile] = []
+        seen: set[Path] = set()
+        for path in paths:
+            for file_path in self._expand(Path(path)):
+                resolved = file_path.resolve()
+                if resolved in seen:
+                    continue
+                seen.add(resolved)
+                self.files.append(SourceFile(file_path))
+        if test_roots is None:
+            test_roots = [p for p in (Path("tests"), Path("benchmarks")) if p.is_dir()]
+        self.test_roots = [Path(root) for root in test_roots]
+        self._test_identifiers: frozenset[str] | None = None
+
+    @staticmethod
+    def _expand(path: Path) -> Iterable[Path]:
+        if not path.exists():
+            raise ConfigurationError(f"no such file or directory: {path}")
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+    # ------------------------------------------------------------------
+    # Cross-file index: identifiers referenced anywhere under test roots
+    # ------------------------------------------------------------------
+    @property
+    def test_identifiers(self) -> frozenset[str]:
+        """Every name/attribute/import segment referenced by the test roots.
+
+        RP005 resolves "does some test exercise this reference twin" by
+        membership here: a twin named ``chamfer_distance_reference`` is
+        covered iff some file under a test root mentions that identifier
+        (as a name, an attribute, or an import).
+        """
+        if self._test_identifiers is None:
+            referenced: set[str] = set()
+            for root in self.test_roots:
+                for path in sorted(root.rglob("*.py")):
+                    try:
+                        tree = ast.parse(path.read_text(encoding="utf-8"))
+                    except (SyntaxError, OSError):
+                        continue
+                    for node in ast.walk(tree):
+                        if isinstance(node, ast.Name):
+                            referenced.add(node.id)
+                        elif isinstance(node, ast.Attribute):
+                            referenced.add(node.attr)
+                        elif isinstance(node, ast.ImportFrom):
+                            if node.module:
+                                referenced.update(node.module.split("."))
+                            referenced.update(item.name for item in node.names)
+                        elif isinstance(node, ast.Import):
+                            for item in node.names:
+                                referenced.update(item.name.split("."))
+            self._test_identifiers = frozenset(referenced)
+        return self._test_identifiers
+
+
+class Checker:
+    """Base class for one rule.
+
+    Subclasses set ``rule`` / ``severity`` / ``description`` and override
+    :meth:`check_file` (independent per-file pass) and/or
+    :meth:`check_project` (one pass over the whole :class:`Project`, for
+    rules that resolve call sites or test coverage across files).
+    Register instances with :func:`repro.analysis.checkers.register_checker`
+    so the CLI and the ``make lint`` gate pick them up.
+    """
+
+    rule: str = "RP000"
+    severity: str = "error"
+    description: str = ""
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def finding(
+        self, source: SourceFile, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=source.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            severity=self.severity,
+            message=message,
+        )
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one :func:`run_analysis` scan."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def run_analysis(
+    paths: Sequence[str | Path],
+    checkers: Sequence[Checker],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    test_roots: Sequence[str | Path] | None = None,
+) -> AnalysisResult:
+    """Run ``checkers`` over ``paths`` and return the surviving findings.
+
+    ``select`` keeps only the named rules, ``ignore`` drops the named
+    rules; suppression comments then filter line-by-line. Findings come
+    back sorted by (path, line, col, rule).
+    """
+    chosen = list(checkers)
+    if select:
+        wanted = set(select)
+        unknown = wanted - {checker.rule for checker in chosen}
+        if unknown:
+            raise ConfigurationError(f"unknown rule(s) in --select: {sorted(unknown)}")
+        chosen = [checker for checker in chosen if checker.rule in wanted]
+    if ignore:
+        dropped = set(ignore)
+        chosen = [checker for checker in chosen if checker.rule not in dropped]
+
+    project = Project(paths, test_roots=test_roots)
+    result = AnalysisResult(files_scanned=len(project.files))
+    raw: list[tuple[SourceFile | None, Finding]] = []
+    for source in project.files:
+        if source.parse_error is not None:
+            raw.append((
+                source,
+                Finding(
+                    path=source.display,
+                    line=source.parse_error.lineno or 1,
+                    col=(source.parse_error.offset or 1) - 1,
+                    rule="RP000",
+                    severity="error",
+                    message=f"syntax error: {source.parse_error.msg}",
+                ),
+            ))
+            continue
+        for checker in chosen:
+            for finding in checker.check_file(source):
+                raw.append((source, finding))
+    sources_by_display = {source.display: source for source in project.files}
+    for checker in chosen:
+        for finding in checker.check_project(project):
+            raw.append((sources_by_display.get(finding.path), finding))
+
+    for source, finding in raw:
+        if source is not None and source.is_suppressed(finding):
+            result.suppressed += 1
+        else:
+            result.findings.append(finding)
+    result.findings.sort()
+    return result

@@ -1,0 +1,40 @@
+"""Reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import AnalysisResult
+
+
+def render_text(result: AnalysisResult) -> str:
+    """One line per finding plus a summary, for terminals and CI logs."""
+    lines = [finding.format() for finding in result.findings]
+    if result.findings:
+        counts = ", ".join(
+            f"{rule}: {n}" for rule, n in result.counts_by_rule().items()
+        )
+        lines.append(
+            f"{len(result.findings)} violation"
+            f"{'s' if len(result.findings) != 1 else ''} "
+            f"({counts}) in {result.files_scanned} files"
+            + (f"; {result.suppressed} suppressed" if result.suppressed else "")
+        )
+    else:
+        lines.append(
+            f"0 violations in {result.files_scanned} files"
+            + (f"; {result.suppressed} suppressed" if result.suppressed else "")
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: AnalysisResult) -> str:
+    """A stable JSON document (the CI artifact format)."""
+    payload = {
+        "tool": "repro.analysis",
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "counts": result.counts_by_rule(),
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -12,6 +12,8 @@ Exposes the main workflows without writing any Python::
     python -m repro predict --park MFNP --load-model models/mfnp --effort 2.5
     python -m repro predict --park MFNP --load-model models/mfnp \
         --tile-size 4096 --n-jobs 4
+    python -m repro lint src/repro
+    python -m repro lint --select RP006 benchmarks examples
 
 All commands are deterministic given ``--seed``.
 """
@@ -140,6 +142,16 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--load-model", metavar="DIR", default=None,
                          help="serve from a model saved with --save-model "
                          "instead of fitting")
+
+    from repro.analysis.cli import DESCRIPTION as lint_description
+    from repro.analysis.cli import add_arguments as add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST invariant analyzer (rules RP001-RP006)",
+        description=lint_description,
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -352,6 +364,12 @@ def _cmd_predict(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    from repro.analysis.cli import run_from_args
+
+    return run_from_args(args, out)
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "maps": _cmd_maps,
@@ -359,6 +377,7 @@ _COMMANDS = {
     "fieldtest": _cmd_fieldtest,
     "plan": _cmd_plan,
     "predict": _cmd_predict,
+    "lint": _cmd_lint,
 }
 
 

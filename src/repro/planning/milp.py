@@ -49,6 +49,7 @@ Two structural optimisations keep repeated solves cheap:
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -59,6 +60,7 @@ from repro.exceptions import ConfigurationError, InfeasibleError, PlanningError
 from repro.planning.branch_and_bound import BNB_STRATEGIES, BranchAndBoundSolver
 from repro.planning.graph import TimeUnrolledGraph
 from repro.planning.pwl import PiecewiseLinear
+from repro.runtime.concurrency import thread_shared
 
 #: Accepted values for the ``mode`` argument of :meth:`PatrolMILP.solve`.
 #: ``bnb`` routes the full SOS2 model through the from-scratch certified
@@ -167,8 +169,14 @@ class MILPSolution:
     bound_gap: float = 0.0
 
 
+@thread_shared
 class PatrolMILP:
     """Builder/solver for problem (P) on one patrol post.
+
+    The builder is ``@thread_shared``: its structure cache mutates under
+    ``self._lock``, so one post's planner can serve concurrent solves
+    (beta sweeps fanning out over request threads reuse one cached
+    constraint matrix; racing cold builds are deduplicated on insert).
 
     Parameters
     ----------
@@ -224,9 +232,21 @@ class PatrolMILP:
         self.envelope_gap = envelope_gap
         self.bnb_strategy = bnb_strategy
         self.bnb_max_nodes = int(bnb_max_nodes)
+        # Mutated only under self._lock (the @thread_shared contract, RP004).
+        self._lock = threading.RLock()
         self._structures: dict[tuple, MILPStructure] = {}
-        self.structure_hits = 0
-        self.structure_misses = 0
+        self._structure_hits = 0
+        self._structure_misses = 0
+
+    @property
+    def structure_hits(self) -> int:
+        """Structure-cache hits so far (read-only)."""
+        return self._structure_hits
+
+    @property
+    def structure_misses(self) -> int:
+        """Structure-cache misses (i.e. assembled systems) so far (read-only)."""
+        return self._structure_misses
 
     # ------------------------------------------------------------------
     @property
@@ -309,11 +329,14 @@ class PatrolMILP:
             binary_set = set(int(v) for v in binary_cells)
             binary_key = tuple(sorted(binary_set))
         key = self._structure_key(cells, utilities, lp_mode, binary_key)
-        cached = self._structures.get(key)
-        if cached is not None:
-            self.structure_hits += 1
-            return cached
-        self.structure_misses += 1
+        with self._lock:
+            cached = self._structures.get(key)
+            if cached is not None:
+                self._structure_hits += 1
+                return cached
+            self._structure_misses += 1
+        # Assembly happens outside the lock: racing cold builds produce the
+        # same (deterministic) structure and the incumbent insertion wins.
 
         graph = self.graph
         n_edges = graph.n_edges
@@ -431,7 +454,11 @@ class PatrolMILP:
             binary_cells=binary_key,
             row_kinds=tuple(kinds),
         )
-        self._structures[key] = structure
+        with self._lock:
+            incumbent = self._structures.get(key)
+            if incumbent is not None:
+                return incumbent
+            self._structures[key] = structure
         return structure
 
     def objective_vector(

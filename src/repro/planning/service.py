@@ -29,6 +29,7 @@ touches only its own planner.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Iterable, Sequence
 
@@ -40,12 +41,21 @@ from repro.planning.branch_and_bound import BNB_STRATEGIES
 from repro.planning.milp import SOLVER_MODES
 from repro.planning.planner import PatrolPlan, PatrolPlanner
 from repro.planning.robust import RobustObjective
+from repro.runtime.concurrency import thread_shared
 from repro.runtime.parallel import parallel_map
 from repro.runtime.service import RiskMapService
 
 
+@thread_shared
 class PlanService:
     """Plan-many facade over one predictor and a park's patrol posts.
+
+    The service is ``@thread_shared``: the lazily built per-post planner
+    registry mutates under ``self._lock``, so concurrent requests (the
+    park-service daemon's deployment shape) agree on one planner — and
+    therefore one MILP structure cache — per post. The planners themselves
+    guard their structure caches the same way (see
+    :class:`~repro.planning.milp.PatrolMILP`).
 
     Parameters
     ----------
@@ -118,6 +128,8 @@ class PlanService:
         self.solver_mode = solver_mode
         self.bnb_strategy = bnb_strategy
         self.n_jobs = n_jobs
+        # Mutated only under self._lock (the @thread_shared contract, RP004).
+        self._lock = threading.RLock()
         self._planners: dict[int, PatrolPlanner] = {}
 
     @staticmethod
@@ -144,24 +156,34 @@ class PlanService:
     # ------------------------------------------------------------------
     def planner_for(self, post: int) -> PatrolPlanner:
         """The cached planner of one post (its MILP structure cache lives
-        for the life of the service, so repeated solves reuse the matrix)."""
+        for the life of the service, so repeated solves reuse the matrix).
+
+        Thread-safe: concurrent callers racing on a cold post receive the
+        same planner instance (the registry insertion is double-checked
+        under the service lock).
+        """
         post = int(post)
-        if post not in self._planners:
+        planner = self._planners.get(post)
+        if planner is None:
             if post not in self.posts:
                 raise ConfigurationError(
                     f"post {post} is not served (posts: {self.posts})"
                 )
-            self._planners[post] = PatrolPlanner(
-                self.grid,
-                post,
-                horizon=self.horizon,
-                n_patrols=self.n_patrols,
-                n_segments=self.n_segments,
-                time_limit=self.time_limit,
-                solver_mode=self.solver_mode,
-                bnb_strategy=self.bnb_strategy,
-            )
-        return self._planners[post]
+            with self._lock:
+                planner = self._planners.get(post)
+                if planner is None:
+                    planner = PatrolPlanner(
+                        self.grid,
+                        post,
+                        horizon=self.horizon,
+                        n_patrols=self.n_patrols,
+                        n_segments=self.n_segments,
+                        time_limit=self.time_limit,
+                        solver_mode=self.solver_mode,
+                        bnb_strategy=self.bnb_strategy,
+                    )
+                    self._planners[post] = planner
+        return planner
 
     def breakpoints(self) -> np.ndarray:
         """Shared PWL abscissae on [0, T*K] (identical for every post)."""
@@ -252,7 +274,8 @@ class PlanService:
             "misses": 0,
             "entries": 0,
         }
-        for planner in self._planners.values():
+        # snapshot: the registry may gain planners concurrently
+        for planner in list(self._planners.values()):
             info = planner.milp.structure_cache_info()
             for key in structures:
                 structures[key] += info[key]

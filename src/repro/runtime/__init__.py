@@ -15,12 +15,16 @@ Section VII:
   directory, so fitted models serve risk maps without refitting.
 * :mod:`repro.runtime.service` — :class:`RiskMapService`, the cached
   fit-once / predict-many facade the CLI and examples build on.
+* :mod:`repro.runtime.concurrency` — the ``@thread_shared`` registry:
+  classes declared safe for cross-thread sharing, whose lock discipline
+  is machine-checked by ``repro lint`` rule RP004.
 
 ``repro.ml`` modules import this package for ``parallel_map`` and the
 persistence codec, so this ``__init__`` must not import ``repro.core`` at
 module scope; :class:`RiskMapService` is exposed lazily instead.
 """
 
+from repro.runtime.concurrency import thread_shared, thread_shared_classes
 from repro.runtime.parallel import (
     parallel_map,
     predict_map,
@@ -36,6 +40,8 @@ __all__ = [
     "resolve_n_jobs",
     "save_model",
     "load_model",
+    "thread_shared",
+    "thread_shared_classes",
     "RiskMapService",
 ]
 

@@ -1,0 +1,69 @@
+"""The ``@thread_shared`` contract: classes safe to share across threads.
+
+The park-service daemon (ROADMAP item 1) keeps one
+:class:`~repro.runtime.service.RiskMapService` and one
+:class:`~repro.planning.service.PlanService` hot and lets every request
+thread hit them. That only works if their internal caches — LRU result
+dicts, feature registries, MILP structure tables — are mutated under a
+lock. :func:`thread_shared` is how a class *declares* that it honours the
+contract, and the declaration has teeth twice over:
+
+* **at runtime**, the decorator wraps ``__init__`` and raises
+  :class:`~repro.exceptions.ConfigurationError` if the instance comes out
+  without a ``self._lock``, so a refactor that drops the lock fails the
+  first constructor call, not the first race;
+* **statically**, the RP004 checker (:mod:`repro.analysis`) walks every
+  decorated class and fails ``make lint`` when any method mutates a
+  ``self._*`` attribute outside a ``with self._lock:`` block.
+
+The locking style this enforces is *mutate-under-lock, read-lock-free*:
+serving paths are read-mostly, CPython dict/OrderedDict single-op reads
+are atomic under the GIL, and every cached value is immutable once
+inserted (results are copied out to callers), so only the writes — which
+could tear an LRU eviction or resize a dict mid-probe — need the lock.
+Compute stays *outside* the lock: two threads missing on the same key
+both compute (bit-identical by the package-wide determinism contract) and
+the first insert wins, so a slow solve never serialises unrelated
+requests.
+
+Use :class:`threading.RLock` so a locked method may call another locked
+method of the same object without deadlocking.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.exceptions import ConfigurationError
+
+#: Qualified name -> class, for introspection and the RP004 checker's docs.
+_THREAD_SHARED: dict[str, type] = {}
+
+
+def thread_shared(cls: type) -> type:
+    """Declare ``cls`` safe for cross-thread sharing (see module docs).
+
+    Registers the class, and wraps ``__init__`` to verify the instance
+    creates its ``self._lock``. The static half of the contract (every
+    ``self._*`` mutation inside ``with self._lock:``) is enforced by
+    ``repro lint`` rule RP004.
+    """
+    original_init = cls.__init__
+
+    @functools.wraps(original_init)
+    def checked_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        if not hasattr(self, "_lock"):
+            raise ConfigurationError(
+                f"@thread_shared class {cls.__name__}.__init__ must create "
+                "self._lock (a threading.Lock/RLock)"
+            )
+
+    cls.__init__ = checked_init
+    _THREAD_SHARED[f"{cls.__module__}.{cls.__qualname__}"] = cls
+    return cls
+
+
+def thread_shared_classes() -> dict[str, type]:
+    """A snapshot of every class registered via :func:`thread_shared`."""
+    return dict(_THREAD_SHARED)

@@ -36,6 +36,13 @@ classes:
   pool only when every task asks for it; anything that fails to pickle
   falls back to threads rather than erroring.
 
+The picklability requirement is machine-checked: analyzer rule RP003
+(``repro.analysis``, run by ``make lint``) resolves the classes constructed
+at :func:`parallel_map` / :func:`run_deferred` / :func:`predict_map` call
+sites and rejects any that capture lambdas, locally-defined functions, or
+``threading`` primitives in ``__init__`` — unless a ``__getstate__`` strips
+them before the task crosses the process boundary.
+
 Worker counts are clamped to the CPUs actually available to this process
 (cgroup/affinity aware): oversubscribing a small container with more workers
 than cores only adds pool overhead, so ``n_jobs=8`` on a 2-core box runs 2

@@ -31,17 +31,30 @@ Combined with model persistence, this is the "serve without refit" workload::
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 import numpy as np
 
 from repro.core.predictor import PawsPredictor
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.runtime.concurrency import thread_shared
 from repro.runtime.parallel import check_backend, resolve_n_jobs
 
 
+@thread_shared
 class RiskMapService:
     """Cached serving facade over a fitted predictor.
+
+    The service is ``@thread_shared``: one instance may serve many request
+    threads concurrently (the park-service daemon's deployment shape).
+    Cache and registry mutations happen under ``self._lock``; reads are
+    lock-free; concurrent misses on one key each compute the bit-identical
+    result and the first insertion wins. One caveat inherited from the
+    predictor API: ``effort_response`` restores the predictor's
+    ``uncertainty_scaler`` alongside each result, and that attribute lives
+    on the (shared) predictor — concurrent queries over *different*
+    feature sets leave it matching whichever query finished last.
 
     Parameters
     ----------
@@ -92,13 +105,29 @@ class RiskMapService:
         self.tile_size = None if tile_size is None else int(tile_size)
         self.n_jobs = n_jobs
         self.backend = check_backend(backend)
+        # Mutated only under self._lock (the @thread_shared contract, RP004):
+        # one service instance is shared by every request thread of the
+        # park-service daemon. Reads stay lock-free — single dict operations
+        # are atomic under the GIL and cached values are never mutated after
+        # insertion (results are copied out to callers).
+        self._lock = threading.RLock()
         self._cache: OrderedDict[str, tuple] = OrderedDict()
         #: name -> (array, registration-time digest); see register_features.
         self._registered: dict[str, tuple[np.ndarray, str]] = {}
         #: id(array) -> name, so passing the registered object skips hashing.
         self._registered_ids: dict[int, str] = {}
-        self.hits = 0
-        self.misses = 0
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def hits(self) -> int:
+        """Cache hits served so far (read-only)."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Cache misses (i.e. computed queries) so far (read-only)."""
+        return self._misses
 
     # ------------------------------------------------------------------
     # Construction from a saved model
@@ -146,12 +175,13 @@ class RiskMapService:
         digest and simply age out of the LRU.
         """
         features = np.asarray(features, dtype=float)
-        previous = self._registered.get(name)
-        if previous is not None:
-            self._registered_ids.pop(id(previous[0]), None)
-        digest = self._array_digest(features)
-        self._registered[name] = (features, digest)
-        self._registered_ids[id(features)] = name
+        digest = self._array_digest(features)  # hash outside the lock
+        with self._lock:
+            previous = self._registered.get(name)
+            if previous is not None:
+                self._registered_ids.pop(id(previous[0]), None)
+            self._registered[name] = (features, digest)
+            self._registered_ids[id(features)] = name
         return name
 
     def _resolve_features(self, features) -> tuple[np.ndarray, str]:
@@ -198,15 +228,25 @@ class RiskMapService:
     def _cached(self, key: str, compute) -> tuple:
         if self.max_entries == 0:
             return compute()
-        if key in self._cache:
-            self.hits += 1
-            self._cache.move_to_end(key)
-            return self._cache[key]
-        self.misses += 1
+        with self._lock:
+            if key in self._cache:
+                self._hits += 1
+                self._cache.move_to_end(key)
+                return self._cache[key]
+            self._misses += 1
+        # Compute outside the lock: concurrent misses on the same key both
+        # compute (bit-identical results by the determinism contract) and
+        # the incumbent insertion wins, so a slow model pass never blocks
+        # unrelated requests.
         result = compute()
-        self._cache[key] = result
-        if len(self._cache) > self.max_entries:
-            self._cache.popitem(last=False)
+        with self._lock:
+            incumbent = self._cache.get(key)
+            if incumbent is not None:
+                self._cache.move_to_end(key)
+                return incumbent
+            self._cache[key] = result
+            if len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
         return result
 
     def effort_response(
@@ -274,4 +314,5 @@ class RiskMapService:
 
     def clear_cache(self) -> None:
         """Drop every cached result (counters are kept)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()

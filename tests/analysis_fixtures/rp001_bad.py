@@ -1,0 +1,19 @@
+"""RP001 violations: global RNG state and wall clocks."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+import numpy.random as npr
+
+
+def stamp_and_draw():
+    started = time.time()  # wall clock
+    today = datetime.now()  # wall clock
+    np.random.seed(42)  # legacy global RNG
+    noise = np.random.rand(4)  # legacy global RNG
+    more = npr.normal(size=3)  # legacy global RNG, aliased import
+    pick = random.choice([1, 2, 3])  # stdlib global RNG
+    jitter = random.random()  # stdlib global RNG
+    return started, today, noise, more, pick, jitter

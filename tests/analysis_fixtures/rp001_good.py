@@ -1,0 +1,17 @@
+"""RP001-clean: seeded generators and monotonic timers only."""
+
+import time
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator | None = None, seed: int = 0):
+    rng = rng or np.random.default_rng(seed)
+    started = time.perf_counter()
+    values = rng.normal(size=4)
+    return values, time.perf_counter() - started
+
+
+def spawn_children(seed: int):
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in root.spawn(3)]

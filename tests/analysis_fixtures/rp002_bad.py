@@ -1,0 +1,17 @@
+"""RP002 violations: bare except, silent swallow, builtin raises."""
+
+
+def risky(value):
+    if value < 0:
+        raise ValueError("negative")  # builtin raise
+    try:
+        return 1.0 / value
+    except:  # bare except
+        return 0.0
+
+
+def swallow(callback):
+    try:
+        callback()
+    except Exception:  # silent swallow
+        pass

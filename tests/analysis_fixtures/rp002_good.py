@@ -1,0 +1,26 @@
+"""RP002-clean: ReproError discipline, protocol-mandated AttributeError."""
+
+from repro.exceptions import ConfigurationError, ReproError
+
+
+def risky(value):
+    if value < 0:
+        raise ConfigurationError("value must be >= 0")
+    try:
+        return 1.0 / value
+    except ZeroDivisionError:
+        return 0.0
+
+
+def guarded(callback):
+    try:
+        callback()
+    except ReproError:
+        return None
+
+
+def __getattr__(name):
+    if name == "lazy_thing":
+        return object()
+    # the module __getattr__ protocol requires AttributeError
+    raise AttributeError(f"module has no attribute '{name}'")

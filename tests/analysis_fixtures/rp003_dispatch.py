@@ -1,0 +1,11 @@
+"""RP003 call sites: classes from rp003_tasks.py hit the worker pools."""
+
+from repro.runtime.parallel import run_deferred
+
+from rp003_tasks import BadTask, GoodTask, StrippedTask  # noqa: analyzer fixture
+
+
+def fan_out(payloads, n_jobs):
+    tasks = [BadTask(p) for p in payloads]
+    others = [GoodTask(p) for p in payloads] + [StrippedTask(p) for p in payloads]
+    return run_deferred(tasks, n_jobs=n_jobs), run_deferred(others, n_jobs=n_jobs)

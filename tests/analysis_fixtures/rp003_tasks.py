@@ -1,0 +1,41 @@
+"""RP003 task classes (dispatched from rp003_dispatch.py, cross-file)."""
+
+import threading
+
+
+class BadTask:
+    """Stores a lambda and a lock: never pickles."""
+
+    def __init__(self, payload):
+        self.payload = payload
+        self.transform = lambda x: x + 1
+        self.guard = threading.Lock()
+
+    def __call__(self):
+        return self.transform(self.payload)
+
+
+class GoodTask:
+    """Plain picklable state only."""
+
+    def __init__(self, payload):
+        self.payload = payload
+
+    def __call__(self):
+        return self.payload + 1
+
+
+class StrippedTask:
+    """Stores a lambda but strips it in __getstate__ (the bagging pattern)."""
+
+    def __init__(self, payload):
+        self.payload = payload
+        self.transform = lambda x: x + 1
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("transform")
+        return state
+
+    def __call__(self):
+        return self.payload + 1

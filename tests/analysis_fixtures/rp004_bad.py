@@ -1,0 +1,28 @@
+"""RP004 violations: unguarded mutation, missing lock, unlocked mutator call."""
+
+import threading
+
+from repro.runtime.concurrency import thread_shared
+
+
+@thread_shared
+class UnguardedCache:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._cache = {}
+        self._count = 0
+
+    def put(self, key, value):
+        self._cache[key] = value  # mutation outside the lock
+
+    def bump(self):
+        self._count += 1  # mutation outside the lock
+
+    def evict(self, key):
+        self._cache.pop(key, None)  # mutator call outside the lock
+
+
+@thread_shared
+class MissingLock:
+    def __init__(self):
+        self._cache = {}

@@ -1,0 +1,41 @@
+"""RP004-clean: every self._* mutation sits inside 'with self._lock:'."""
+
+import threading
+
+from repro.runtime.concurrency import thread_shared
+
+
+@thread_shared
+class GuardedCache:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._cache = {}
+        self._count = 0
+        self.label = "guarded"  # public, not part of the contract
+
+    def put(self, key, value):
+        with self._lock:
+            self._cache[key] = value
+            self._count += 1
+
+    def get(self, key):
+        return self._cache.get(key)  # reads are lock-free by design
+
+    def evict(self, key):
+        if key in self._cache:
+            with self._lock:
+                self._cache.pop(key, None)
+
+    def reset(self):
+        with self._lock:
+            self._cache.clear()
+
+
+class PlainCache:
+    """Not @thread_shared: unguarded mutation is fine here."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def put(self, key, value):
+        self._cache[key] = value

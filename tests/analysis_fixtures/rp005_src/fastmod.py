@@ -1,0 +1,12 @@
+"""RP005 fixture: a vectorized kernel with its reference twin."""
+
+
+def frobnicate(values):
+    return [v * 2 for v in values]
+
+
+def frobnicate_reference(values):
+    out = []
+    for v in values:
+        out.append(v * 2)
+    return out

@@ -1,0 +1,7 @@
+"""A 'test' file that never mentions the twin (RP005 violated)."""
+
+from fastmod import frobnicate
+
+
+def check_something_else():
+    assert frobnicate([1]) == [2]

@@ -1,0 +1,8 @@
+"""A 'test' file that exercises the reference twin (RP005 satisfied)."""
+
+from fastmod import frobnicate, frobnicate_reference
+
+
+def check_equivalence():
+    values = [1, 2, 3]
+    assert frobnicate(values) == frobnicate_reference(values)

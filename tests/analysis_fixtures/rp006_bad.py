@@ -1,0 +1,24 @@
+"""RP006 violations: mutable defaults and shadowed builtins."""
+
+
+def accumulate(value, bucket=[]):  # mutable default (list literal)
+    bucket.append(value)
+    return bucket
+
+
+def tally(key, counts={}):  # mutable default (dict literal)
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def fresh(items=list()):  # mutable default (factory call)
+    return items
+
+
+def rename(id, type):  # parameters shadowing builtins
+    list = [id, type]  # assignment shadowing a builtin
+    return list
+
+
+def collect(pairs):
+    return {id: value for id, value in pairs}  # comprehension target shadows

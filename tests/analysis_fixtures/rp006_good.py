@@ -1,0 +1,20 @@
+"""RP006-clean: None defaults, no builtin shadowing."""
+
+
+def accumulate(value, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(value)
+    return bucket
+
+
+def rename(item_id, kind):
+    items = [item_id, kind]
+    return items
+
+
+class Catalog:
+    # class-namespace bindings do not shadow builtins for other code
+    format = "npz"
+
+    def format_name(self, value):
+        return format(value, ".3f")

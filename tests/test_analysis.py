@@ -1,0 +1,271 @@
+"""Tests for repro.analysis: the invariant analyzer and its rule suite.
+
+Each rule is pinned by a caught-violation fixture and a clean fixture
+(under ``tests/analysis_fixtures/``), the suppression-comment syntax and
+the cross-file passes (RP003 dispatch resolution, RP005 twin/test
+pairing) have dedicated cases, and a self-run pins ``src/repro`` — plus
+the RP006 sweep over ``benchmarks``/``examples`` — at zero violations,
+which is exactly the ``make lint`` / CI gate.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_CHECKERS,
+    Finding,
+    register_checker,
+    rule_table,
+    run_analysis,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.core import parse_suppressions
+from repro.exceptions import ConfigurationError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+
+
+def analyze(*names, select=None, test_roots=()):
+    """Run the full suite over fixture files, cross-file rules disabled
+    unless ``test_roots`` is given."""
+    paths = [FIXTURES / name for name in names]
+    return run_analysis(
+        paths, ALL_CHECKERS, select=select, test_roots=list(test_roots)
+    )
+
+
+def rules_of(result) -> set[str]:
+    return {finding.rule for finding in result.findings}
+
+
+# ---------------------------------------------------------------------------
+# Per-rule fixtures: every rule catches its bad file and passes its good one
+# ---------------------------------------------------------------------------
+
+class TestRuleFixtures:
+    def test_rp001_catches_global_rng_and_wall_clocks(self):
+        result = analyze("rp001_bad.py")
+        assert rules_of(result) == {"RP001"}
+        messages = " ".join(f.message for f in result.findings)
+        # both flavours of nondeterminism are caught, through import aliases
+        assert "time.time" in messages
+        assert "datetime.datetime.now" in messages
+        assert "numpy.random.seed" in messages
+        assert "numpy.random.normal" in messages  # via `import numpy.random as npr`
+        assert "random.choice" in messages
+        assert len(result.findings) == 7
+
+    def test_rp001_allows_seeded_generators_and_perf_counter(self):
+        assert analyze("rp001_good.py").ok
+
+    def test_rp002_catches_bare_except_swallow_and_builtin_raise(self):
+        result = analyze("rp002_bad.py")
+        assert rules_of(result) == {"RP002"}
+        messages = [f.message for f in result.findings]
+        assert any("bare 'except:'" in m for m in messages)
+        assert any("silently swallows" in m for m in messages)
+        assert any("raise ValueError" in m for m in messages)
+        assert len(result.findings) == 3
+
+    def test_rp002_allows_reproerror_and_getattr_protocol(self):
+        # includes a module __getattr__ raising AttributeError (mandated)
+        assert analyze("rp002_good.py").ok
+
+    def test_rp004_catches_unguarded_mutation_and_missing_lock(self):
+        result = analyze("rp004_bad.py")
+        assert rules_of(result) == {"RP004"}
+        messages = " ".join(f.message for f in result.findings)
+        assert "UnguardedCache._cache" in messages or "_cache" in messages
+        assert "must assign self._lock" in messages
+        # dict-store, augmented-assign, and mutator-call forms + missing lock
+        assert len(result.findings) == 4
+
+    def test_rp004_allows_locked_mutation_and_plain_classes(self):
+        assert analyze("rp004_good.py").ok
+
+    def test_rp006_catches_mutable_defaults_and_shadowing(self):
+        result = analyze("rp006_bad.py")
+        assert rules_of(result) == {"RP006"}
+        messages = [f.message for f in result.findings]
+        assert sum("mutable default" in m for m in messages) == 3
+        assert sum("shadows the builtin" in m for m in messages) == 4
+        assert all(f.severity == "warning" for f in result.findings)
+
+    def test_rp006_allows_none_defaults_and_class_namespace(self):
+        assert analyze("rp006_good.py").ok
+
+
+# ---------------------------------------------------------------------------
+# Cross-file passes
+# ---------------------------------------------------------------------------
+
+class TestCrossFile:
+    def test_rp003_resolves_dispatch_across_files(self):
+        result = analyze("rp003_tasks.py", "rp003_dispatch.py")
+        assert rules_of(result) == {"RP003"}
+        messages = " ".join(f.message for f in result.findings)
+        assert "BadTask" in messages
+        assert "GoodTask" not in messages  # plain state: clean
+        assert "StrippedTask" not in messages  # __getstate__ strips: clean
+        assert "lambda" in messages and "threading.Lock" in messages
+        assert len(result.findings) == 2
+
+    def test_rp003_needs_the_call_site(self):
+        # without the dispatching file, nothing marks the classes as pooled
+        assert analyze("rp003_tasks.py").ok
+
+    def test_rp005_flags_untested_twin(self):
+        result = run_analysis(
+            [FIXTURES / "rp005_src"], ALL_CHECKERS,
+            test_roots=[FIXTURES / "rp005_tests_missing"],
+        )
+        assert rules_of(result) == {"RP005"}
+        assert "frobnicate_reference" in result.findings[0].message
+
+    def test_rp005_satisfied_by_referencing_test(self):
+        result = run_analysis(
+            [FIXTURES / "rp005_src"], ALL_CHECKERS,
+            test_roots=[FIXTURES / "rp005_tests_ok"],
+        )
+        assert result.ok
+
+    def test_rp005_disabled_without_test_roots(self):
+        result = run_analysis(
+            [FIXTURES / "rp005_src"], ALL_CHECKERS, test_roots=[]
+        )
+        assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# Suppressions, selection, reporting, registry
+# ---------------------------------------------------------------------------
+
+class TestFrameworkMechanics:
+    def test_suppression_comments_silence_findings(self):
+        result = analyze("suppressed.py")
+        assert result.ok
+        assert result.suppressed == 5
+
+    def test_suppression_is_rule_specific(self):
+        table = parse_suppressions(
+            "x = 1  # repro: ignore[RP001, RP004]\ny = 2  # repro: ignore\n"
+        )
+        assert table[1] == {"RP001", "RP004"}
+        finding = Finding("f.py", 1, 0, "RP006", "warning", "m")
+        # RP006 is not named on line 1, so it would NOT be suppressed there
+        assert "RP006" not in table[1]
+        assert "*" in table[2]
+        assert finding.rule == "RP006"
+
+    def test_select_runs_only_named_rules(self):
+        result = analyze("rp001_bad.py", "rp006_bad.py", select=["RP006"])
+        assert rules_of(result) == {"RP006"}
+
+    def test_unknown_select_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            analyze("rp001_bad.py", select=["RP999"])
+
+    def test_findings_sorted_and_counts(self):
+        result = analyze("rp001_bad.py", "rp002_bad.py")
+        assert result.findings == sorted(result.findings)
+        assert result.counts_by_rule() == {"RP001": 7, "RP002": 3}
+
+    def test_duplicate_rule_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_checker(ALL_CHECKERS[0])
+
+    def test_rule_table_lists_all_rules(self):
+        rules = [row[0] for row in rule_table()]
+        assert rules == ["RP001", "RP002", "RP003", "RP004", "RP005", "RP006"]
+
+
+class TestCli:
+    def test_exit_zero_on_clean_paths(self):
+        out = io.StringIO()
+        code = lint_main(
+            [str(FIXTURES / "rp001_good.py"), "--test-root", str(FIXTURES)],
+            out=out,
+        )
+        assert code == 0
+        assert "0 violations" in out.getvalue()
+
+    def test_exit_one_on_violations(self):
+        out = io.StringIO()
+        code = lint_main([str(FIXTURES / "rp001_bad.py")], out=out)
+        assert code == 1
+        assert "RP001" in out.getvalue()
+
+    def test_exit_two_on_bad_invocation(self):
+        out = io.StringIO()
+        assert lint_main(["no/such/path.py"], out=out) == 2
+        out = io.StringIO()
+        assert lint_main(["--select", "RP999"], out=out) == 2
+
+    def test_json_report_shape(self):
+        out = io.StringIO()
+        code = lint_main(
+            [str(FIXTURES / "rp006_bad.py"), "--format", "json"], out=out
+        )
+        assert code == 1
+        payload = json.loads(out.getvalue())
+        assert payload["tool"] == "repro.analysis"
+        assert payload["counts"]["RP006"] == 7
+        assert {f["rule"] for f in payload["findings"]} == {"RP006"}
+        first = payload["findings"][0]
+        assert set(first) == {"path", "line", "col", "rule", "severity", "message"}
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        assert lint_main(["--list-rules"], out=out) == 0
+        text = out.getvalue()
+        for rule in ("RP001", "RP002", "RP003", "RP004", "RP005", "RP006"):
+            assert rule in text
+
+    def test_repro_cli_lint_subcommand(self):
+        from repro.cli import main as repro_main
+
+        out = io.StringIO()
+        code = repro_main(
+            ["lint", str(FIXTURES / "rp002_bad.py")], out=out
+        )
+        assert code == 1
+        assert "RP002" in out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# The gate itself: this repository is clean under its own analyzer
+# ---------------------------------------------------------------------------
+
+class TestSelfRun:
+    def test_src_repro_is_violation_free(self):
+        result = run_analysis(
+            [REPO_ROOT / "src" / "repro"], ALL_CHECKERS,
+            test_roots=[REPO_ROOT / "tests", REPO_ROOT / "benchmarks"],
+        )
+        assert result.findings == []
+        assert result.files_scanned > 70
+
+    def test_benchmarks_and_examples_pass_hygiene(self):
+        result = run_analysis(
+            [REPO_ROOT / "benchmarks", REPO_ROOT / "examples"],
+            ALL_CHECKERS, select=["RP006"], test_roots=[],
+        )
+        assert result.findings == []
+
+    def test_bad_fixture_corpus_fails_the_gate(self):
+        # the acceptance criterion's negative control: a corpus full of
+        # violations must exit non-zero through the real CLI
+        out = io.StringIO()
+        code = lint_main(
+            [str(FIXTURES / name) for name in (
+                "rp001_bad.py", "rp002_bad.py", "rp004_bad.py", "rp006_bad.py"
+            )],
+            out=out,
+        )
+        assert code == 1

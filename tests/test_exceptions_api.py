@@ -34,7 +34,7 @@ class TestExceptionHierarchy:
 
 class TestPublicAPI:
     def test_version(self):
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
     def test_top_level_exports_resolve(self):
         for name in repro.__all__:
