@@ -5,6 +5,8 @@
 #   make bench-fit   training-engine throughput benchmark only
 #   make bench-serve full 1.6k->1M serving scalability sweep (regenerates its results/ artifact)
 #   make test-zoo    solver zoo only (pinned B&B search behaviour)
+#   make test-chaos  fault-injection suite (fixed seed matrix; failures
+#                    print their seed for exact replay)
 #   make smoke       CLI entry points all exit 0
 #   make lint        byte-compile every source tree AND run the invariant
 #                    analyzer (zero-violations gate: all rules over src/,
@@ -15,13 +17,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-zoo bench bench-fit bench-serve smoke lint lint-json check
+.PHONY: test test-zoo test-chaos bench bench-fit bench-serve smoke lint lint-json check
 
 test:
 	$(PYTHON) -m pytest tests -x -q
 
 test-zoo:
 	$(PYTHON) -m pytest tests/solver_zoo -q
+
+test-chaos:
+	$(PYTHON) -m pytest tests/test_chaos.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -30,14 +30,17 @@ from repro.exceptions import (
     ConfigurationError,
     ConvergenceError,
     DataError,
+    DeadlineExceededError,
     InfeasibleError,
     NotFittedError,
     PersistenceError,
     PlanningError,
     ReproError,
+    ResilienceError,
+    WorkerCrashError,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from repro.pipeline import DataToDeploymentPipeline, PipelineResult
 from repro.planning.service import PlanService
@@ -53,6 +56,9 @@ __all__ = [
     "DataError",
     "NotFittedError",
     "ConvergenceError",
+    "ResilienceError",
+    "DeadlineExceededError",
+    "WorkerCrashError",
     "PersistenceError",
     "PlanningError",
     "InfeasibleError",

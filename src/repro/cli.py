@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core import PawsPredictor
 from repro.data import generate_dataset, get_profile, list_profiles
+from repro.exceptions import DeadlineExceededError
 from repro.data.generator import dataset_statistics
 from repro.evaluation import ascii_heatmap, format_table
 from repro.fieldtest import chi_squared_test, design_field_test, field_test_table, run_field_trial
@@ -106,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="node/variable selection of the 'bnb' solver")
     plan.add_argument("--n-jobs", type=int, default=1,
                       help="planning threads (plans identical to serial)")
+    plan.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                      help="abort the whole planning request (prediction + "
+                      "every solve, one shared budget) after this many "
+                      "seconds; exit code 1 on overrun")
 
     predict = sub.add_parser(
         "predict",
@@ -142,6 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--load-model", metavar="DIR", default=None,
                          help="serve from a model saved with --save-model "
                          "instead of fitting")
+    predict.add_argument("--no-verify", action="store_true",
+                         help="skip sha256 checksum verification when "
+                         "loading with --load-model (trusted storage only)")
+    predict.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="abort the serve after this many seconds; "
+                         "exit code 1 on overrun")
 
     from repro.analysis.cli import DESCRIPTION as lint_description
     from repro.analysis.cli import add_arguments as add_lint_arguments
@@ -271,22 +283,30 @@ def _cmd_plan(args, out) -> int:
         n_jobs=args.n_jobs,
     )
 
-    if args.post is not None:
-        post = int(data.park.patrol_posts[args.post])
-        plan = service.plan_post(post, features, beta=args.beta)
-        out.write(
-            f"robust plan (beta={args.beta}) for post {post} on "
-            f"{profile.name}: utility {plan.objective_value:.3f} "
-            f"(solved as {plan.solution.method.upper()})\n"
-        )
-        out.write(ascii_heatmap(data.park.grid, plan.coverage,
-                                title="prescribed coverage:") + "\n")
-        out.write("mixed-strategy routes (weight: cells):\n")
-        for route in plan.routes[:5]:
-            out.write(f"  {route.weight:.3f}: {route.cells}\n")
-        return 0
+    try:
+        if args.post is not None:
+            post = int(data.park.patrol_posts[args.post])
+            plan = service.plan_post(
+                post, features, beta=args.beta, deadline=args.deadline
+            )
+            out.write(
+                f"robust plan (beta={args.beta}) for post {post} on "
+                f"{profile.name}: utility {plan.objective_value:.3f} "
+                f"(solved as {plan.solution.method.upper()})\n"
+            )
+            out.write(ascii_heatmap(data.park.grid, plan.coverage,
+                                    title="prescribed coverage:") + "\n")
+            out.write("mixed-strategy routes (weight: cells):\n")
+            for route in plan.routes[:5]:
+                out.write(f"  {route.weight:.3f}: {route.cells}\n")
+            return 0
 
-    plans, elapsed = service.timed_plan_all(features, beta=args.beta)
+        plans, elapsed = service.timed_plan_all(
+            features, beta=args.beta, deadline=args.deadline
+        )
+    except DeadlineExceededError as exc:
+        out.write(f"planning aborted: {exc}\n")
+        return 1
     rows = [
         [str(post), plan.objective_value, plan.solution.method,
          len(plan.routes)]
@@ -311,7 +331,9 @@ def _cmd_predict(args, out) -> int:
     profile, data = _load(args)
     if args.load_model:
         start = time.perf_counter()
-        predictor = PawsPredictor.load(args.load_model)
+        predictor = PawsPredictor.load(
+            args.load_model, verify=not args.no_verify
+        )
         setup = time.perf_counter() - start
         source = f"loaded from {args.load_model}"
         out.write(
@@ -349,7 +371,11 @@ def _cmd_predict(args, out) -> int:
         else float(np.median(data.dataset.current_effort))
     )
     start = time.perf_counter()
-    risk = service.risk_map(park_token, effort=effort)
+    try:
+        risk = service.risk_map(park_token, effort=effort, deadline=args.deadline)
+    except DeadlineExceededError as exc:
+        out.write(f"prediction aborted: {exc}\n")
+        return 1
     serve = time.perf_counter() - start
     out.write(
         f"{predictor.name} risk map for {profile.name} at effort "

@@ -471,11 +471,15 @@ class IWareEnsemble:
         save_model(self, path)
 
     @classmethod
-    def load(cls, path) -> "IWareEnsemble":
-        """Load an ensemble saved by :meth:`save` (serving only, no refit)."""
+    def load(cls, path, verify: bool = True) -> "IWareEnsemble":
+        """Load an ensemble saved by :meth:`save` (serving only, no refit).
+
+        ``verify`` controls checksum verification of the saved arrays (see
+        :func:`repro.runtime.persistence.load_model`); on by default.
+        """
         from repro.runtime.persistence import load_model
 
-        return load_model(path, expected_type=cls)
+        return load_model(path, expected_type=cls, verify=verify)
 
     def to_manifest(self, store, prefix: str) -> dict:
         self._check_fitted()

@@ -464,11 +464,15 @@ class PawsPredictor:
         save_model(self, path)
 
     @classmethod
-    def load(cls, path) -> "PawsPredictor":
-        """Load a predictor saved by :meth:`save`."""
+    def load(cls, path, verify: bool = True) -> "PawsPredictor":
+        """Load a predictor saved by :meth:`save`.
+
+        ``verify`` controls checksum verification of the saved arrays (see
+        :func:`repro.runtime.persistence.load_model`); on by default.
+        """
         from repro.runtime.persistence import load_model
 
-        return load_model(path, expected_type=cls)
+        return load_model(path, expected_type=cls, verify=verify)
 
     def to_manifest(self, store, prefix: str) -> dict:
         self._check_fitted()

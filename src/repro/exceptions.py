@@ -31,6 +31,18 @@ class PersistenceError(ReproError):
     """A saved model artifact is missing, corrupt, or incompatible."""
 
 
+class ResilienceError(ReproError):
+    """A supervised fan-out could not complete within its fault budget."""
+
+
+class DeadlineExceededError(ResilienceError):
+    """A request overran its deadline before every task completed."""
+
+
+class WorkerCrashError(ResilienceError):
+    """Pool workers kept dying and the retry/degradation budget ran out."""
+
+
 class PlanningError(ReproError):
     """Patrol-plan construction or MILP solution failed."""
 

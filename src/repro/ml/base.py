@@ -161,11 +161,15 @@ class Classifier(ABC):
         save_model(self, path)
 
     @classmethod
-    def load(cls, path) -> "Classifier":
-        """Load a model of this type saved by :meth:`save`."""
+    def load(cls, path, verify: bool = True) -> "Classifier":
+        """Load a model of this type saved by :meth:`save`.
+
+        ``verify`` controls checksum verification of the saved arrays (see
+        :func:`repro.runtime.persistence.load_model`); on by default.
+        """
         from repro.runtime.persistence import load_model
 
-        return load_model(path, expected_type=cls)
+        return load_model(path, expected_type=cls, verify=verify)
 
     def to_manifest(self, store, prefix: str) -> dict:
         """Manifest node for this model; subclasses must override to persist."""

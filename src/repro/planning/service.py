@@ -43,6 +43,11 @@ from repro.planning.planner import PatrolPlan, PatrolPlanner
 from repro.planning.robust import RobustObjective
 from repro.runtime.concurrency import thread_shared
 from repro.runtime.parallel import parallel_map
+from repro.runtime.resilience import (
+    ResilienceStats,
+    collect_stats,
+    deadline_scope,
+)
 from repro.runtime.service import RiskMapService
 
 
@@ -131,6 +136,13 @@ class PlanService:
         # Mutated only under self._lock (the @thread_shared contract, RP004).
         self._lock = threading.RLock()
         self._planners: dict[int, PatrolPlanner] = {}
+        #: Accumulated fan-out survival counters (the daemon's /stats feed).
+        self._resilience = ResilienceStats()
+
+    def _absorb(self, stats: ResilienceStats) -> None:
+        """Fold one request's fan-out stats into the service counters."""
+        with self._lock:
+            self._resilience.merge(stats)
 
     @staticmethod
     def _as_service(model):
@@ -147,9 +159,19 @@ class PlanService:
     # Construction from a saved model
     # ------------------------------------------------------------------
     @classmethod
-    def from_saved(cls, path, grid: Grid, posts: Iterable[int], **kwargs) -> "PlanService":
-        """Plan from a model persisted with ``PawsPredictor.save``."""
-        return cls(RiskMapService.from_saved(path), grid, posts, **kwargs)
+    def from_saved(
+        cls, path, grid: Grid, posts: Iterable[int],
+        verify: bool = True, **kwargs,
+    ) -> "PlanService":
+        """Plan from a model persisted with ``PawsPredictor.save``.
+
+        ``verify`` controls checksum verification of the saved model (see
+        :func:`repro.runtime.persistence.load_model`); on by default.
+        """
+        return cls(
+            RiskMapService.from_saved(path, verify=verify), grid, posts,
+            **kwargs,
+        )
 
     # ------------------------------------------------------------------
     # Per-post planners (built lazily, cached for structure reuse)
@@ -206,12 +228,21 @@ class PlanService:
     # Planning entry points
     # ------------------------------------------------------------------
     def plan_post(
-        self, post: int, features: np.ndarray, beta: float = 0.8
+        self, post: int, features: np.ndarray, beta: float = 0.8,
+        deadline: float | None = None,
     ) -> PatrolPlan:
-        """Plan one post (equivalent to ``PatrolPlanner.plan_from_model``)."""
+        """Plan one post (equivalent to ``PatrolPlanner.plan_from_model``).
+
+        ``deadline`` bounds the whole request — the effort-response
+        prediction *and* the solve share one budget (seconds, or a shared
+        :class:`~repro.runtime.resilience.Deadline`).
+        """
         planner = self.planner_for(post)  # validate before predicting
-        objective = self.objective_for(features, beta)
-        return planner.plan(objective)
+        with deadline_scope(deadline) as budget:
+            objective = self.objective_for(features, beta)
+            if budget is not None:
+                budget.check(f"plan_post({post})")
+            return planner.plan(objective)
 
     def plan_all(
         self,
@@ -219,12 +250,16 @@ class PlanService:
         beta: float = 0.8,
         posts: Sequence[int] | None = None,
         n_jobs: int | None = None,
+        deadline: float | None = None,
     ) -> dict[int, PatrolPlan]:
         """Plan every post (or a subset) against one shared objective.
 
         Phase 1 computes the effort-response surfaces once, serially;
         phase 2 fans the independent per-post solves out over threads.
-        Results are bit-identical at any ``n_jobs``.
+        Results are bit-identical at any ``n_jobs``. ``deadline`` bounds
+        the whole request — prediction and every solve draw down one shared
+        budget; an overrun raises
+        :class:`~repro.exceptions.DeadlineExceededError`.
         """
         chosen = self.posts if posts is None else [int(p) for p in posts]
         if not chosen:
@@ -232,18 +267,23 @@ class PlanService:
         if len(set(chosen)) != len(chosen):
             raise ConfigurationError(f"duplicate posts in {chosen}")
         planners = [self.planner_for(post) for post in chosen]
-        objective = self.objective_for(features, beta)
-        # The full-park utility functions are identical for every post, so
-        # they are built once here (phase 1) rather than once per thread.
-        source_functions = objective.utility_functions(beta)
-        workers = self.n_jobs if n_jobs is None else n_jobs
-        plans = parallel_map(
-            lambda planner: planner.plan(
-                objective, beta=beta, source_functions=source_functions
-            ),
-            planners,
-            n_jobs=workers,
-        )
+        with deadline_scope(deadline), collect_stats() as stats:
+            try:
+                objective = self.objective_for(features, beta)
+                # The full-park utility functions are identical for every
+                # post, so they are built once here (phase 1) rather than
+                # once per thread.
+                source_functions = objective.utility_functions(beta)
+                workers = self.n_jobs if n_jobs is None else n_jobs
+                plans = parallel_map(
+                    lambda planner: planner.plan(
+                        objective, beta=beta, source_functions=source_functions
+                    ),
+                    planners,
+                    n_jobs=workers,
+                )
+            finally:
+                self._absorb(stats)
         return dict(zip(chosen, plans))
 
     def beta_sweep(
@@ -286,10 +326,26 @@ class PlanService:
         )
         return {"prediction": prediction, "structure": structures}
 
+    def resilience_info(self) -> dict:
+        """Accumulated fan-out survival counters (the daemon's ``/stats``).
+
+        Covers every :meth:`plan_all` request end to end: the prediction
+        fan-outs it triggered on cache misses *and* the per-post solve
+        fan-out. All zeros on a healthy host.
+        """
+        with self._lock:
+            return self._resilience.as_dict()
+
     def timed_plan_all(
-        self, features: np.ndarray, beta: float = 0.8, n_jobs: int | None = None
+        self,
+        features: np.ndarray,
+        beta: float = 0.8,
+        n_jobs: int | None = None,
+        deadline: float | None = None,
     ) -> tuple[dict[int, PatrolPlan], float]:
         """:meth:`plan_all` plus wall-clock seconds (for benchmarks/CLI)."""
         start = time.perf_counter()
-        plans = self.plan_all(features, beta=beta, n_jobs=n_jobs)
+        plans = self.plan_all(
+            features, beta=beta, n_jobs=n_jobs, deadline=deadline
+        )
         return plans, time.perf_counter() - start

@@ -18,6 +18,13 @@ Section VII:
 * :mod:`repro.runtime.concurrency` — the ``@thread_shared`` registry:
   classes declared safe for cross-thread sharing, whose lock discipline
   is machine-checked by ``repro lint`` rule RP004.
+* :mod:`repro.runtime.resilience` — the supervised fan-out engine under
+  ``parallel_map``: per-task futures, crash recovery with a
+  process→thread→serial degradation ladder, deadlines
+  (:class:`~repro.runtime.resilience.Deadline`), and per-call
+  :class:`~repro.runtime.resilience.ResilienceStats`.
+* :mod:`repro.runtime.faults` — the deterministic fault-injection harness
+  the chaos suite replays against real fits, serves, and saves.
 
 ``repro.ml`` modules import this package for ``parallel_map`` and the
 persistence codec, so this ``__init__`` must not import ``repro.core`` at
@@ -32,6 +39,14 @@ from repro.runtime.parallel import (
     tile_slices,
 )
 from repro.runtime.persistence import load_model, save_model
+from repro.runtime.resilience import (
+    Deadline,
+    ResilienceStats,
+    RetryPolicy,
+    collect_stats,
+    deadline_scope,
+    supervised_map,
+)
 
 __all__ = [
     "parallel_map",
@@ -42,6 +57,12 @@ __all__ = [
     "load_model",
     "thread_shared",
     "thread_shared_classes",
+    "supervised_map",
+    "Deadline",
+    "deadline_scope",
+    "collect_stats",
+    "ResilienceStats",
+    "RetryPolicy",
     "RiskMapService",
 ]
 

@@ -1,0 +1,273 @@
+"""Deterministic fault injection: the chaos harness behind the resilience layer.
+
+The resilience guarantees (worker-crash recovery in
+:mod:`repro.runtime.resilience`, crash-safe persistence in
+:mod:`repro.runtime.persistence`) are only worth stating if something can
+*prove* them, and real faults — OOM-killed pool workers, a power cut mid
+``save_model``, a flipped bit on disk — do not show up on demand. This module
+injects them on demand, deterministically:
+
+* a :class:`FaultPlan` is a small, seeded, json-able description of which
+  faults fire where (worker crashes by fan-out task index, per-task slowdowns,
+  pickling-probe failures, one kill checkpoint inside ``save_model``);
+* :func:`active` installs a plan through an **environment variable** pointing
+  at a plan file, so process-pool workers — which never share the parent's
+  module state — resolve the same plan when they import this module;
+* "fire once" faults (a worker crash that must not recur on the retry, or the
+  retry would never converge) claim a marker file in the plan's scratch
+  directory with ``O_CREAT | O_EXCL``, which is atomic across processes.
+
+Every hook is a no-op costing one ``os.environ`` lookup when no plan is
+installed, so production paths stay clean. The chaos suite
+(``tests/test_chaos.py``, ``make test-chaos``) replays seeded plans against
+real fits/serves/saves and asserts bit-identity of every recovered result.
+
+Fault vocabulary
+----------------
+``crash_once`` / ``crash_always``
+    Fan-out task indices whose *process-pool worker* dies mid-task via
+    ``os._exit`` — indistinguishable from an OOM kill to the supervisor.
+    Guarded by pid so a thread or serial run of the same task never takes
+    the whole test process down (threads cannot be OOM-killed separately
+    anyway); ``crash_always`` keeps firing to force pool degradation.
+``slow``
+    Task index -> seconds of injected latency (any backend), for deadline
+    tests. Sleeps never change computed values, so bit-identity holds.
+``fail_pickle_probe``
+    Makes the ``backend="auto"`` picklability probe of
+    :func:`repro.runtime.parallel.run_deferred` report unpicklable tasks,
+    forcing the thread fallback path.
+``kill_at``
+    Name of one ``save_model`` checkpoint (see
+    :data:`repro.runtime.persistence.SAVE_CHECKPOINTS`) where the save is
+    killed by raising :class:`SimulatedCrash`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Environment variable naming the active plan file (visible to pool workers).
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Exit code of an injected worker crash (distinctive in core-dump triage).
+WORKER_EXIT_CODE = 87
+
+
+class SimulatedCrash(BaseException):
+    """A simulated SIGKILL at a persistence checkpoint.
+
+    Deliberately **not** a :class:`~repro.exceptions.ReproError` — and not
+    even an :class:`Exception` — because a real kill cannot be caught: the
+    simulation must escape every ``except ReproError`` and ``except
+    Exception`` in the code under test, leaving the on-disk state exactly as
+    the kill found it. Only the chaos harness itself catches it.
+    """
+
+
+@dataclass
+class FaultPlan:
+    """One deterministic schedule of injected faults (see module docs)."""
+
+    seed: int = 0
+    #: Directory for the plan file and cross-process once-markers.
+    scratch: str = ""
+    crash_once: tuple[int, ...] = ()
+    crash_always: tuple[int, ...] = ()
+    #: Task index -> injected seconds of latency.
+    slow: dict[int, float] = field(default_factory=dict)
+    fail_pickle_probe: bool = False
+    #: A ``save_model`` checkpoint name, or "" for no kill.
+    kill_at: str = ""
+    #: Pid of the installing process; crashes only fire in *other* pids.
+    main_pid: int = field(default_factory=os.getpid)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_tasks: int,
+        scratch: str,
+        crash_rate: float = 0.25,
+        slow_rate: float = 0.0,
+        slow_seconds: float = 0.05,
+    ) -> "FaultPlan":
+        """A seeded plan over a fan-out of ``n_tasks`` tasks.
+
+        The same ``(seed, n_tasks, rates)`` always yields the same plan, so
+        a chaos failure reported with its seed replays exactly.
+        """
+        if n_tasks < 1:
+            raise ConfigurationError(f"n_tasks must be >= 1, got {n_tasks}")
+        rng = np.random.default_rng(seed)
+        crashes = tuple(
+            int(i) for i in np.flatnonzero(rng.random(n_tasks) < crash_rate)
+        )
+        slow = {
+            int(i): float(slow_seconds)
+            for i in np.flatnonzero(rng.random(n_tasks) < slow_rate)
+        }
+        return cls(seed=seed, scratch=scratch, crash_once=crashes, slow=slow)
+
+    # ------------------------------------------------------------------
+    # Serialisation (env-activated plans cross the process boundary as json)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "scratch": self.scratch,
+                "crash_once": list(self.crash_once),
+                "crash_always": list(self.crash_always),
+                "slow": {str(k): v for k, v in self.slow.items()},
+                "fail_pickle_probe": self.fail_pickle_probe,
+                "kill_at": self.kill_at,
+                "main_pid": self.main_pid,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"malformed fault plan: {exc}") from exc
+        return cls(
+            seed=int(raw.get("seed", 0)),
+            scratch=str(raw.get("scratch", "")),
+            crash_once=tuple(int(i) for i in raw.get("crash_once", ())),
+            crash_always=tuple(int(i) for i in raw.get("crash_always", ())),
+            slow={int(k): float(v) for k, v in raw.get("slow", {}).items()},
+            fail_pickle_probe=bool(raw.get("fail_pickle_probe", False)),
+            kill_at=str(raw.get("kill_at", "")),
+            main_pid=int(raw.get("main_pid", 0)),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Activation
+# ---------------------------------------------------------------------------
+#: (plan-file path, parsed plan) — invalidated whenever the env var changes.
+_cached: tuple[str, FaultPlan] | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The installed plan, or ``None`` (the production fast path)."""
+    global _cached
+    spec = os.environ.get(ENV_VAR)
+    if not spec:
+        return None
+    if _cached is not None and _cached[0] == spec:
+        return _cached[1]
+    try:
+        text = Path(spec).read_text()
+    except OSError:
+        return None  # plan file withdrawn under us; behave as fault-free
+    plan = FaultPlan.from_json(text)
+    _cached = (spec, plan)
+    return plan
+
+
+@contextmanager
+def active(plan: FaultPlan):
+    """Install ``plan`` for this process *and its pool workers*.
+
+    The plan is written to ``<scratch>/fault-plan.json`` and advertised via
+    :data:`ENV_VAR`, which child worker processes inherit. On exit the
+    previous environment is restored; marker files stay behind in the
+    scratch directory (use a fresh scratch per plan).
+    """
+    global _cached
+    if not plan.scratch:
+        raise ConfigurationError("FaultPlan.scratch must name a directory")
+    scratch = Path(plan.scratch)
+    scratch.mkdir(parents=True, exist_ok=True)
+    plan_path = scratch / "fault-plan.json"
+    plan_path.write_text(plan.to_json())
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = str(plan_path)
+    _cached = None
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous
+        _cached = None
+
+
+def _claim_once(plan: FaultPlan, name: str) -> bool:
+    """Atomically claim a fire-once marker; True iff this caller won."""
+    marker = Path(plan.scratch) / f"fired-{name}"
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Hooks (called from the production code; no-ops without a plan)
+# ---------------------------------------------------------------------------
+def on_task(index: int) -> None:
+    """Fan-out hook: may slow this task down or kill its process worker."""
+    plan = active_plan()
+    if plan is None:
+        return
+    pause = plan.slow.get(int(index))
+    if pause:
+        time.sleep(pause)
+    index = int(index)
+    if index in plan.crash_always or index in plan.crash_once:
+        if os.getpid() == plan.main_pid:
+            return  # thread/serial execution: nothing to OOM-kill separately
+        if index in plan.crash_always or _claim_once(plan, f"crash-{index}"):
+            os._exit(WORKER_EXIT_CODE)
+
+
+def checkpoint(name: str) -> None:
+    """Persistence hook: kill the save when the plan names this step."""
+    plan = active_plan()
+    if plan is not None and plan.kill_at == name:
+        raise SimulatedCrash(f"simulated kill at checkpoint '{name}'")
+
+
+def on_pickle_probe() -> None:
+    """Probe hook: make the auto-backend picklability probe fail."""
+    plan = active_plan()
+    if plan is not None and plan.fail_pickle_probe:
+        raise pickle.PicklingError("injected pickling failure (fault plan)")
+
+
+def flip_byte(path, seed: int) -> int:
+    """Deterministically flip one bit of a file; returns the byte offset.
+
+    The on-disk corruption primitive of the chaos suite: the same
+    ``(file, seed)`` always flips the same bit, so a checksum-verification
+    failure replays exactly from its reported seed.
+    """
+    target = Path(path)
+    data = bytearray(target.read_bytes())
+    if not data:
+        raise ConfigurationError(f"cannot corrupt empty file '{target}'")
+    rng = np.random.default_rng(seed)
+    offset = int(rng.integers(len(data)))
+    data[offset] ^= 1 << int(rng.integers(8))
+    target.write_bytes(bytes(data))
+    return offset

@@ -33,8 +33,19 @@ classes:
   representation the npz persistence layer uses).
 * ``"auto"`` — inspects the tasks' ``backend_hint`` attributes (see
   :meth:`repro.ml.base.Classifier.fit_backend_hint`) and picks the process
-  pool only when every task asks for it; anything that fails to pickle
-  falls back to threads rather than erroring.
+  pool only when every task asks for it; tasks that fail an explicit
+  picklability probe fall back to threads rather than erroring — while
+  exceptions raised by the tasks *themselves* always propagate.
+
+Dispatch goes through :func:`repro.runtime.resilience.supervised_map`
+rather than bare ``pool.map``: each task is an individually supervised
+future, so an OOM-killed process worker fails only the tasks it was
+holding — the supervisor re-runs exactly the missing ones (bounded retries,
+deterministic backoff, degradation ``process -> thread -> serial``) and the
+two-phase purity contract makes every recovered result bit-identical to the
+fault-free serial run. Every fan-out here also accepts an optional
+``deadline`` (seconds or a shared :class:`~repro.runtime.resilience.Deadline`)
+enforced between tasks and while awaiting futures.
 
 The picklability requirement is machine-checked: analyzer rule RP003
 (``repro.analysis``, run by ``make lint``) resolves the classes constructed
@@ -55,12 +66,19 @@ from __future__ import annotations
 import os
 import pickle
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TypeVar
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.runtime import faults
+from repro.runtime.resilience import (
+    Deadline,
+    ResilienceStats,
+    RetryPolicy,
+    record_stats,
+    supervised_map,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -83,8 +101,11 @@ def resolve_n_jobs(n_jobs: int | None) -> int:
     """Normalise an ``n_jobs`` request to a positive worker count.
 
     ``None`` and ``1`` mean serial; positive values are taken literally;
-    negative values count back from the CPU count (``-1`` = all cores,
-    ``-2`` = all but one, ...). Zero is rejected.
+    negative values count back from the count of *usable* CPUs — the
+    affinity/cgroup-aware :func:`effective_cpu_count`, not the raw host
+    core count — so ``-1`` on a 2-core cgroup of a 64-core box means 2
+    workers, not 64 (``-1`` = all usable cores, ``-2`` = all but one, ...).
+    Zero is rejected.
     """
     if n_jobs is None:
         return 1
@@ -92,7 +113,7 @@ def resolve_n_jobs(n_jobs: int | None) -> int:
     if n_jobs == 0:
         raise ConfigurationError("n_jobs must not be 0 (use 1 for serial)")
     if n_jobs < 0:
-        return max(1, (os.cpu_count() or 1) + 1 + n_jobs)
+        return max(1, effective_cpu_count() + 1 + n_jobs)
     return n_jobs
 
 
@@ -114,14 +135,19 @@ def parallel_map(
     items: Iterable[T],
     n_jobs: int | None = 1,
     backend: str = "thread",
+    deadline: "Deadline | float | None" = None,
+    policy: RetryPolicy | None = None,
 ) -> list[R]:
-    """``[fn(x) for x in items]``, optionally through a worker pool.
+    """``[fn(x) for x in items]``, optionally through a supervised pool.
 
-    Results come back in input order. With ``n_jobs`` of ``None``/``1``,
-    fewer than two items, or a single usable CPU, this is a plain list
-    comprehension — the serial path has zero overhead and identical
-    semantics. ``backend="process"`` requires ``fn`` and every item to be
-    picklable (``fn`` should be a module-level function).
+    Results come back in input order and bit-identical to serial, even
+    across worker-crash recovery. With ``n_jobs`` of ``None``/``1``, fewer
+    than two items, or a single usable CPU, this is a plain serial loop.
+    ``backend="process"`` requires ``fn`` and every item to be picklable
+    (``fn`` should be a module-level function). ``deadline`` bounds the
+    whole fan-out (seconds, or a :class:`~repro.runtime.resilience.Deadline`
+    shared with other fan-outs of the same request); ``policy`` overrides
+    the default :class:`~repro.runtime.resilience.RetryPolicy`.
     """
     if backend == "auto":
         raise ConfigurationError(
@@ -133,14 +159,15 @@ def parallel_map(
     workers = min(
         resolve_n_jobs(n_jobs), len(materialised), effective_cpu_count()
     )
-    if workers <= 1 or len(materialised) <= 1:
-        return [fn(item) for item in materialised]
-    if backend == "thread":
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, materialised))
-    chunksize = max(1, len(materialised) // (workers * 2))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, materialised, chunksize=chunksize))
+    return supervised_map(
+        fn,
+        materialised,
+        workers=workers,
+        backend=backend,
+        deadline=deadline,
+        policy=policy,
+        label="parallel_map",
+    )
 
 
 def vote_backend(hints: Sequence[str]) -> str:
@@ -169,39 +196,68 @@ def preferred_backend(tasks: Sequence[object]) -> str:
     return "process" if result == "process" else "thread"
 
 
+def _tasks_picklable(tasks: Sequence[object]) -> bool:
+    """Probe whether every *task object* survives the process boundary.
+
+    The probe pickles the tasks themselves — never runs them — so a
+    ``TypeError`` (or anything else) raised by task *logic* can no longer
+    be mistaken for a serialisation failure and silently rerouted.
+    """
+    try:
+        faults.on_pickle_probe()
+        for task in tasks:
+            pickle.dumps(task)
+    except (pickle.PicklingError, AttributeError, TypeError):
+        return False
+    return True
+
+
 def run_deferred(
     tasks: Sequence[Callable[[], R]],
     n_jobs: int | None = 1,
     backend: str = "auto",
+    deadline: "Deadline | float | None" = None,
+    policy: RetryPolicy | None = None,
 ) -> list[R]:
     """Run phase-2 fit tasks (zero-argument callables), optionally pooled.
 
     This is the fan-out entry point of the two-phase fit protocol
     (:meth:`repro.ml.base.Classifier.fit_deferred`): phase 1 has already
     drawn all shared randomness serially, so the tasks here are pure and
-    order-independent — any backend yields bit-identical results.
+    order-independent — any backend, and any crash-recovery path, yields
+    bit-identical results.
 
     With ``backend="auto"`` the pool is chosen from the tasks'
-    ``backend_hint`` attributes, and tasks that turn out not to pickle
-    (e.g. closures over live model state) quietly fall back to the thread
-    pool. An explicit ``backend="process"`` propagates pickling errors.
+    ``backend_hint`` attributes; a process vote is then confirmed by
+    explicitly pickling the task objects (:func:`_tasks_picklable`), and
+    tasks that do not pickle (e.g. closures over live model state) fall
+    back to the thread pool — recorded as a ``pickle_fallbacks`` stat, not
+    silent. Exceptions raised *by* the tasks always propagate, whatever
+    the backend. An explicit ``backend="process"`` skips the probe and
+    propagates pickling errors too.
     """
     check_backend(backend)
     tasks = list(tasks)
     workers = min(resolve_n_jobs(n_jobs), len(tasks), effective_cpu_count())
-    if workers <= 1 or len(tasks) <= 1:
-        return [task() for task in tasks]
     chosen = preferred_backend(tasks) if backend == "auto" else backend
-    if chosen == "process" and backend == "auto":
-        # Phase-2 tasks are pure and idempotent, so if anything in the batch
-        # turns out not to pickle the whole fan-out can simply re-run on the
-        # thread pool — no wasted up-front probe serialisation of the
-        # training data.
-        try:
-            return parallel_map(_call, tasks, n_jobs=workers, backend="process")
-        except (pickle.PicklingError, AttributeError, TypeError):
-            chosen = "thread"
-    return parallel_map(_call, tasks, n_jobs=workers, backend=chosen)
+    if (
+        backend == "auto"
+        and chosen == "process"
+        and workers > 1
+        and len(tasks) > 1
+        and not _tasks_picklable(tasks)
+    ):
+        chosen = "thread"
+        record_stats(ResilienceStats(pickle_fallbacks=1))
+    return supervised_map(
+        _call,
+        tasks,
+        workers=workers,
+        backend=chosen,
+        deadline=deadline,
+        policy=policy,
+        label="run_deferred",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -269,6 +325,7 @@ def predict_map(
     n_jobs: int | None = 1,
     backend: str = "auto",
     method: str | Sequence[str] = "prediction_stats",
+    deadline: "Deadline | float | None" = None,
 ) -> list:
     """Tiled, parallel prediction over fitted models — bit-identical to serial.
 
@@ -277,8 +334,8 @@ def predict_map(
     result equals ``[getattr(m, method)(X) for m in models]`` exactly: every
     per-row statistic the package serves (GP latent moments, tree paths,
     bagging member mixtures) is computed row-independently, and tiles are
-    concatenated in input order, so neither the tile size nor the pool
-    flavour can change a single bit of the output.
+    concatenated in input order, so neither the tile size, the pool flavour,
+    nor a worker-crash recovery can change a single bit of the output.
 
     Parameters
     ----------
@@ -301,6 +358,10 @@ def predict_map(
         Bound-method name to call per task (default ``"prediction_stats"``),
         or one name per model (e.g. mixing ``"mean_member_variance"`` for
         bagging members with ``"predict_variance"`` for plain ones).
+    deadline:
+        Optional budget (seconds or a shared
+        :class:`~repro.runtime.resilience.Deadline`) for the whole serve;
+        raises :class:`~repro.exceptions.DeadlineExceededError` on overrun.
 
     Returns
     -------
@@ -325,7 +386,9 @@ def predict_map(
         for model, name in zip(models, methods)
         for sl in slices
     ]
-    results = run_deferred(tasks, n_jobs=n_jobs, backend=backend)
+    results = run_deferred(
+        tasks, n_jobs=n_jobs, backend=backend, deadline=deadline
+    )
     n_tiles = len(slices)
     return [
         _assemble(results[i * n_tiles : (i + 1) * n_tiles])

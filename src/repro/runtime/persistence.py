@@ -1,9 +1,9 @@
-"""Model persistence: npz arrays + a json manifest.
+"""Model persistence: npz arrays + a json manifest — crash-safe, checksummed.
 
 A saved model is a directory with two files::
 
-    <path>/manifest.json   # structure: types, config, scalar state
-    <path>/arrays.npz      # every numpy array, keyed by manifest references
+    <path>/manifest.json        # structure: types, config, checksums
+    <path>/arrays-<token>.npz   # every numpy array, keyed by manifest refs
 
 The manifest is a nested tree of *nodes*. Each node carries a ``"type"``
 naming a registered class, a json-able ``"config"``/scalar payload, and
@@ -21,6 +21,33 @@ Every persistable class implements the two-method protocol::
 and this module provides the packing (:func:`save_model`), unpacking
 (:func:`load_model`), and the type registry used to decode child nodes.
 
+Crash safety
+------------
+A daemon that refits and resaves in place must survive being killed at any
+byte of a save. :func:`save_model` therefore never mutates the live
+artifacts: the arrays are written to a *content-token-named* file
+(``arrays-<sha256 prefix>.npz``, staged as ``.tmp`` and ``os.replace``\\ d
+into place), and only then is the manifest — which names that arrays file —
+staged and ``os.replace``\\ d over ``manifest.json``. Both files and the
+directory are fsync'd, so the single atomic manifest rename is the *commit
+point*: a kill before it leaves the old model fully intact (the old
+manifest still references the old, untouched arrays file); a kill after it
+leaves the new model committed. Stale files (``*.tmp`` staging leftovers,
+arrays files no manifest references) are swept only *after* the commit.
+The chaos suite (``tests/test_chaos.py``) kills a real save at every
+checkpoint in :data:`SAVE_CHECKPOINTS` and asserts exactly this
+old-or-new-never-garbage contract.
+
+Integrity
+---------
+The manifest records a sha256 for the whole arrays file plus one per array
+(over dtype + shape + raw bytes). :func:`load_model` verifies them by
+default (``verify=True``) and raises :class:`~repro.exceptions.
+PersistenceError` naming the exact corrupt artifact — the flipped-bit array,
+or the arrays file itself — instead of serving silently wrong predictions
+from corrupt bytes. ``verify=False`` skips the hashing for hot reload paths
+that trust their storage.
+
 Deliberate non-goals: random-generator state (loaded models serve
 predictions, which are deterministic; refitting a loaded ensemble is
 rejected because weak-learner factories — closures — cannot be serialised)
@@ -29,19 +56,41 @@ and pickle compatibility (no arbitrary code execution on load).
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
+import os
+import zipfile
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
 from repro.exceptions import PersistenceError
+from repro.runtime import faults
 
 #: Bump when the manifest layout changes incompatibly.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Formats this build can read: 2 (checksummed, content-token arrays file)
+#: and the legacy 1 (plain ``arrays.npz``, no checksums to verify).
+SUPPORTED_FORMATS = (1, 2)
 
 MANIFEST_NAME = "manifest.json"
+#: Legacy (format 1) arrays file name; format 2 names files by content token.
 ARRAYS_NAME = "arrays.npz"
+
+#: The fault-injection checkpoints of one :func:`save_model`, in order. A
+#: simulated kill at each one is replayed by the chaos suite; the commit
+#: point is the manifest rename between "save:manifest-written" and
+#: "save:committed".
+SAVE_CHECKPOINTS = (
+    "save:start",
+    "save:arrays-written",
+    "save:arrays-committed",
+    "save:manifest-written",
+    "save:committed",
+)
 
 
 class ArrayStore:
@@ -162,6 +211,74 @@ def decode_kernel(node: dict):
 
 
 # ---------------------------------------------------------------------------
+# Checksums and durable writes
+# ---------------------------------------------------------------------------
+def array_sha256(array: np.ndarray) -> str:
+    """sha256 over an array's dtype, shape, and raw bytes.
+
+    Covering dtype and shape means a corrupt manifest cannot silently
+    reinterpret the same bytes as a differently-shaped array.
+    """
+    array = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(array.dtype.str.encode())
+    digest.update(repr(tuple(array.shape)).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def file_sha256(path: str | Path, chunk_size: int = 1 << 20) -> str:
+    """sha256 of a file's bytes, read in chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(chunk_size)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _write_durable(path: Path, payload: bytes) -> None:
+    """Write bytes and fsync so the data is on disk before any rename."""
+    with open(path, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives a power cut."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystems without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def _sweep_stale(path: Path, keep_arrays: str) -> None:
+    """Remove staging leftovers and arrays files the manifest no longer names.
+
+    Only called *after* the manifest commit, so nothing referenced by either
+    the old or the new manifest is ever deleted mid-save. Removal failures
+    are ignored: stale files are garbage, not state.
+    """
+    for stale in path.glob("*.tmp"):
+        try:
+            stale.unlink()
+        except OSError:  # pragma: no cover - concurrent sweep
+            pass
+    for stale in path.glob("arrays*.npz"):
+        if stale.name != keep_arrays:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent sweep
+                pass
+
+
+# ---------------------------------------------------------------------------
 # Top-level save / load
 # ---------------------------------------------------------------------------
 def save_model(model, path: str | Path) -> Path:
@@ -170,24 +287,115 @@ def save_model(model, path: str | Path) -> Path:
     Returns the directory path. Any object implementing the manifest
     protocol can be saved: individual classifiers, iWare-E ensembles, or a
     whole :class:`~repro.core.predictor.PawsPredictor`.
+
+    The save is crash-safe (see module docs): artifacts are staged and
+    atomically renamed, with the fsync'd ``manifest.json`` rename as the
+    commit point, so a kill at any byte leaves the previous model (if any)
+    or the new one — never a half-written hybrid.
     """
     from repro import __version__
 
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
+    faults.checkpoint("save:start")
+
     store = ArrayStore()
     node = model.to_manifest(store, "model")
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **store.arrays)
+    payload = buffer.getvalue()
+    file_digest = hashlib.sha256(payload).hexdigest()
+
+    # Content-token file name: a resave of identical arrays maps to the
+    # same file (idempotent), a different fit to a different file — so the
+    # old manifest's reference stays valid until the new manifest commits.
+    arrays_name = f"arrays-{file_digest[:16]}.npz"
+    arrays_tmp = path / f"{arrays_name}.tmp"
+    _write_durable(arrays_tmp, payload)
+    faults.checkpoint("save:arrays-written")
+    os.replace(arrays_tmp, path / arrays_name)
+    _fsync_dir(path)
+    faults.checkpoint("save:arrays-committed")
+
     manifest = {
         "format_version": FORMAT_VERSION,
         "repro_version": __version__,
+        "arrays_file": arrays_name,
+        "checksums": {
+            "file_sha256": file_digest,
+            "arrays": {
+                key: array_sha256(array)
+                for key, array in sorted(store.arrays.items())
+            },
+        },
         "model": node,
     }
-    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
-    np.savez_compressed(path / ARRAYS_NAME, **store.arrays)
+    manifest_tmp = path / f"{MANIFEST_NAME}.tmp"
+    _write_durable(
+        manifest_tmp,
+        json.dumps(manifest, indent=2, sort_keys=True).encode(),
+    )
+    faults.checkpoint("save:manifest-written")
+    os.replace(manifest_tmp, path / MANIFEST_NAME)  # <-- the commit point
+    _fsync_dir(path)
+    faults.checkpoint("save:committed")
+
+    _sweep_stale(path, keep_arrays=arrays_name)
     return path
 
 
-def load_model(path: str | Path, expected_type: type | None = None) -> Any:
+def _load_arrays(arrays_path: Path) -> dict[str, np.ndarray]:
+    """Read every array in an npz, wrapping I/O-layer failures.
+
+    A truncated or bit-flipped npz surfaces from :func:`np.load` as raw
+    ``zipfile.BadZipFile`` / ``ValueError`` / ``OSError``; the RP002
+    contract (callers catch :class:`~repro.exceptions.ReproError`, nothing
+    else) must hold at the I/O boundary too, so they are rethrown as
+    :class:`PersistenceError` naming the file.
+    """
+    try:
+        with np.load(arrays_path) as data:
+            return {key: data[key] for key in data.files}
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as exc:
+        raise PersistenceError(
+            f"corrupt arrays file '{arrays_path}': {exc}"
+        ) from exc
+
+
+def _verify_arrays(
+    path: Path,
+    arrays_path: Path,
+    arrays: dict[str, np.ndarray],
+    checksums: dict,
+    file_digest_ok: bool,
+) -> None:
+    """Raise :class:`PersistenceError` naming the exact corrupt artifact."""
+    expected = checksums.get("arrays") or {}
+    for key in sorted(expected):
+        if key not in arrays:
+            raise PersistenceError(
+                f"corrupt model in '{path}': array '{key}' is missing from "
+                f"'{arrays_path.name}'"
+            )
+        if array_sha256(arrays[key]) != expected[key]:
+            raise PersistenceError(
+                f"corrupt model in '{path}': array '{key}' in "
+                f"'{arrays_path.name}' fails its sha256 checksum"
+            )
+    if not file_digest_ok:
+        # Every individual array decompressed to its recorded hash, yet the
+        # file bytes differ from the manifest's — zip metadata corruption.
+        raise PersistenceError(
+            f"corrupt model in '{path}': arrays file '{arrays_path.name}' "
+            "fails its whole-file sha256 checksum"
+        )
+
+
+def load_model(
+    path: str | Path,
+    expected_type: type | None = None,
+    verify: bool = True,
+) -> Any:
     """Load a model saved by :func:`save_model`.
 
     Parameters
@@ -198,27 +406,42 @@ def load_model(path: str | Path, expected_type: type | None = None) -> Any:
         When given, the decoded object must be an instance of it (used by
         the per-class ``load`` classmethods so ``PawsPredictor.load`` cannot
         silently hand back a bare tree).
+    verify:
+        Verify the manifest's sha256 checksums (whole arrays file + every
+        array) before decoding, raising :class:`PersistenceError` naming
+        the exact corrupt artifact. On by default; pass ``False`` to skip
+        the hashing when the storage is trusted. Legacy format-1 saves
+        carry no checksums, so there is nothing to verify beyond structure.
     """
     path = Path(path)
     manifest_path = path / MANIFEST_NAME
-    arrays_path = path / ARRAYS_NAME
-    if not manifest_path.is_file() or not arrays_path.is_file():
+    if not manifest_path.is_file():
         raise PersistenceError(
-            f"'{path}' is not a saved model (expected {MANIFEST_NAME} "
-            f"and {ARRAYS_NAME})"
+            f"'{path}' is not a saved model (expected {MANIFEST_NAME})"
         )
     try:
         manifest = json.loads(manifest_path.read_text())
     except json.JSONDecodeError as exc:
         raise PersistenceError(f"corrupt manifest in '{path}': {exc}") from exc
     version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_FORMATS:
         raise PersistenceError(
             f"unsupported model format {version!r} (this build reads "
-            f"{FORMAT_VERSION})"
+            f"{list(SUPPORTED_FORMATS)})"
         )
-    with np.load(arrays_path) as data:
-        arrays = {key: data[key] for key in data.files}
+    arrays_name = manifest.get("arrays_file", ARRAYS_NAME)
+    arrays_path = path / arrays_name
+    if not arrays_path.is_file():
+        raise PersistenceError(
+            f"'{path}' is missing its arrays file '{arrays_name}'"
+        )
+    checksums = manifest.get("checksums") or {}
+    file_digest_ok = True
+    if verify and checksums.get("file_sha256"):
+        file_digest_ok = file_sha256(arrays_path) == checksums["file_sha256"]
+    arrays = _load_arrays(arrays_path)
+    if verify and checksums:
+        _verify_arrays(path, arrays_path, arrays, checksums, file_digest_ok)
     model = decode_node(manifest["model"], arrays)
     if expected_type is not None and not isinstance(model, expected_type):
         raise PersistenceError(

@@ -40,6 +40,11 @@ from repro.core.predictor import PawsPredictor
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.runtime.concurrency import thread_shared
 from repro.runtime.parallel import check_backend, resolve_n_jobs
+from repro.runtime.resilience import (
+    ResilienceStats,
+    collect_stats,
+    deadline_scope,
+)
 
 
 @thread_shared
@@ -118,6 +123,8 @@ class RiskMapService:
         self._registered_ids: dict[int, str] = {}
         self._hits = 0
         self._misses = 0
+        #: Accumulated fan-out survival counters (the daemon's /stats feed).
+        self._resilience = ResilienceStats()
 
     @property
     def hits(self) -> int:
@@ -140,10 +147,15 @@ class RiskMapService:
         tile_size: int | None = None,
         n_jobs: int | None = 1,
         backend: str = "auto",
+        verify: bool = True,
     ) -> "RiskMapService":
-        """Serve a predictor persisted with ``PawsPredictor.save``."""
+        """Serve a predictor persisted with ``PawsPredictor.save``.
+
+        ``verify`` controls checksum verification of the saved arrays (see
+        :func:`repro.runtime.persistence.load_model`); on by default.
+        """
         return cls(
-            PawsPredictor.load(path), max_entries=max_entries,
+            PawsPredictor.load(path, verify=verify), max_entries=max_entries,
             tile_size=tile_size, n_jobs=n_jobs, backend=backend,
         )
 
@@ -249,8 +261,16 @@ class RiskMapService:
                 self._cache.popitem(last=False)
         return result
 
+    def _absorb(self, stats: ResilienceStats) -> None:
+        """Fold one request's fan-out stats into the service counters."""
+        with self._lock:
+            self._resilience.merge(stats)
+
     def effort_response(
-        self, features, effort_grid: np.ndarray
+        self,
+        features,
+        effort_grid: np.ndarray,
+        deadline: float | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Cached batched ``(g_v(c), nu_v(c))`` surfaces for planner input.
 
@@ -260,44 +280,63 @@ class RiskMapService:
         ``uncertainty_scaler`` is cached with each result and restored on
         hits, so it always matches the surfaces just returned — exactly as
         if the query had been recomputed.
+
+        ``deadline`` bounds the compute on a cache miss (seconds, or a
+        shared :class:`~repro.runtime.resilience.Deadline`); an overrun
+        raises :class:`~repro.exceptions.DeadlineExceededError` and caches
+        nothing. Hits return immediately regardless.
         """
         array, feature_key = self._resolve_features(features)
         effort_grid = np.asarray(effort_grid, dtype=float)
         key = self._key("effort_response", feature_key, effort_grid)
 
         def compute():
-            risk, nu = self.predictor.effort_response(
-                array, effort_grid,
-                tile_size=self.tile_size, n_jobs=self.n_jobs,
-                backend=self.backend,
-            )
+            with deadline_scope(deadline), collect_stats() as stats:
+                try:
+                    risk, nu = self.predictor.effort_response(
+                        array, effort_grid,
+                        tile_size=self.tile_size, n_jobs=self.n_jobs,
+                        backend=self.backend,
+                    )
+                finally:
+                    self._absorb(stats)
             return risk, nu, self.predictor.uncertainty_scaler
 
         risk, nu, scaler = self._cached(key, compute)
         self.predictor._uncertainty_scaler = scaler
         return risk.copy(), nu.copy()
 
-    def risk_map(self, features, effort: float | None = None) -> np.ndarray:
+    def risk_map(
+        self,
+        features,
+        effort: float | None = None,
+        deadline: float | None = None,
+    ) -> np.ndarray:
         """Cached per-cell attack-detection probability at one effort level.
 
         ``effort=None`` gives the unconditional (prior-corrected) map; a
         value conditions on that hypothetical patrol effort, as in the
         Fig. 6 risk maps. ``features`` may be a token, as in
-        :meth:`effort_response`.
+        :meth:`effort_response`, and ``deadline`` bounds a cache-miss
+        compute the same way.
         """
         array, feature_key = self._resolve_features(features)
         effort_tag = "none" if effort is None else repr(float(effort))
         key = self._key(f"risk_map/{effort_tag}", feature_key)
-        (risk,) = self._cached(
-            key,
-            lambda: (
-                self.predictor.predict_proba(
-                    array, effort=effort,
-                    tile_size=self.tile_size, n_jobs=self.n_jobs,
-                    backend=self.backend,
-                ),
-            ),
-        )
+
+        def compute():
+            with deadline_scope(deadline), collect_stats() as stats:
+                try:
+                    risk = self.predictor.predict_proba(
+                        array, effort=effort,
+                        tile_size=self.tile_size, n_jobs=self.n_jobs,
+                        backend=self.backend,
+                    )
+                finally:
+                    self._absorb(stats)
+            return (risk,)
+
+        (risk,) = self._cached(key, compute)
         return risk.copy()
 
     # ------------------------------------------------------------------
@@ -311,6 +350,16 @@ class RiskMapService:
             "entries": len(self._cache),
             "max_entries": self.max_entries,
         }
+
+    def resilience_info(self) -> dict:
+        """Accumulated fan-out survival counters (the daemon's ``/stats``).
+
+        Counts what every cache-miss compute survived: retries, worker
+        deaths, degradations, pickle fallbacks, deadline overruns, and the
+        completion backend of each fan-out. All zeros on a healthy host.
+        """
+        with self._lock:
+            return self._resilience.as_dict()
 
     def clear_cache(self) -> None:
         """Drop every cached result (counters are kept)."""

@@ -1,0 +1,310 @@
+"""The chaos suite: seeded fault plans replayed against real work.
+
+Every test here injects deterministic faults (worker crashes, slow tasks,
+pickling-probe failures, kills mid-save, flipped bits on disk) through
+:mod:`repro.runtime.faults` and asserts the resilience contracts:
+
+* **bit-identity** — a fan-out that survived crashes returns exactly the
+  bytes a fault-free serial run returns;
+* **old-or-new** — a save killed at any checkpoint leaves the previous
+  model or the new one on disk, never a hybrid;
+* **named corruption** — a flipped bit on disk is reported as a
+  :class:`~repro.exceptions.PersistenceError` naming the corrupt artifact.
+
+Failure messages embed the fault seed, so any red run replays exactly:
+``FaultPlan.random(seed, ...)`` is a pure function of its arguments.
+
+Run via ``make test-chaos`` (the CI job) or plain pytest.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import PawsPredictor
+from repro.data import MFNP, generate_dataset
+from repro.exceptions import (
+    DeadlineExceededError,
+    PersistenceError,
+    WorkerCrashError,
+)
+from repro.ml import DecisionTreeClassifier, LogisticRegression
+from repro.ml.bagging import BaggingClassifier
+from repro.runtime import faults, persistence
+from repro.runtime.faults import FaultPlan, SimulatedCrash
+from repro.runtime.parallel import run_deferred
+from repro.runtime.resilience import (
+    RetryPolicy,
+    collect_stats,
+    supervised_map,
+)
+from repro.runtime.service import RiskMapService
+
+from tests.conftest import make_blobs
+
+#: The fixed replay matrix. A failure report names the seed; rerunning the
+#: suite replays the identical fault schedule.
+CHAOS_SEEDS = (0, 1, 2, 3)
+
+
+def _double(x):
+    return x * 2
+
+
+class _DoubleTask:
+    """A picklable deferred task (module-level so process pools accept it)."""
+
+    backend_hint = "process"
+
+    def __init__(self, x):
+        self.x = x
+
+    def __call__(self):
+        return self.x * 2
+
+
+@pytest.fixture(scope="module")
+def park():
+    return generate_dataset(MFNP.scaled(0.4), seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted_predictor(park):
+    split = park.dataset.split_by_test_year(4)
+    return PawsPredictor(
+        model="dtb", iware=True, n_classifiers=2, n_estimators=2, seed=5,
+    ).fit(split.train)
+
+
+# ---------------------------------------------------------------------------
+# Supervised fan-outs survive worker crashes bit-identically
+# ---------------------------------------------------------------------------
+class TestCrashRecovery:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_seeded_crashes_recover_bit_identically(self, seed, tmp_path):
+        n_tasks = 6
+        plan = FaultPlan.random(
+            seed, n_tasks, scratch=str(tmp_path), crash_rate=0.4
+        )
+        expected = [x * 2 for x in range(n_tasks)]
+        with faults.active(plan), collect_stats() as stats:
+            got = supervised_map(
+                _double, range(n_tasks), workers=2, backend="process"
+            )
+        assert got == expected, (
+            f"chaos seed {seed} (crashes at {plan.crash_once}): "
+            f"recovered results diverged"
+        )
+        if plan.crash_once:
+            assert stats.worker_deaths >= 1, (
+                f"chaos seed {seed}: crashes at {plan.crash_once} "
+                "never registered"
+            )
+
+    def test_persistent_crash_degrades_down_the_ladder(self, tmp_path):
+        plan = FaultPlan(scratch=str(tmp_path), crash_always=(0,))
+        with faults.active(plan), collect_stats() as stats:
+            got = supervised_map(
+                _double, range(5), workers=2, backend="process"
+            )
+        assert got == [x * 2 for x in range(5)]
+        # task 0 kills every process worker it meets, so the fan-out must
+        # have stepped down to a rung where the crash cannot fire
+        assert stats.degradations >= 1
+        assert stats.worker_deaths >= 1
+        assert "process" not in stats.backends
+
+    def test_degradation_disabled_raises_worker_crash_error(self, tmp_path):
+        plan = FaultPlan(scratch=str(tmp_path), crash_always=(0,))
+        policy = RetryPolicy(max_retries=0, backoff_base=0.0, degrade=False)
+        with faults.active(plan):
+            with pytest.raises(WorkerCrashError, match="worker"):
+                supervised_map(
+                    _double, range(4), workers=2, backend="process",
+                    policy=policy,
+                )
+
+    def test_slow_tasks_hit_the_deadline(self, tmp_path):
+        plan = FaultPlan(
+            scratch=str(tmp_path), slow={i: 0.5 for i in range(4)}
+        )
+        with faults.active(plan), collect_stats() as stats:
+            with pytest.raises(DeadlineExceededError):
+                supervised_map(
+                    _double, range(4), workers=2, backend="thread",
+                    deadline=0.05,
+                )
+        assert stats.deadline_exceeded == 1
+
+    def test_injected_pickle_failure_falls_back_to_threads(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.runtime.parallel as par
+
+        monkeypatch.setattr(par, "effective_cpu_count", lambda: 4)
+        tasks = [_DoubleTask(x) for x in range(5)]
+        expected = [x * 2 for x in range(5)]
+        plan = FaultPlan(scratch=str(tmp_path), fail_pickle_probe=True)
+        with faults.active(plan), collect_stats() as stats:
+            got = run_deferred(tasks, n_jobs=4, backend="auto")
+        assert got == expected
+        assert stats.pickle_fallbacks == 1
+        assert "process" not in stats.backends
+
+
+class TestRealWorkUnderChaos:
+    def test_bagging_fit_survives_crashes_bit_identically(
+        self, rng, tmp_path, monkeypatch
+    ):
+        import repro.runtime.parallel as par
+
+        monkeypatch.setattr(par, "effective_cpu_count", lambda: 4)
+        X, y = make_blobs(rng, n_per_class=60)
+
+        def factory(seed):
+            master = np.random.default_rng(seed)
+
+            def base():
+                child = np.random.default_rng(int(master.integers(2**31 - 1)))
+                return DecisionTreeClassifier(max_depth=5, rng=child)
+
+            return base
+
+        serial = BaggingClassifier(
+            factory(7), n_estimators=4, rng=np.random.default_rng(1), n_jobs=1
+        ).fit(X, y)
+        plan = FaultPlan(scratch=str(tmp_path), crash_once=(1,))
+        with faults.active(plan):
+            chaotic = BaggingClassifier(
+                factory(7), n_estimators=4, rng=np.random.default_rng(1),
+                n_jobs=4, backend="process",
+            ).fit(X, y)
+        np.testing.assert_array_equal(
+            serial.predict_proba(X), chaotic.predict_proba(X)
+        )
+        np.testing.assert_array_equal(
+            serial.inbag_counts_, chaotic.inbag_counts_
+        )
+
+    def test_serving_survives_crashes_bit_identically(
+        self, park, fitted_predictor, tmp_path, monkeypatch
+    ):
+        import repro.runtime.parallel as par
+
+        monkeypatch.setattr(par, "effective_cpu_count", lambda: 4)
+        features = fitted_predictor.cell_feature_matrix(
+            park.park, park.recorded_effort[-1]
+        )
+        grid = np.linspace(0.0, 4.0, 4)
+        calm = RiskMapService(fitted_predictor, n_jobs=2, backend="process")
+        risk, nu = calm.effort_response(features, grid)
+        plan = FaultPlan(scratch=str(tmp_path), crash_once=(0,))
+        with faults.active(plan):
+            chaotic = RiskMapService(
+                fitted_predictor, n_jobs=2, backend="process"
+            )
+            risk2, nu2 = chaotic.effort_response(features, grid)
+        np.testing.assert_array_equal(risk, risk2)
+        np.testing.assert_array_equal(nu, nu2)
+        assert chaotic.resilience_info()["worker_deaths"] >= 1
+
+    def test_service_deadline_aborts_and_is_counted(
+        self, park, fitted_predictor
+    ):
+        features = fitted_predictor.cell_feature_matrix(
+            park.park, park.recorded_effort[-1]
+        )
+        service = RiskMapService(fitted_predictor)
+        with pytest.raises(DeadlineExceededError):
+            service.risk_map(features, effort=2.0, deadline=1e-6)
+        assert service.resilience_info()["deadline_exceeded"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Crash-safe persistence: kill the save at every checkpoint
+# ---------------------------------------------------------------------------
+class TestKillMidSave:
+    def fit_pair(self, seed=0):
+        rng = np.random.default_rng(seed)
+        X, y = make_blobs(rng, n_per_class=40, n_features=3)
+        old = LogisticRegression(l2=0.5).fit(X, y)
+        new = LogisticRegression(l2=4.0).fit(X, y)
+        return old, new, X
+
+    @pytest.mark.parametrize("checkpoint", persistence.SAVE_CHECKPOINTS)
+    def test_overwrite_leaves_old_or_new_never_garbage(
+        self, checkpoint, tmp_path
+    ):
+        old, new, X = self.fit_pair()
+        path = tmp_path / "model"
+        persistence.save_model(old, path)
+        plan = FaultPlan(
+            scratch=str(tmp_path / "scratch"), kill_at=checkpoint
+        )
+        with faults.active(plan):
+            with pytest.raises(SimulatedCrash):
+                persistence.save_model(new, path)
+        survivor = LogisticRegression.load(path)  # verify=True: checksums ok
+        got = survivor.predict_proba(X)
+        # The manifest rename between the last two checkpoints is the
+        # commit point: kills before it must serve the old model, a kill
+        # after it the new one.
+        expected = new if checkpoint == "save:committed" else old
+        np.testing.assert_array_equal(
+            got, expected.predict_proba(X),
+            err_msg=f"kill at '{checkpoint}' produced a franken-model",
+        )
+
+    @pytest.mark.parametrize("checkpoint", persistence.SAVE_CHECKPOINTS[:-1])
+    def test_first_save_killed_reports_no_model(self, checkpoint, tmp_path):
+        _, new, _ = self.fit_pair()
+        path = tmp_path / "model"
+        plan = FaultPlan(
+            scratch=str(tmp_path / "scratch"), kill_at=checkpoint
+        )
+        with faults.active(plan):
+            with pytest.raises(SimulatedCrash):
+                persistence.save_model(new, path)
+        with pytest.raises(PersistenceError):
+            LogisticRegression.load(path)
+
+    def test_resave_heals_interrupted_save(self, tmp_path):
+        old, new, X = self.fit_pair()
+        path = tmp_path / "model"
+        persistence.save_model(old, path)
+        plan = FaultPlan(
+            scratch=str(tmp_path / "scratch"), kill_at="save:manifest-written"
+        )
+        with faults.active(plan):
+            with pytest.raises(SimulatedCrash):
+                persistence.save_model(new, path)
+        persistence.save_model(new, path)  # fault-free retry
+        healed = LogisticRegression.load(path)
+        np.testing.assert_array_equal(
+            healed.predict_proba(X), new.predict_proba(X)
+        )
+        # the retry committed and swept: one arrays file, no staging debris
+        assert len(list(path.glob("arrays-*.npz"))) == 1
+        assert not list(path.glob("*.tmp"))
+
+
+class TestBitFlips:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_flipped_bit_is_detected_and_named(self, seed, tmp_path):
+        rng = np.random.default_rng(3)
+        X, y = make_blobs(rng, n_per_class=30, n_features=3)
+        path = tmp_path / "model"
+        LogisticRegression().fit(X, y).save(path)
+        arrays_name = json.loads(
+            (path / "manifest.json").read_text()
+        )["arrays_file"]
+        offset = faults.flip_byte(path / arrays_name, seed=seed)
+        with pytest.raises(PersistenceError) as err:
+            LogisticRegression.load(path)
+        assert "arrays" in str(err.value), (
+            f"chaos seed {seed} (bit flip at byte {offset}): corruption "
+            f"report does not name the artifact: {err.value}"
+        )

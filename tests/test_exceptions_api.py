@@ -9,21 +9,29 @@ from repro.exceptions import (
     ConfigurationError,
     ConvergenceError,
     DataError,
+    DeadlineExceededError,
     InfeasibleError,
     NotFittedError,
     PlanningError,
     ReproError,
+    ResilienceError,
+    WorkerCrashError,
 )
 
 
 class TestExceptionHierarchy:
     def test_all_derive_from_repro_error(self):
         for exc in (ConfigurationError, DataError, NotFittedError,
-                    ConvergenceError, PlanningError, InfeasibleError):
+                    ConvergenceError, PlanningError, InfeasibleError,
+                    ResilienceError, DeadlineExceededError, WorkerCrashError):
             assert issubclass(exc, ReproError)
 
     def test_infeasible_is_planning_error(self):
         assert issubclass(InfeasibleError, PlanningError)
+
+    def test_resilience_family(self):
+        assert issubclass(DeadlineExceededError, ResilienceError)
+        assert issubclass(WorkerCrashError, ResilienceError)
 
     def test_single_catch_all(self):
         from repro.geo import Grid
@@ -34,7 +42,7 @@ class TestExceptionHierarchy:
 
 class TestPublicAPI:
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
     def test_top_level_exports_resolve(self):
         for name in repro.__all__:

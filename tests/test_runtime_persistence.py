@@ -237,3 +237,98 @@ class TestFailureModes:
         (path / "manifest.json").write_text(json.dumps(manifest))
         with pytest.raises(PersistenceError):
             LogisticRegression.load(path)
+
+
+# ---------------------------------------------------------------------------
+# Integrity: checksums, verification, and the crash-safe layout
+# ---------------------------------------------------------------------------
+class TestIntegrity:
+    def save_lr(self, blobs, path):
+        X, y = blobs
+        model = LogisticRegression().fit(X, y)
+        model.save(path)
+        return model, X
+
+    def test_manifest_carries_checksums(self, blobs, tmp_path):
+        path = tmp_path / "lr"
+        self.save_lr(blobs, path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        checksums = manifest["checksums"]
+        arrays_name = manifest["arrays_file"]
+        assert arrays_name.startswith("arrays-") and arrays_name.endswith(".npz")
+        assert checksums["file_sha256"].startswith(arrays_name[7:23])
+        assert checksums["arrays"]  # one sha256 per array
+        assert all(len(h) == 64 for h in checksums["arrays"].values())
+        # staging leftovers are swept after the commit
+        assert not list(path.glob("*.tmp"))
+
+    def test_resave_sweeps_stale_arrays(self, blobs, tmp_path):
+        X, y = blobs
+        path = tmp_path / "lr"
+        LogisticRegression(l2=0.5).fit(X, y).save(path)
+        first = json.loads((path / "manifest.json").read_text())["arrays_file"]
+        LogisticRegression(l2=2.0).fit(X, y).save(path)
+        second = json.loads((path / "manifest.json").read_text())["arrays_file"]
+        assert first != second
+        assert not (path / first).exists()  # unreferenced file swept
+        LogisticRegression.load(path)
+
+    def test_tampered_array_named_exactly(self, blobs, tmp_path):
+        path = tmp_path / "lr"
+        self.save_lr(blobs, path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        key = sorted(manifest["checksums"]["arrays"])[0]
+        manifest["checksums"]["arrays"][key] = "0" * 64
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match=f"array '{key}'"):
+            LogisticRegression.load(path)
+
+    def test_flipped_bit_detected_and_named(self, blobs, tmp_path):
+        path = tmp_path / "lr"
+        self.save_lr(blobs, path)
+        arrays_name = json.loads(
+            (path / "manifest.json").read_text()
+        )["arrays_file"]
+        from repro.runtime import faults
+
+        faults.flip_byte(path / arrays_name, seed=1)
+        with pytest.raises(PersistenceError, match="arrays"):
+            LogisticRegression.load(path)
+
+    def test_verify_false_skips_checksums(self, blobs, tmp_path):
+        path = tmp_path / "lr"
+        model, X = self.save_lr(blobs, path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        key = sorted(manifest["checksums"]["arrays"])[0]
+        manifest["checksums"]["arrays"][key] = "0" * 64
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        loaded = LogisticRegression.load(path, verify=False)
+        np.testing.assert_array_equal(
+            loaded.predict_proba(X), model.predict_proba(X)
+        )
+
+    def test_garbage_npz_wrapped_as_persistence_error(self, blobs, tmp_path):
+        path = tmp_path / "lr"
+        self.save_lr(blobs, path)
+        arrays_name = json.loads(
+            (path / "manifest.json").read_text()
+        )["arrays_file"]
+        (path / arrays_name).write_bytes(b"this is not a zip archive")
+        # verify=False routes straight into np.load: the raw BadZipFile /
+        # ValueError must still surface as PersistenceError naming the file.
+        with pytest.raises(PersistenceError, match="corrupt arrays file"):
+            LogisticRegression.load(path, verify=False)
+
+    def test_legacy_format1_still_loads(self, blobs, tmp_path):
+        path = tmp_path / "lr"
+        model, X = self.save_lr(blobs, path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        arrays_name = manifest.pop("arrays_file")
+        manifest.pop("checksums")
+        manifest["format_version"] = 1
+        (path / arrays_name).rename(path / "arrays.npz")
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        loaded = LogisticRegression.load(path)  # nothing to verify: no sums
+        np.testing.assert_array_equal(
+            loaded.predict_proba(X), model.predict_proba(X)
+        )
