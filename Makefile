@@ -4,10 +4,13 @@
 #   make bench       paper-artifact benchmarks (writes benchmarks/results/)
 #   make bench-fit   training-engine throughput benchmark only
 #   make bench-serve full 1.6k->1M serving scalability sweep (regenerates its results/ artifact)
+#   make bench-daemon park-service load generator (latency percentiles + QPS)
 #   make test-zoo    solver zoo only (pinned B&B search behaviour)
 #   make test-chaos  fault-injection suite (fixed seed matrix; failures
 #                    print their seed for exact replay)
 #   make smoke       CLI entry points all exit 0
+#   make serve-smoke end-to-end daemon smoke: subprocess `repro serve`,
+#                    all endpoints answer, SIGTERM drains with exit 0
 #   make lint        byte-compile every source tree AND run the invariant
 #                    analyzer (zero-violations gate: all rules over src/,
 #                    hygiene rule over benchmarks/ and examples/)
@@ -17,7 +20,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-zoo test-chaos bench bench-fit bench-serve smoke lint lint-json check
+.PHONY: test test-zoo test-chaos bench bench-fit bench-serve bench-daemon smoke serve-smoke lint lint-json check
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -37,15 +40,21 @@ bench-fit:
 bench-serve:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/test_serve_scalability.py -q
 
+bench-daemon:
+	$(PYTHON) -m pytest benchmarks/test_daemon_load.py -q
+
 smoke:
 	$(PYTHON) -m repro --help > /dev/null
-	for cmd in stats maps evaluate fieldtest plan predict lint; do \
+	for cmd in stats maps evaluate fieldtest plan predict serve lint; do \
 		$(PYTHON) -m repro $$cmd --help > /dev/null || exit 1; \
 	done
 	@echo "smoke: all CLI entry points exit 0"
 
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
+
 lint:
-	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -m compileall -q src tests benchmarks examples scripts
 	$(PYTHON) -m repro.analysis src/repro
 	$(PYTHON) -m repro.analysis --select RP006 benchmarks examples
 	@echo "lint: sources byte-compile and invariants hold"

@@ -1,0 +1,159 @@
+"""Park-service daemon under load: latency percentiles and sustained QPS.
+
+The daemon fronts the serving engine with admission control, deadlines,
+and circuit breakers (PR 9); this benchmark measures what that envelope
+costs on the hot path. A stdlib load generator (threads + ``urllib``)
+sweeps concurrent client counts against one in-process daemon serving a
+small saved model, recording per-request p50/p99 latency and sustained
+throughput for the cached ``/riskmap`` path — the request shape a
+deployed park service answers thousands of times per patrol cycle.
+
+Admission limits are set above the sweep's concurrency so nothing is
+shed: the numbers isolate the HTTP + admission + dispatch overhead, not
+load-shedding behaviour (the chaos suite covers shedding). Every body is
+checked bit-identical to the first response.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke step does) for a reduced sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.request
+
+import numpy as np
+
+from repro.core import PawsPredictor
+from repro.data import MFNP, generate_dataset
+from repro.evaluation import format_table
+from repro.runtime.daemon import ParkServiceDaemon
+
+from conftest import write_report
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+CLIENTS = (1, 2, 4) if SMOKE else (1, 2, 4, 8)
+REQUESTS_PER_CLIENT = 15 if SMOKE else 50
+
+#: The measured request: a cached risk map (seed/scale pin the context).
+PATH = "/riskmap?park=MFNP&effort=1.5&seed=0&scale=0.4"
+
+
+def _fetch(port: int) -> tuple[float, bytes]:
+    url = f"http://127.0.0.1:{port}{PATH}"
+    start = time.perf_counter()
+    with urllib.request.urlopen(url, timeout=30.0) as response:
+        assert response.status == 200
+        body = response.read()
+    return time.perf_counter() - start, body
+
+
+def _sweep(port: int, n_clients: int) -> tuple[list[float], float, set[bytes]]:
+    """All request latencies, wall-clock seconds, and distinct bodies."""
+    per_client: list[list[float]] = [[] for _ in range(n_clients)]
+    bodies: list[set[bytes]] = [set() for _ in range(n_clients)]
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client(slot: int) -> None:
+        barrier.wait()
+        for _ in range(REQUESTS_PER_CLIENT):
+            elapsed, body = _fetch(port)
+            per_client[slot].append(elapsed)
+            bodies[slot].add(body)
+
+    threads = [
+        threading.Thread(target=client, args=(slot,))
+        for slot in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    return (
+        [lat for latencies in per_client for lat in latencies],
+        wall,
+        set().union(*bodies),
+    )
+
+
+def test_daemon_load(tmp_path_factory):
+    root = tmp_path_factory.mktemp("daemon-load-models")
+    data = generate_dataset(MFNP.scaled(0.4), seed=0)
+    split = data.dataset.split_by_test_year(4)
+    PawsPredictor(
+        model="dtb", iware=True, n_classifiers=2, n_estimators=2, seed=5
+    ).fit(split.train).save(root / "MFNP")
+
+    daemon = ParkServiceDaemon(
+        root, port=0, max_inflight=16, max_queue=64, default_deadline=30.0,
+        registry_options={"n_jobs": 1},
+    ).start()
+    try:
+        warm_latency, reference = _fetch(daemon.port)  # load + cache fill
+
+        rows: list[list] = []
+        all_bodies: set[bytes] = {reference}
+        qps_by_clients: dict[int, float] = {}
+        for n_clients in CLIENTS:
+            latencies, wall, bodies = _sweep(daemon.port, n_clients)
+            all_bodies |= bodies
+            total = n_clients * REQUESTS_PER_CLIENT
+            qps = total / wall
+            qps_by_clients[n_clients] = qps
+            rows.append([
+                f"{n_clients} client(s) x {REQUESTS_PER_CLIENT} requests",
+                np.percentile(latencies, 50) * 1e3,
+                np.percentile(latencies, 99) * 1e3,
+                max(latencies) * 1e3,
+                qps,
+            ])
+
+        stats = json.loads(
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{daemon.port}/stats", timeout=30.0
+            ).read()
+        )
+    finally:
+        daemon.close()
+
+    table = format_table(
+        ["cached /riskmap sweep", "p50 (ms)", "p99 (ms)", "max (ms)", "QPS"],
+        rows, "{:,.2f}",
+    )
+    note = (
+        f"\nnote: one in-process daemon (max_inflight=16, no shedding in "
+        f"this sweep), cold first request {warm_latency * 1e3:,.1f} ms "
+        f"(model load + dataset + feature build), then every request hits "
+        f"the serving cache, so the numbers isolate the HTTP + admission + "
+        f"deadline + breaker envelope. All "
+        f"{stats['admission']['completed']} admitted requests completed, "
+        f"0 shed; every body byte-identical across clients and sweeps."
+    )
+    if SMOKE:
+        # The reduced sweep must not overwrite the full-sweep report.
+        print("\n===== daemon_load (smoke) =====\n" + table + note)
+    else:
+        write_report("daemon_load", table + note)
+
+    # Every response carried exactly the same bytes (same cached surface
+    # through the same float64-exact JSON path).
+    assert all_bodies == {reference}, "served bodies diverged under load"
+    # Nothing was shed and everything admitted completed (/stats itself is
+    # an unadmitted endpoint, so: the warm request plus the sweeps).
+    assert stats["admission"]["shed_saturated"] == 0
+    assert stats["admission"]["shed_draining"] == 0
+    expected = 1 + sum(REQUESTS_PER_CLIENT * c for c in CLIENTS)
+    assert stats["admission"]["completed"] == expected
+    # Loose regression guards (CI containers are noisy): the cached path
+    # must stay interactive and concurrency must not collapse throughput.
+    for row in rows:
+        assert row[1] < 1_000, f"cached /riskmap p50 above one second: {row}"
+    assert qps_by_clients[CLIENTS[-1]] >= qps_by_clients[1] * 0.5, (
+        "throughput collapsed under concurrency"
+    )

@@ -27,6 +27,8 @@ Subpackages
 """
 
 from repro.exceptions import (
+    AdmissionError,
+    CircuitOpenError,
     ConfigurationError,
     ConvergenceError,
     DataError,
@@ -40,7 +42,7 @@ from repro.exceptions import (
     WorkerCrashError,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from repro.pipeline import DataToDeploymentPipeline, PipelineResult
 from repro.planning.service import PlanService
@@ -59,6 +61,8 @@ __all__ = [
     "ResilienceError",
     "DeadlineExceededError",
     "WorkerCrashError",
+    "AdmissionError",
+    "CircuitOpenError",
     "PersistenceError",
     "PlanningError",
     "InfeasibleError",

@@ -28,13 +28,33 @@ import numpy as np
 
 from repro.core import PawsPredictor
 from repro.data import generate_dataset, get_profile, list_profiles
-from repro.exceptions import DeadlineExceededError
+from repro.exceptions import ConfigurationError, DeadlineExceededError
 from repro.data.generator import dataset_statistics
 from repro.evaluation import ascii_heatmap, format_table
 from repro.fieldtest import chi_squared_test, design_field_test, field_test_table, run_field_trial
 from repro.planning import BNB_STRATEGIES, SOLVER_MODES
 from repro.planning.service import PlanService
 from repro.runtime.service import RiskMapService
+
+
+def _positive_seconds(text: str) -> float:
+    """argparse type for strictly positive second counts (deadlines).
+
+    Raising :class:`argparse.ArgumentTypeError` makes argparse exit 2 with
+    a usage error naming the offending flag — instead of starting work with
+    an impossible budget or surfacing a stack trace mid-run.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of seconds, got '{text}'"
+        ) from None
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number of seconds, got {text}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,7 +127,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="node/variable selection of the 'bnb' solver")
     plan.add_argument("--n-jobs", type=int, default=1,
                       help="planning threads (plans identical to serial)")
-    plan.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+    plan.add_argument("--deadline", type=_positive_seconds, default=None,
+                      metavar="SECONDS",
                       help="abort the whole planning request (prediction + "
                       "every solve, one shared budget) after this many "
                       "seconds; exit code 1 on overrun")
@@ -150,10 +171,53 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--no-verify", action="store_true",
                          help="skip sha256 checksum verification when "
                          "loading with --load-model (trusted storage only)")
-    predict.add_argument("--deadline", type=float, default=None,
+    predict.add_argument("--deadline", type=_positive_seconds, default=None,
                          metavar="SECONDS",
                          help="abort the serve after this many seconds; "
                          "exit code 1 on overrun")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived multi-park HTTP serving daemon",
+        description="Serve risk maps and patrol plans for every saved model "
+        "under --models-dir over HTTP (GET /riskmap, /plan, /health, "
+        "/ready, /stats; POST /models/<park>/reload hot-swaps a re-saved "
+        "model). Admission control sheds overload with 503, every admitted "
+        "request runs under a deadline (504 on overrun), and SIGTERM "
+        "drains gracefully.",
+    )
+    serve.add_argument("--models-dir", required=True, metavar="DIR",
+                       help="directory of saved models, one "
+                       "save_model directory per park (the directory name "
+                       "must match a park profile)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks an ephemeral port "
+                       "(printed on startup)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="concurrent admitted requests; the rest queue "
+                       "briefly, then shed with 503")
+    serve.add_argument("--max-queue", type=int, default=16,
+                       help="requests allowed to wait for an admission slot")
+    serve.add_argument("--default-deadline", type=_positive_seconds,
+                       default=30.0, metavar="SECONDS",
+                       help="per-request budget when the client sends no "
+                       "?deadline= (504 on overrun)")
+    serve.add_argument("--no-default-deadline", action="store_true",
+                       help="disable the server-side default deadline "
+                       "(client-supplied deadlines still apply)")
+    serve.add_argument("--max-parks", type=int, default=8,
+                       help="models kept hot before LRU eviction")
+    serve.add_argument("--tile-size", type=int, default=None,
+                       help="cells per serving tile (bounds transient "
+                       "memory; see 'predict')")
+    serve.add_argument("--n-jobs", type=int, default=1,
+                       help="prediction workers per request")
+    serve.add_argument("--backend", default="auto",
+                       choices=("auto", "thread", "process"),
+                       help="prediction pool flavour")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per request to stderr")
 
     from repro.analysis.cli import DESCRIPTION as lint_description
     from repro.analysis.cli import add_arguments as add_lint_arguments
@@ -390,6 +454,39 @@ def _cmd_predict(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from repro.runtime.daemon import ParkServiceDaemon
+
+    try:
+        daemon = ParkServiceDaemon(
+            args.models_dir,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            default_deadline=(
+                None if args.no_default_deadline else args.default_deadline
+            ),
+            registry_options={
+                "max_parks": args.max_parks,
+                "tile_size": args.tile_size,
+                "n_jobs": args.n_jobs,
+                "backend": args.backend,
+            },
+            verbose=args.verbose,
+        )
+        daemon.start()
+    except ConfigurationError as exc:
+        out.write(f"serve: {exc}\n")
+        return 2
+    out.write(
+        f"park-service listening on http://{daemon.host}:{daemon.port} "
+        f"(parks: {', '.join(daemon.registry.available()) or 'none'})\n"
+    )
+    out.flush()
+    return daemon.run_forever()
+
+
 def _cmd_lint(args, out) -> int:
     from repro.analysis.cli import run_from_args
 
@@ -403,6 +500,7 @@ _COMMANDS = {
     "fieldtest": _cmd_fieldtest,
     "plan": _cmd_plan,
     "predict": _cmd_predict,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 

@@ -43,6 +43,14 @@ class WorkerCrashError(ResilienceError):
     """Pool workers kept dying and the retry/degradation budget ran out."""
 
 
+class AdmissionError(ResilienceError):
+    """A request was shed by admission control (server saturated or draining)."""
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open; the protected operation was not attempted."""
+
+
 class PlanningError(ReproError):
     """Patrol-plan construction or MILP solution failed."""
 

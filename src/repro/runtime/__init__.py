@@ -25,12 +25,20 @@ Section VII:
   :class:`~repro.runtime.resilience.ResilienceStats`.
 * :mod:`repro.runtime.faults` — the deterministic fault-injection harness
   the chaos suite replays against real fits, serves, and saves.
+* :mod:`repro.runtime.admission`, :mod:`repro.runtime.breaker`,
+  :mod:`repro.runtime.registry`, :mod:`repro.runtime.daemon` — the
+  park-service daemon: bounded admission with load shedding, circuit
+  breakers over loads and dispatch, a hot-swappable multi-park model
+  registry, and the HTTP skin + graceful drain tying them together
+  (``repro serve``).
 
 ``repro.ml`` modules import this package for ``parallel_map`` and the
 persistence codec, so this ``__init__`` must not import ``repro.core`` at
 module scope; :class:`RiskMapService` is exposed lazily instead.
 """
 
+from repro.runtime.admission import AdmissionGate
+from repro.runtime.breaker import CircuitBreaker
 from repro.runtime.concurrency import thread_shared, thread_shared_classes
 from repro.runtime.parallel import (
     parallel_map,
@@ -63,13 +71,26 @@ __all__ = [
     "collect_stats",
     "ResilienceStats",
     "RetryPolicy",
+    "AdmissionGate",
+    "CircuitBreaker",
     "RiskMapService",
+    "ModelRegistry",
+    "ParkServiceDaemon",
 ]
 
 
 def __getattr__(name: str):
+    # Lazy: these pull in repro.core, which imports this package.
     if name == "RiskMapService":
         from repro.runtime.service import RiskMapService
 
         return RiskMapService
+    if name == "ModelRegistry":
+        from repro.runtime.registry import ModelRegistry
+
+        return ModelRegistry
+    if name == "ParkServiceDaemon":
+        from repro.runtime.daemon import ParkServiceDaemon
+
+        return ParkServiceDaemon
     raise AttributeError(f"module 'repro.runtime' has no attribute '{name}'")

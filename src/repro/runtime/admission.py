@@ -1,0 +1,226 @@
+"""Admission control: a bounded gate between the listener and the services.
+
+A ``ThreadingHTTPServer`` happily spawns one thread per connection, which
+under overload means unbounded concurrency: every request slows every other
+request down, deadlines blow out across the board, and the process
+eventually dies of memory pressure — the classic congestion collapse the
+paper's deployed installations cannot afford. :class:`AdmissionGate` makes
+saturation explicit instead:
+
+* at most ``max_inflight`` requests execute at once;
+* at most ``max_queue`` more may *wait* (bounded, for at most
+  ``queue_wait`` seconds each) for a slot to free up;
+* everything beyond that is **shed immediately** with
+  :class:`~repro.exceptions.AdmissionError`, which the daemon maps to
+  ``503 + Retry-After`` — a cheap, clean rejection the client can retry,
+  instead of a queued request that times out after consuming resources;
+* :meth:`begin_drain` flips the gate into drain mode: new arrivals (and
+  already-queued waiters) are shed, in-flight requests run to completion,
+  and :meth:`wait_idle` blocks until the last one finishes — the SIGTERM
+  half of the daemon's graceful-shutdown contract.
+
+A request queued for admission still burns its own
+:class:`~repro.runtime.resilience.Deadline`; expiry while waiting raises
+:class:`~repro.exceptions.DeadlineExceededError` (a ``504``, not a
+``503`` — the budget was the client's, not the server's).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.exceptions import AdmissionError, ConfigurationError
+from repro.runtime.concurrency import thread_shared
+from repro.runtime.resilience import Deadline
+
+
+@thread_shared
+class AdmissionGate:
+    """Bounded-concurrency admission with load shedding and drain.
+
+    Parameters
+    ----------
+    max_inflight:
+        Concurrent admitted requests (>= 1).
+    max_queue:
+        Requests allowed to wait for a slot when all ``max_inflight`` are
+        busy; ``0`` sheds on the first request past the limit.
+    queue_wait:
+        Longest a queued request waits for a slot before being shed.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queue: int = 16,
+        queue_wait: float = 0.5,
+    ):
+        if int(max_inflight) < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if int(max_queue) < 0:
+            raise ConfigurationError(
+                f"max_queue must be >= 0, got {max_queue}"
+            )
+        if float(queue_wait) < 0.0:
+            raise ConfigurationError(
+                f"queue_wait must be >= 0, got {queue_wait}"
+            )
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self.queue_wait = float(queue_wait)
+        # Mutated only under self._lock (the @thread_shared contract, RP004).
+        # The condition shares the lock so waiters wake on slot release and
+        # on drain start.
+        self._lock = threading.RLock()
+        self._slots = threading.Condition(self._lock)
+        self._inflight = 0
+        self._queued = 0
+        self._draining = False
+        self._admitted = 0
+        self._completed = 0
+        self._shed_saturated = 0
+        self._shed_draining = 0
+        self._peak_inflight = 0
+        self._peak_queued = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    @contextmanager
+    def admitted(self, deadline: Deadline | None = None, label: str = "request"):
+        """Hold one admission slot for the duration of the block."""
+        self.acquire(deadline=deadline, label=label)
+        try:
+            yield self
+        finally:
+            self.release()
+
+    def acquire(
+        self, deadline: Deadline | None = None, label: str = "request"
+    ) -> None:
+        """Claim a slot, queueing briefly if saturated; shed otherwise.
+
+        Raises :class:`~repro.exceptions.AdmissionError` when the server is
+        draining, the wait queue is full, or no slot frees within
+        ``queue_wait`` seconds — the daemon's cue to answer
+        ``503 + Retry-After``. Raises
+        :class:`~repro.exceptions.DeadlineExceededError` if the caller's
+        own deadline expires while queued.
+        """
+        with self._lock:
+            if self._draining:
+                self._shed_draining += 1
+                raise AdmissionError(
+                    f"{label} shed: the server is draining and admits no "
+                    "new requests"
+                )
+            if self._inflight < self.max_inflight:
+                self._admit_locked()
+                return
+            if self._queued >= self.max_queue:
+                self._shed_saturated += 1
+                raise AdmissionError(
+                    f"{label} shed: {self._inflight} requests in flight "
+                    f"(limit {self.max_inflight}) and the admission queue "
+                    f"is full ({self.max_queue} waiting)"
+                )
+            self._queued += 1
+            self._peak_queued = max(self._peak_queued, self._queued)
+            started = time.monotonic()
+            try:
+                while True:
+                    if deadline is not None:
+                        deadline.check(f"{label} (queued for admission)")
+                    remaining = self.queue_wait - (time.monotonic() - started)
+                    if remaining <= 0.0:
+                        self._shed_saturated += 1
+                        raise AdmissionError(
+                            f"{label} shed: no admission slot freed within "
+                            f"{self.queue_wait:.3f}s "
+                            f"({self._inflight} in flight, "
+                            f"{self._queued} queued)"
+                        )
+                    if deadline is not None:
+                        remaining = min(remaining, max(deadline.remaining(), 0.0))
+                    # Wake early on release/drain; cap the nap so deadline
+                    # expiry is noticed promptly even without a release.
+                    self._slots.wait(timeout=min(remaining, 0.05))
+                    if self._draining:
+                        self._shed_draining += 1
+                        raise AdmissionError(
+                            f"{label} shed: the server began draining while "
+                            "the request was queued for admission"
+                        )
+                    if self._inflight < self.max_inflight:
+                        self._admit_locked()
+                        return
+            finally:
+                self._queued -= 1
+
+    def _admit_locked(self) -> None:
+        # Callers already hold self._lock; re-entering the RLock keeps the
+        # mutation visibly inside a lock block (the RP004 contract).
+        with self._lock:
+            self._inflight += 1
+            self._admitted += 1
+            self._peak_inflight = max(self._peak_inflight, self._inflight)
+
+    def release(self) -> None:
+        """Return a slot and wake queued requests (and any drain waiter)."""
+        with self._lock:
+            self._inflight -= 1
+            self._completed += 1
+            self._slots.notify_all()
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop admitting; queued waiters are shed, in-flight ones finish."""
+        with self._lock:
+            self._draining = True
+            self._slots.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until every in-flight request completed; False on timeout."""
+        limit = None if timeout is None else time.monotonic() + float(timeout)
+        with self._lock:
+            while self._inflight > 0:
+                rest = None if limit is None else limit - time.monotonic()
+                if rest is not None and rest <= 0.0:
+                    return False
+                self._slots.wait(timeout=0.5 if rest is None else min(rest, 0.5))
+            return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def info(self) -> dict:
+        """A json-able counter snapshot (the daemon's ``/stats`` section)."""
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "queue_wait": self.queue_wait,
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "draining": self._draining,
+                "admitted": self._admitted,
+                "completed": self._completed,
+                "shed_saturated": self._shed_saturated,
+                "shed_draining": self._shed_draining,
+                "peak_inflight": self._peak_inflight,
+                "peak_queued": self._peak_queued,
+            }

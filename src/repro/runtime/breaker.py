@@ -1,0 +1,206 @@
+"""Circuit breakers: stop hammering an operation that keeps failing.
+
+Two daemon operations can fail repeatedly in ways retrying makes *worse*:
+
+* **model loads** — a corrupt artifact fails its checksum every time, and
+  re-hashing a multi-megabyte npz on every request turns one bad disk
+  block into a CPU denial of service;
+* **process-pool dispatch** — a host that OOM-kills workers will OOM-kill
+  the replacement pool too, and every request pays the full
+  retry/degradation ladder of :func:`~repro.runtime.resilience.supervised_map`
+  before completing.
+
+:class:`CircuitBreaker` is the standard three-state machine over a
+monotonic clock:
+
+* ``closed`` — healthy; operations proceed, failures are counted, and
+  ``failure_threshold`` consecutive failures open the circuit;
+* ``open`` — operations are refused (:meth:`allow` returns ``False``; the
+  caller sheds with :class:`~repro.exceptions.CircuitOpenError` or serves a
+  degraded path) until ``recovery_after`` seconds elapse;
+* ``half-open`` — after the cool-down exactly **one probe** operation is
+  let through: success closes the circuit, failure re-opens it for another
+  full cool-down. :meth:`cancel_probe` returns an unused probe (e.g. the
+  probed request was served entirely from cache and produced no evidence
+  either way).
+
+The breaker never *retries* anything itself — it only gates; timing is
+deterministic given the injected clock, which the tests replace.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.exceptions import CircuitOpenError, ConfigurationError
+from repro.runtime.concurrency import thread_shared
+
+#: The three breaker states, as reported by :meth:`CircuitBreaker.state`.
+STATES = ("closed", "open", "half_open")
+
+
+@thread_shared
+class CircuitBreaker:
+    """One named three-state circuit breaker (see module docs).
+
+    Parameters
+    ----------
+    name:
+        Label used in :class:`~repro.exceptions.CircuitOpenError` messages
+        and ``/health`` payloads (e.g. ``"load:MFNP"``).
+    failure_threshold:
+        Consecutive failures that open a closed circuit.
+    recovery_after:
+        Cool-down seconds before an open circuit allows a probe.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        recovery_after: float = 5.0,
+        clock=time.monotonic,
+    ):
+        if int(failure_threshold) < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if float(recovery_after) < 0.0:
+            raise ConfigurationError(
+                f"recovery_after must be >= 0, got {recovery_after}"
+            )
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_after = float(recovery_after)
+        self._clock = clock
+        # Mutated only under self._lock (the @thread_shared contract, RP004).
+        self._lock = threading.RLock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self._opened_total = 0
+        self._probes = 0
+
+    # ------------------------------------------------------------------
+    # Gating
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May the protected operation run right now?
+
+        ``True`` while closed; after an open circuit's cool-down, ``True``
+        exactly once (the half-open probe) until the probe reports back.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if (
+                self._state == "open"
+                and self._clock() - self._opened_at >= self.recovery_after
+            ):
+                self._state = "half_open"
+            if self._state == "half_open" and not self._probing:
+                self._probing = True
+                self._probes += 1
+                return True
+            return False
+
+    def check(self) -> None:
+        """:meth:`allow` or raise :class:`~repro.exceptions.CircuitOpenError`."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit '{self.name}' is open after "
+                f"{self._failures} consecutive failure(s); "
+                f"retry in {self.retry_after():.1f}s"
+            )
+
+    def call(self, operation, trip_on: type | tuple = Exception):
+        """Run ``operation()`` under the breaker.
+
+        Refuses with :class:`~repro.exceptions.CircuitOpenError` when open;
+        otherwise records success/failure (only exceptions matching
+        ``trip_on`` count as failures — anything else propagates without
+        touching the breaker).
+        """
+        self.check()
+        try:
+            result = operation()
+        except BaseException as exc:
+            if isinstance(exc, trip_on):
+                self.record_failure()
+            else:
+                self.cancel_probe()
+            raise
+        self.record_success()
+        return result
+
+    # ------------------------------------------------------------------
+    # Evidence
+    # ------------------------------------------------------------------
+    def record_success(self) -> None:
+        """A protected operation completed cleanly; close the circuit."""
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A protected operation failed; maybe open the circuit."""
+        with self._lock:
+            self._failures += 1
+            was_probe = self._probing
+            self._probing = False
+            if was_probe or self._failures >= self.failure_threshold:
+                if self._state != "open":
+                    self._opened_total += 1
+                self._state = "open"
+                self._opened_at = self._clock()
+
+    def cancel_probe(self) -> None:
+        """Return an unused half-open probe (no evidence either way)."""
+        with self._lock:
+            if self._probing:
+                self._probing = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state(self) -> str:
+        """Current state, resolving an elapsed cool-down to ``half_open``."""
+        with self._lock:
+            if (
+                self._state == "open"
+                and self._clock() - self._opened_at >= self.recovery_after
+            ):
+                return "half_open"
+            return self._state
+
+    def healthy(self) -> bool:
+        """True iff closed (the ``/health`` \"not flagged\" condition)."""
+        return self.state() == "closed"
+
+    def retry_after(self) -> float:
+        """Seconds until an open circuit next allows a probe (0 if now)."""
+        with self._lock:
+            if self._state != "open":
+                return 0.0
+            return max(
+                0.0, self.recovery_after - (self._clock() - self._opened_at)
+            )
+
+    def info(self) -> dict:
+        """A json-able snapshot for ``/health`` and ``/stats``."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self.state(),
+                "failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "recovery_after": self.recovery_after,
+                "opened_total": self._opened_total,
+                "probes": self._probes,
+                "retry_after": self.retry_after(),
+            }

@@ -41,6 +41,11 @@ Fault vocabulary
     Name of one ``save_model`` checkpoint (see
     :data:`repro.runtime.persistence.SAVE_CHECKPOINTS`) where the save is
     killed by raising :class:`SimulatedCrash`.
+``slow_requests``
+    Daemon request label (e.g. ``"riskmap"``) -> seconds of injected
+    latency, applied by :func:`on_request` *inside* the admission envelope,
+    before the handler runs — the flood and drain chaos tests use it to
+    hold admission slots open deterministically.
 """
 
 from __future__ import annotations
@@ -89,6 +94,8 @@ class FaultPlan:
     fail_pickle_probe: bool = False
     #: A ``save_model`` checkpoint name, or "" for no kill.
     kill_at: str = ""
+    #: Daemon request label -> injected latency (see :func:`on_request`).
+    slow_requests: dict[str, float] = field(default_factory=dict)
     #: Pid of the installing process; crashes only fire in *other* pids.
     main_pid: int = field(default_factory=os.getpid)
 
@@ -135,6 +142,7 @@ class FaultPlan:
                 "slow": {str(k): v for k, v in self.slow.items()},
                 "fail_pickle_probe": self.fail_pickle_probe,
                 "kill_at": self.kill_at,
+                "slow_requests": dict(self.slow_requests),
                 "main_pid": self.main_pid,
             },
             sort_keys=True,
@@ -154,6 +162,10 @@ class FaultPlan:
             slow={int(k): float(v) for k, v in raw.get("slow", {}).items()},
             fail_pickle_probe=bool(raw.get("fail_pickle_probe", False)),
             kill_at=str(raw.get("kill_at", "")),
+            slow_requests={
+                str(k): float(v)
+                for k, v in raw.get("slow_requests", {}).items()
+            },
             main_pid=int(raw.get("main_pid", 0)),
         )
 
@@ -246,6 +258,21 @@ def checkpoint(name: str) -> None:
     plan = active_plan()
     if plan is not None and plan.kill_at == name:
         raise SimulatedCrash(f"simulated kill at checkpoint '{name}'")
+
+
+def on_request(route: str) -> None:
+    """Daemon hook: may slow one HTTP route down (any request thread).
+
+    Injected latency never changes computed values, so served payloads stay
+    bit-identical; it only widens the window the chaos suite needs to
+    observe saturation (flood tests) or in-flight work (drain tests).
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    pause = plan.slow_requests.get(str(route))
+    if pause:
+        time.sleep(pause)
 
 
 def on_pickle_probe() -> None:

@@ -58,9 +58,12 @@ from __future__ import annotations
 
 import hashlib
 import io
+import itertools
 import json
 import os
+import time
 import zipfile
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
 
@@ -258,20 +261,113 @@ def _fsync_dir(path: Path) -> None:
         os.close(fd)
 
 
-def _sweep_stale(path: Path, keep_arrays: str) -> None:
-    """Remove staging leftovers and arrays files the manifest no longer names.
+#: Per-process staging serial, so two saver *threads* in one process never
+#: collide on a staging name (itertools.count is atomic under the GIL).
+_STAGING_COUNTER = itertools.count()
 
-    Only called *after* the manifest commit, so nothing referenced by either
-    the old or the new manifest is ever deleted mid-save. Removal failures
-    are ignored: stale files are garbage, not state.
+
+def _staging_suffix() -> str:
+    """A ``<pid>-<serial>.tmp`` suffix unique to this save in this process."""
+    return f"{os.getpid()}-{next(_STAGING_COUNTER)}.tmp"
+
+
+def _staging_pid(name: str) -> int | None:
+    """The saver pid embedded in a ``<base>.<pid>-<serial>.tmp`` name."""
+    parts = name.split(".")
+    if len(parts) >= 3 and parts[-1] == "tmp":
+        try:
+            return int(parts[-2].split("-")[0])
+        except ValueError:
+            return None
+    return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0; no signal is delivered)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # pragma: no cover - e.g. PermissionError: exists
+        return True
+    return True
+
+
+@contextmanager
+def _save_lock(path: Path):
+    """Serialize whole saves into one directory across threads *and* pids.
+
+    Two unserialized racing saves can interleave commit and sweep so that
+    one deletes arrays the other's manifest is about to (or just did)
+    reference. The lock is a pid-stamped ``O_CREAT | O_EXCL`` file —
+    atomic across processes, the same idiom as the fault harness's
+    once-markers — held from the first staged byte through the post-commit
+    sweep. A lock left behind by a dead saver (a real kill cannot run the
+    ``finally``) is detected by pid liveness and broken.
     """
+    lock = path / ".save.lock"
+    while True:
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            break
+        except FileExistsError:
+            try:
+                holder = int(lock.read_text().strip() or "0")
+            except (OSError, ValueError):
+                holder = None  # mid-write or just released; retry
+            if holder is not None and not _pid_alive(holder):
+                try:
+                    lock.unlink()  # stale lock from a dead saver
+                except OSError:  # pragma: no cover - concurrent breaker
+                    pass
+            time.sleep(0.01)
+    try:
+        os.write(fd, str(os.getpid()).encode())
+        os.close(fd)
+        yield
+    finally:
+        try:
+            os.unlink(lock)
+        except OSError:  # pragma: no cover - lock broken under us
+            pass
+
+
+def _sweep_stale(path: Path, keep_arrays: str) -> None:
+    """Remove staging leftovers and arrays files no manifest names.
+
+    Only called *after* the manifest commit. Two racing savers into one
+    directory must not destroy each other's work, so the sweep is
+    conservative on both fronts:
+
+    * ``*.tmp`` staging files carry their saver's pid
+      (``<base>.<pid>.tmp``); another *live* process's staging files are
+      left alone — only our own and dead savers' leftovers are swept;
+    * the committed manifest is re-read *at sweep time* and its
+      ``arrays_file`` is kept alongside our own ``keep_arrays``, so a
+      racing save that committed after us cannot have its arrays deleted
+      by our (now stale) notion of the winner.
+
+    Removal failures are ignored: stale files are garbage, not state.
+    """
+    keep = {keep_arrays}
+    try:
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        committed = manifest.get("arrays_file")
+        if committed:
+            keep.add(str(committed))
+    except (OSError, json.JSONDecodeError):  # pragma: no cover - racing save
+        pass  # unreadable manifest mid-race; keep only our own arrays
+    own_pid = os.getpid()
     for stale in path.glob("*.tmp"):
+        pid = _staging_pid(stale.name)
+        if pid is not None and pid != own_pid and _pid_alive(pid):
+            continue  # a live concurrent saver's staging file; not garbage
         try:
             stale.unlink()
         except OSError:  # pragma: no cover - concurrent sweep
             pass
     for stale in path.glob("arrays*.npz"):
-        if stale.name != keep_arrays:
+        if stale.name not in keep:
             try:
                 stale.unlink()
             except OSError:  # pragma: no cover - concurrent sweep
@@ -309,38 +405,47 @@ def save_model(model, path: str | Path) -> Path:
     # Content-token file name: a resave of identical arrays maps to the
     # same file (idempotent), a different fit to a different file — so the
     # old manifest's reference stays valid until the new manifest commits.
-    arrays_name = f"arrays-{file_digest[:16]}.npz"
-    arrays_tmp = path / f"{arrays_name}.tmp"
-    _write_durable(arrays_tmp, payload)
-    faults.checkpoint("save:arrays-written")
-    os.replace(arrays_tmp, path / arrays_name)
-    _fsync_dir(path)
-    faults.checkpoint("save:arrays-committed")
+    # Racing saves into one directory are serialized end to end (staged
+    # bytes through post-commit sweep) by the save lock, so the directory
+    # always holds one complete old-or-new model and no sweep can delete
+    # arrays a racing winner's manifest references. Staging names carry a
+    # per-save pid+serial suffix as defense in depth, so even an
+    # unserialized writer cannot truncate a half-written staging file
+    # (the committed names stay suffix-free; the manifest rename is still
+    # the commit point).
+    with _save_lock(path):
+        arrays_name = f"arrays-{file_digest[:16]}.npz"
+        arrays_tmp = path / f"{arrays_name}.{_staging_suffix()}"
+        _write_durable(arrays_tmp, payload)
+        faults.checkpoint("save:arrays-written")
+        os.replace(arrays_tmp, path / arrays_name)
+        _fsync_dir(path)
+        faults.checkpoint("save:arrays-committed")
 
-    manifest = {
-        "format_version": FORMAT_VERSION,
-        "repro_version": __version__,
-        "arrays_file": arrays_name,
-        "checksums": {
-            "file_sha256": file_digest,
-            "arrays": {
-                key: array_sha256(array)
-                for key, array in sorted(store.arrays.items())
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "repro_version": __version__,
+            "arrays_file": arrays_name,
+            "checksums": {
+                "file_sha256": file_digest,
+                "arrays": {
+                    key: array_sha256(array)
+                    for key, array in sorted(store.arrays.items())
+                },
             },
-        },
-        "model": node,
-    }
-    manifest_tmp = path / f"{MANIFEST_NAME}.tmp"
-    _write_durable(
-        manifest_tmp,
-        json.dumps(manifest, indent=2, sort_keys=True).encode(),
-    )
-    faults.checkpoint("save:manifest-written")
-    os.replace(manifest_tmp, path / MANIFEST_NAME)  # <-- the commit point
-    _fsync_dir(path)
-    faults.checkpoint("save:committed")
+            "model": node,
+        }
+        manifest_tmp = path / f"{MANIFEST_NAME}.{_staging_suffix()}"
+        _write_durable(
+            manifest_tmp,
+            json.dumps(manifest, indent=2, sort_keys=True).encode(),
+        )
+        faults.checkpoint("save:manifest-written")
+        os.replace(manifest_tmp, path / MANIFEST_NAME)  # <-- the commit point
+        _fsync_dir(path)
+        faults.checkpoint("save:committed")
 
-    _sweep_stale(path, keep_arrays=arrays_name)
+        _sweep_stale(path, keep_arrays=arrays_name)
     return path
 
 
@@ -356,6 +461,11 @@ def _load_arrays(arrays_path: Path) -> dict[str, np.ndarray]:
     try:
         with np.load(arrays_path) as data:
             return {key: data[key] for key in data.files}
+    except FileNotFoundError:
+        raise PersistenceError(
+            f"missing arrays file '{arrays_path}' (referenced by the "
+            "manifest but absent on disk)"
+        ) from None
     except (zipfile.BadZipFile, ValueError, EOFError, OSError) as exc:
         raise PersistenceError(
             f"corrupt arrays file '{arrays_path}': {exc}"
@@ -433,12 +543,24 @@ def load_model(
     arrays_path = path / arrays_name
     if not arrays_path.is_file():
         raise PersistenceError(
-            f"'{path}' is missing its arrays file '{arrays_name}'"
+            f"'{path}' is missing its arrays file '{arrays_name}' "
+            f"(expected at '{arrays_path}')"
         )
     checksums = manifest.get("checksums") or {}
     file_digest_ok = True
+    # The pre-check above can race a concurrent sweep (TOCTOU): the file
+    # may vanish between is_file() and the reads below, so the hashing
+    # wraps FileNotFoundError into the same artifact-naming PersistenceError.
     if verify and checksums.get("file_sha256"):
-        file_digest_ok = file_sha256(arrays_path) == checksums["file_sha256"]
+        try:
+            file_digest_ok = (
+                file_sha256(arrays_path) == checksums["file_sha256"]
+            )
+        except FileNotFoundError:
+            raise PersistenceError(
+                f"missing arrays file '{arrays_path}' (referenced by the "
+                "manifest but absent on disk)"
+            ) from None
     arrays = _load_arrays(arrays_path)
     if verify and checksums:
         _verify_arrays(path, arrays_path, arrays, checksums, file_digest_ok)

@@ -271,6 +271,7 @@ class RiskMapService:
         features,
         effort_grid: np.ndarray,
         deadline: float | None = None,
+        backend: str | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Cached batched ``(g_v(c), nu_v(c))`` surfaces for planner input.
 
@@ -285,10 +286,15 @@ class RiskMapService:
         shared :class:`~repro.runtime.resilience.Deadline`); an overrun
         raises :class:`~repro.exceptions.DeadlineExceededError` and caches
         nothing. Hits return immediately regardless.
+
+        ``backend`` overrides the service's pool flavour for this one query
+        (the daemon's degraded-dispatch path). Results are bit-identical
+        across backends, so the cache key is unchanged.
         """
         array, feature_key = self._resolve_features(features)
         effort_grid = np.asarray(effort_grid, dtype=float)
         key = self._key("effort_response", feature_key, effort_grid)
+        chosen_backend = self.backend if backend is None else check_backend(backend)
 
         def compute():
             with deadline_scope(deadline), collect_stats() as stats:
@@ -296,7 +302,7 @@ class RiskMapService:
                     risk, nu = self.predictor.effort_response(
                         array, effort_grid,
                         tile_size=self.tile_size, n_jobs=self.n_jobs,
-                        backend=self.backend,
+                        backend=chosen_backend,
                     )
                 finally:
                     self._absorb(stats)
@@ -311,18 +317,20 @@ class RiskMapService:
         features,
         effort: float | None = None,
         deadline: float | None = None,
+        backend: str | None = None,
     ) -> np.ndarray:
         """Cached per-cell attack-detection probability at one effort level.
 
         ``effort=None`` gives the unconditional (prior-corrected) map; a
         value conditions on that hypothetical patrol effort, as in the
         Fig. 6 risk maps. ``features`` may be a token, as in
-        :meth:`effort_response`, and ``deadline`` bounds a cache-miss
-        compute the same way.
+        :meth:`effort_response`; ``deadline`` bounds a cache-miss compute
+        and ``backend`` overrides the pool flavour the same way.
         """
         array, feature_key = self._resolve_features(features)
         effort_tag = "none" if effort is None else repr(float(effort))
         key = self._key(f"risk_map/{effort_tag}", feature_key)
+        chosen_backend = self.backend if backend is None else check_backend(backend)
 
         def compute():
             with deadline_scope(deadline), collect_stats() as stats:
@@ -330,7 +338,7 @@ class RiskMapService:
                     risk = self.predictor.predict_proba(
                         array, effort=effort,
                         tile_size=self.tile_size, n_jobs=self.n_jobs,
-                        backend=self.backend,
+                        backend=chosen_backend,
                     )
                 finally:
                     self._absorb(stats)

@@ -20,6 +20,11 @@ Run via ``make test-chaos`` (the CI job) or plain pytest.
 from __future__ import annotations
 
 import json
+import shutil
+import threading
+import time
+import urllib.error
+import urllib.request
 
 import numpy as np
 import pytest
@@ -34,6 +39,7 @@ from repro.exceptions import (
 from repro.ml import DecisionTreeClassifier, LogisticRegression
 from repro.ml.bagging import BaggingClassifier
 from repro.runtime import faults, persistence
+from repro.runtime.daemon import ParkServiceDaemon
 from repro.runtime.faults import FaultPlan, SimulatedCrash
 from repro.runtime.parallel import run_deferred
 from repro.runtime.resilience import (
@@ -289,6 +295,255 @@ class TestKillMidSave:
         # the retry committed and swept: one arrays file, no staging debris
         assert len(list(path.glob("arrays-*.npz"))) == 1
         assert not list(path.glob("*.tmp"))
+
+
+# ---------------------------------------------------------------------------
+# The daemon under chaos: worker kills, corrupt hot-swaps, floods, drains
+# ---------------------------------------------------------------------------
+#: One canonical admitted request; seed/scale pin the serving context to the
+#: module's ``park`` fixture so daemon responses compare against direct calls.
+RISKMAP = "/riskmap?park=MFNP&effort=1.5&seed=0&scale=0.4"
+
+
+@pytest.fixture(scope="module")
+def daemon_models(fitted_predictor, tmp_path_factory):
+    """A models root holding the module's fitted predictor, saved once."""
+    root = tmp_path_factory.mktemp("daemon-models")
+    fitted_predictor.save(root / "MFNP")
+    return root
+
+
+@pytest.fixture(scope="module")
+def direct_risk(park, fitted_predictor):
+    """The fault-free direct library answer every daemon body must match."""
+    features = fitted_predictor.cell_feature_matrix(
+        park.park, park.recorded_effort[-1]
+    )
+    return RiskMapService(fitted_predictor).risk_map(features, effort=1.5)
+
+
+def _http(port, path, method="GET", timeout=30.0):
+    """(status, json body, headers) for one request against the daemon."""
+    url = f"http://127.0.0.1:{port}{path}"
+    request = urllib.request.Request(url, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read()), dict(
+                response.headers
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+class TestDaemonChaos:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_worker_kills_mid_request_serve_bit_identically(
+        self, seed, daemon_models, direct_risk, tmp_path, monkeypatch
+    ):
+        import repro.runtime.parallel as par
+
+        monkeypatch.setattr(par, "effective_cpu_count", lambda: 4)
+        daemon = ParkServiceDaemon(
+            daemon_models, port=0,
+            registry_options={
+                "n_jobs": 2, "backend": "process", "tile_size": 8,
+            },
+        ).start()
+        try:
+            plan = FaultPlan.random(
+                seed, 4, scratch=str(tmp_path), crash_rate=0.6
+            )
+            with faults.active(plan):
+                status, body, _ = _http(daemon.port, RISKMAP)
+            assert status == 200, (
+                f"chaos seed {seed} (crashes at {plan.crash_once}): "
+                f"admitted request failed: {body}"
+            )
+            np.testing.assert_array_equal(
+                np.asarray(body["risk"]), direct_risk,
+                err_msg=(
+                    f"chaos seed {seed} (crashes at {plan.crash_once}): "
+                    "served risk map diverged from the direct library call"
+                ),
+            )
+            if plan.crash_once:
+                _, stats, _ = _http(daemon.port, "/stats")
+                resilience = stats["parks"]["MFNP"]["resilience"]
+                assert resilience["worker_deaths"] >= 1, (
+                    f"chaos seed {seed}: crashes at {plan.crash_once} "
+                    "never registered in /stats"
+                )
+        finally:
+            daemon.close()
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_corrupt_hot_swap_rejected_while_old_model_serves(
+        self, seed, daemon_models, direct_risk, tmp_path
+    ):
+        root = tmp_path / "models"
+        shutil.copytree(daemon_models, root)
+        daemon = ParkServiceDaemon(
+            root, port=0, registry_options={"n_jobs": 1},
+        ).start()
+        try:
+            status, baseline, _ = _http(daemon.port, RISKMAP)
+            assert status == 200
+            arrays_name = json.loads(
+                (root / "MFNP" / "manifest.json").read_text()
+            )["arrays_file"]
+            offset = faults.flip_byte(root / "MFNP" / arrays_name, seed=seed)
+            status, body, _ = _http(
+                daemon.port, "/models/MFNP/reload", method="POST"
+            )
+            assert status == 409, (
+                f"chaos seed {seed} (bit flip at byte {offset}): corrupt "
+                f"hot-swap was accepted: {body}"
+            )
+            assert body["kind"] == "PersistenceError"
+            assert body["serving"] is True
+            status, after, _ = _http(daemon.port, RISKMAP)
+            assert status == 200
+            assert after["version"] == baseline["version"]
+            np.testing.assert_array_equal(
+                np.asarray(after["risk"]), direct_risk,
+                err_msg=(
+                    f"chaos seed {seed}: the incumbent model no longer "
+                    "serves bit-identically after a rejected swap"
+                ),
+            )
+            # flip_byte is self-inverse: restore the artifact and the next
+            # reload must heal (version bump, same bits).
+            faults.flip_byte(root / "MFNP" / arrays_name, seed=seed)
+            status, body, _ = _http(
+                daemon.port, "/models/MFNP/reload", method="POST"
+            )
+            assert status == 200 and body["reloaded"] is True
+            status, healed, _ = _http(daemon.port, RISKMAP)
+            assert status == 200
+            assert healed["version"] > baseline["version"]
+            np.testing.assert_array_equal(
+                np.asarray(healed["risk"]), direct_risk
+            )
+        finally:
+            daemon.close()
+
+    def test_flood_past_admission_sheds_clean_503s(
+        self, daemon_models, direct_risk, tmp_path
+    ):
+        daemon = ParkServiceDaemon(
+            daemon_models, port=0,
+            max_inflight=1, max_queue=0, queue_wait=0.05,
+            registry_options={"n_jobs": 1},
+        ).start()
+        try:
+            status, _, _ = _http(daemon.port, RISKMAP)  # warm load + cache
+            assert status == 200
+            plan = FaultPlan(
+                scratch=str(tmp_path), slow_requests={"riskmap": 0.6}
+            )
+            results = []
+            lock = threading.Lock()
+
+            def client():
+                out = _http(daemon.port, RISKMAP)
+                with lock:
+                    results.append(out)
+
+            with faults.active(plan):
+                clients = [
+                    threading.Thread(target=client) for _ in range(5)
+                ]
+                for thread in clients:
+                    thread.start()
+                for thread in clients:
+                    thread.join()
+            statuses = [status for status, _, _ in results]
+            assert set(statuses) <= {200, 503}, statuses
+            assert statuses.count(200) >= 1, statuses
+            assert statuses.count(503) >= 1, statuses
+            for status, body, headers in results:
+                if status == 503:
+                    # a clean shed: JSON error naming the cause, with a
+                    # Retry-After hint — never a hang or a torn response
+                    assert body["kind"] == "AdmissionError"
+                    assert headers.get("Retry-After") == "1"
+                else:
+                    np.testing.assert_array_equal(
+                        np.asarray(body["risk"]), direct_risk
+                    )
+            _, stats, _ = _http(daemon.port, "/stats")
+            assert stats["admission"]["shed_saturated"] >= 1
+        finally:
+            daemon.close()
+
+    def test_drain_completes_inflight_and_sheds_new(
+        self, daemon_models, direct_risk, tmp_path
+    ):
+        daemon = ParkServiceDaemon(
+            daemon_models, port=0, max_inflight=4,
+            registry_options={"n_jobs": 1},
+        ).start()
+        try:
+            status, _, _ = _http(daemon.port, RISKMAP)  # warm load + cache
+            assert status == 200
+            plan = FaultPlan(
+                scratch=str(tmp_path), slow_requests={"riskmap": 0.5}
+            )
+            results, shed = [], []
+            lock = threading.Lock()
+
+            def client(sink):
+                out = _http(daemon.port, RISKMAP)
+                with lock:
+                    sink.append(out)
+
+            with faults.active(plan):
+                inflight = [
+                    threading.Thread(target=client, args=(results,))
+                    for _ in range(3)
+                ]
+                for thread in inflight:
+                    thread.start()
+                limit = time.monotonic() + 5.0
+                while daemon.gate.inflight < 3:
+                    assert time.monotonic() < limit, (
+                        "requests never became in-flight"
+                    )
+                    time.sleep(0.01)
+                final = {}
+                drainer = threading.Thread(
+                    target=lambda: final.update(daemon.drain())
+                )
+                drainer.start()
+                while not daemon.gate.draining:
+                    time.sleep(0.005)
+                late = threading.Thread(target=client, args=(shed,))
+                late.start()
+                late.join()
+                drainer.join(timeout=30.0)
+                for thread in inflight:
+                    thread.join()
+            assert not drainer.is_alive()
+            assert len(results) == 3
+            for status, body, _ in results:
+                assert status == 200, (
+                    f"drain lost an in-flight request: {body}"
+                )
+                np.testing.assert_array_equal(
+                    np.asarray(body["risk"]), direct_risk
+                )
+            (late_status, late_body, late_headers), = shed
+            assert late_status == 503
+            assert late_body["kind"] == "AdmissionError"
+            assert late_headers.get("Retry-After") == "1"
+            assert final["admission"]["inflight"] == 0
+            assert final["admission"]["completed"] >= 4  # warm + 3 in-flight
+            assert final["admission"]["shed_draining"] >= 1
+            # the listener is down: further connections are refused
+            with pytest.raises(OSError):
+                _http(daemon.port, RISKMAP, timeout=2.0)
+        finally:
+            daemon.close()
 
 
 class TestBitFlips:

@@ -115,3 +115,70 @@ class TestFieldTest:
         assert code == 0
         assert "Risk group" in text
         assert "chi-squared p" in text
+
+
+class TestDeadlineValidation:
+    """--deadline must be a positive number of seconds, everywhere it appears.
+
+    Zero or negative budgets used to start the (possibly expensive) work and
+    then surface a mid-run stack trace; argparse now rejects them up front
+    with a usage error naming the flag (exit code 2).
+    """
+
+    @pytest.mark.parametrize("command", ["plan", "predict"])
+    @pytest.mark.parametrize("value", ["0", "-2.5"])
+    def test_nonpositive_deadline_exits_2_naming_flag(
+        self, command, value, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([command, "--deadline", value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--deadline" in err
+        assert "positive" in err
+
+    @pytest.mark.parametrize("command", ["plan", "predict"])
+    def test_non_numeric_deadline_exits_2(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([command, "--deadline", "soon"])
+        assert excinfo.value.code == 2
+        assert "--deadline" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-1", "never"])
+    def test_serve_default_deadline_validated_the_same_way(
+        self, value, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["serve", "--models-dir", "models", "--default-deadline",
+                 value]
+            )
+        assert excinfo.value.code == 2
+        assert "--default-deadline" in capsys.readouterr().err
+
+    def test_positive_deadline_accepted(self):
+        args = build_parser().parse_args(
+            ["plan", "--deadline", "2.5"]
+        )
+        assert args.deadline == 2.5
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--models-dir", "models"])
+        assert args.models_dir == "models"
+        assert args.port == 8765
+        assert args.max_inflight == 8
+        assert args.default_deadline == 30.0
+        assert args.no_default_deadline is False
+
+    def test_models_dir_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_missing_models_dir_exits_2_cleanly(self, tmp_path):
+        code, text = run_cli(
+            ["serve", "--models-dir", str(tmp_path / "nope")]
+        )
+        assert code == 2
+        assert "serve:" in text and "nope" in text

@@ -20,7 +20,10 @@ from repro.cli import build_parser, main
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Every subcommand the CLI documents; update when adding one.
-SUBCOMMANDS = ("stats", "maps", "evaluate", "fieldtest", "plan", "predict", "lint")
+SUBCOMMANDS = (
+    "stats", "maps", "evaluate", "fieldtest", "plan", "predict", "serve",
+    "lint",
+)
 
 
 def run_module(*argv: str) -> subprocess.CompletedProcess:

@@ -6,6 +6,8 @@ import pytest
 
 import repro
 from repro.exceptions import (
+    AdmissionError,
+    CircuitOpenError,
     ConfigurationError,
     ConvergenceError,
     DataError,
@@ -23,7 +25,8 @@ class TestExceptionHierarchy:
     def test_all_derive_from_repro_error(self):
         for exc in (ConfigurationError, DataError, NotFittedError,
                     ConvergenceError, PlanningError, InfeasibleError,
-                    ResilienceError, DeadlineExceededError, WorkerCrashError):
+                    ResilienceError, DeadlineExceededError, WorkerCrashError,
+                    AdmissionError, CircuitOpenError):
             assert issubclass(exc, ReproError)
 
     def test_infeasible_is_planning_error(self):
@@ -32,6 +35,8 @@ class TestExceptionHierarchy:
     def test_resilience_family(self):
         assert issubclass(DeadlineExceededError, ResilienceError)
         assert issubclass(WorkerCrashError, ResilienceError)
+        assert issubclass(AdmissionError, ResilienceError)
+        assert issubclass(CircuitOpenError, ResilienceError)
 
     def test_single_catch_all(self):
         from repro.geo import Grid
@@ -42,7 +47,7 @@ class TestExceptionHierarchy:
 
 class TestPublicAPI:
     def test_version(self):
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
 
     def test_top_level_exports_resolve(self):
         for name in repro.__all__:

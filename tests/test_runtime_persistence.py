@@ -332,3 +332,124 @@ class TestIntegrity:
         np.testing.assert_array_equal(
             loaded.predict_proba(X), model.predict_proba(X)
         )
+
+
+# ---------------------------------------------------------------------------
+# Missing artifacts (referenced but absent on disk)
+# ---------------------------------------------------------------------------
+class TestMissingArtifacts:
+    def save_lr(self, blobs, path):
+        X, y = blobs
+        model = LogisticRegression().fit(X, y)
+        model.save(path)
+        return model, X
+
+    def test_missing_arrays_file_is_persistence_error_naming_path(
+        self, blobs, tmp_path
+    ):
+        path = tmp_path / "lr"
+        self.save_lr(blobs, path)
+        arrays_name = json.loads(
+            (path / "manifest.json").read_text()
+        )["arrays_file"]
+        (path / arrays_name).unlink()
+        with pytest.raises(PersistenceError, match=arrays_name):
+            LogisticRegression.load(path, verify=True)
+
+    def test_missing_arrays_file_named_without_verify_too(
+        self, blobs, tmp_path
+    ):
+        path = tmp_path / "lr"
+        self.save_lr(blobs, path)
+        arrays_name = json.loads(
+            (path / "manifest.json").read_text()
+        )["arrays_file"]
+        (path / arrays_name).unlink()
+        with pytest.raises(PersistenceError, match=arrays_name):
+            LogisticRegression.load(path, verify=False)
+
+    def test_toctou_vanish_during_read_still_named(self, blobs, tmp_path):
+        # The is_file() pre-check can race a concurrent sweep; the read
+        # itself must wrap FileNotFoundError into the same artifact-naming
+        # PersistenceError instead of leaking the raw OSError.
+        from repro.runtime.persistence import _load_arrays
+
+        ghost = tmp_path / "arrays-deadbeef.npz"
+        with pytest.raises(PersistenceError, match="arrays-deadbeef.npz"):
+            _load_arrays(ghost)
+
+
+# ---------------------------------------------------------------------------
+# Concurrent writers into one model directory
+# ---------------------------------------------------------------------------
+class TestConcurrentSaves:
+    def test_racing_saves_end_with_one_verifiable_model(
+        self, blobs, tmp_path
+    ):
+        """Two racing saves: old-or-new, never a hybrid, always loadable."""
+        import threading
+
+        X, y = blobs
+        models = [
+            LogisticRegression(l2=0.5).fit(X, y),
+            LogisticRegression(l2=2.0).fit(X, y),
+        ]
+        path = tmp_path / "model"
+        start = threading.Barrier(len(models))
+        errors = []
+
+        def save(model):
+            start.wait()
+            try:
+                model.save(path)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        for _ in range(3):  # a few rounds to exercise both orderings
+            threads = [
+                threading.Thread(target=save, args=(m,)) for m in models
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        # one committed winner, complete and checksum-verified
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert (path / manifest["arrays_file"]).is_file()
+        loaded = LogisticRegression.load(path, verify=True)
+        reference = {
+            repr(m.predict_proba(X).tobytes()): m for m in models
+        }
+        assert repr(loaded.predict_proba(X).tobytes()) in reference
+        # the sweep never deleted the winner's arrays, and left no debris
+        assert len(list(path.glob("arrays-*.npz"))) == 1
+        assert not list(path.glob("*.tmp"))
+        assert not (path / ".save.lock").exists()
+
+    def test_stale_sweep_spares_the_committed_winner(self, blobs, tmp_path):
+        """A loser's delayed sweep must keep what the manifest references."""
+        from repro.runtime.persistence import _sweep_stale
+
+        X, y = blobs
+        path = tmp_path / "model"
+        LogisticRegression(l2=0.5).fit(X, y).save(path)
+        first = json.loads((path / "manifest.json").read_text())["arrays_file"]
+        LogisticRegression(l2=2.0).fit(X, y).save(path)
+        second = json.loads((path / "manifest.json").read_text())["arrays_file"]
+        assert first != second
+        # replay the first saver's sweep as if it ran after the second
+        # save committed: its stale keep-set must not delete the winner
+        _sweep_stale(path, keep_arrays=first)
+        assert (path / second).is_file()
+        LogisticRegression.load(path, verify=True)
+
+    def test_stale_lock_from_dead_saver_is_broken(self, blobs, tmp_path):
+        X, y = blobs
+        path = tmp_path / "model"
+        path.mkdir()
+        # a pid that can never be alive (pid_max is < 2**22 on Linux)
+        (path / ".save.lock").write_text("99999999")
+        LogisticRegression().fit(X, y).save(path)  # does not deadlock
+        assert not (path / ".save.lock").exists()
+        LogisticRegression.load(path, verify=True)
