@@ -13,14 +13,18 @@
 #                    all endpoints answer, SIGTERM drains with exit 0
 #   make lint        byte-compile every source tree AND run the invariant
 #                    analyzer (zero-violations gate: all rules over src/,
-#                    hygiene rule over benchmarks/ and examples/)
+#                    determinism + hygiene rules over benchmarks/,
+#                    examples/ and scripts/)
+#   make lint-flow   flow-sensitive rules only (RP007-RP011: lock order,
+#                    atomicity, deadline propagation, exception contracts,
+#                    resource discipline) over src/repro
 #   make lint-json   machine-readable analyzer report (the CI artifact)
 #   make check       lint + smoke + test
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-zoo test-chaos bench bench-fit bench-serve bench-daemon smoke serve-smoke lint lint-json check
+.PHONY: test test-zoo test-chaos bench bench-fit bench-serve bench-daemon smoke serve-smoke lint lint-flow lint-json check
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -56,8 +60,11 @@ serve-smoke:
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples scripts
 	$(PYTHON) -m repro.analysis src/repro
-	$(PYTHON) -m repro.analysis --select RP006 benchmarks examples
+	$(PYTHON) -m repro.analysis --select RP001,RP006 benchmarks examples scripts
 	@echo "lint: sources byte-compile and invariants hold"
+
+lint-flow:
+	$(PYTHON) -m repro.analysis src/repro --rule RP007,RP008,RP009,RP010,RP011
 
 lint-json:
 	$(PYTHON) -m repro.analysis src/repro --format json

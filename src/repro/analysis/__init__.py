@@ -7,13 +7,19 @@ process-pool task pickles, every ``@thread_shared`` service mutates its
 caches under its lock, and every vectorized kernel keeps a golden-tested
 ``*_reference`` twin. This package turns those conventions into *checked
 artifacts*: a small stdlib-``ast`` analysis framework
-(:mod:`~repro.analysis.core`), a rule suite encoding the contracts
-(:mod:`~repro.analysis.checkers`, rules RP001–RP006), and text/JSON
-reporters (:mod:`~repro.analysis.report`).
+(:mod:`~repro.analysis.core`), a lexical rule suite encoding the
+contracts (:mod:`~repro.analysis.checkers`, rules RP001–RP006), a
+flow-sensitive engine — per-function CFGs (:mod:`~repro.analysis.cfg`),
+a worklist dataflow solver (:mod:`~repro.analysis.dataflow`), and a
+project call graph (:mod:`~repro.analysis.callgraph`) — carrying the
+concurrency/flow rules RP007–RP011
+(:mod:`~repro.analysis.flowrules`: lock-order consistency, atomicity,
+deadline propagation, exception contracts, resource discipline), and
+text/JSON reporters (:mod:`~repro.analysis.report`).
 
 Run it as ``repro lint`` or ``python -m repro.analysis``; ``make lint``
-and CI gate ``src/repro`` at zero violations. See ARCHITECTURE §8 for
-the rule table and the suppression syntax.
+/ ``make lint-flow`` and CI gate ``src/repro`` at zero violations. See
+ARCHITECTURE §8 for the rule table and the suppression syntax.
 """
 
 from repro.analysis.checkers import ALL_CHECKERS, register_checker, rule_table

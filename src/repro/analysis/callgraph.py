@@ -1,0 +1,492 @@
+"""Project-wide call graph over :class:`repro.analysis.core.Project`.
+
+Resolution reuses the import-alias tables that :class:`SourceFile`
+already builds and adds the small amount of type inference this
+codebase's idioms need:
+
+- ``f(...)`` — module-local functions, then import aliases
+  (``from repro.runtime.faults import on_request``), then a unique
+  project-wide name match.
+- ``ClassName(...)`` — the class's ``__init__`` (constructors raise
+  ``ConfigurationError`` in this codebase; they are call edges too).
+- ``self.method(...)`` — the enclosing class, then its project bases.
+- ``self.attr.method(...)`` — ``attr``'s type inferred from
+  ``__init__``: either ``self.attr = ClassName(...)`` (including
+  ``param or ClassName(...)`` defaults) or ``self.attr = param`` where
+  the parameter is annotated with a project class.
+- ``var.method(...)`` — one-hop local inference from
+  ``var = ClassName(...)`` in the same function, or a parameter
+  annotation on ``var``.
+- ``mod.func(...)`` / ``Class.method(...)`` — full dotted resolution
+  through aliases.
+
+Anything else (dict methods, numpy, callables passed as values) resolves
+to ``None`` and the flow rules treat it as an opaque leaf — the
+documented imprecision: the graph under-approximates edges, so
+interprocedural rules under-report rather than hallucinate paths.
+
+The module also centralizes the *lock tables* the concurrency rules
+share: per-class lock attributes (``self._lock = threading.RLock()``,
+``self._slots = threading.Condition(self._lock)`` recording that the
+condition shares its lock) and module-level locks.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Project, SourceFile
+
+_THREADING_LOCKS = {
+    "threading.Lock": "lock",
+    "threading.RLock": "rlock",
+    "threading.Condition": "condition",
+    "threading.Semaphore": "lock",
+    "threading.BoundedSemaphore": "lock",
+}
+
+
+def module_name(path: Path | str) -> str:
+    """Dotted module path for a file: ``src/repro/runtime/daemon.py`` ->
+    ``repro.runtime.daemon``; files outside a ``src`` root use the stem."""
+    parts = list(Path(path).with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class LockInfo:
+    """One lock-like attribute of a class (or a module-level lock)."""
+
+    kind: str  # "lock" | "rlock" | "condition"
+    shares: str | None = None  # condition built on another lock attribute
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function or method in the project."""
+
+    qualname: str
+    module: str
+    name: str
+    class_name: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    source: SourceFile
+
+    @property
+    def params(self) -> list[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def param_annotation(self, name: str) -> ast.expr | None:
+        args = self.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.arg == name:
+                return arg.annotation
+        return None
+
+    @property
+    def is_public(self) -> bool:
+        return all(not part.startswith("_") for part in self.qualname.split("."))
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, bases, inferred attribute types, lock table."""
+
+    name: str
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    source: SourceFile
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    base_names: list[str] = field(default_factory=list)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    lock_attrs: dict[str, LockInfo] = field(default_factory=dict)
+    thread_shared: bool = False
+
+
+def _annotation_class_names(annotation: ast.expr | None) -> list[str]:
+    """Candidate class names from an annotation: ``Deadline | None`` ->
+    ``["Deadline"]``, ``Optional[RiskMapService]`` -> ``["RiskMapService"]``."""
+    names: list[str] = []
+
+    def visit(node: ast.expr | None) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.Name):
+            if node.id != "None":
+                names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, ast.Subscript):
+            visit(node.slice)
+        elif isinstance(node, ast.Tuple):
+            for elt in node.elts:
+                visit(elt)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.append(node.value.split(".")[-1].split("[")[0])
+
+    visit(annotation)
+    return names
+
+
+def calls_in(node: ast.AST, include_nested: bool = False) -> Iterator[ast.Call]:
+    """Call expressions lexically inside ``node``.
+
+    With ``include_nested=False``, calls inside nested function/lambda
+    bodies are skipped — they execute later, under different lock state.
+    """
+    stack = [node]
+    root = node
+    while stack:
+        current = stack.pop()
+        if current is not root and not include_nested and isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(current, ast.Call):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+class CallGraph:
+    """Function/class index plus call resolution for one project."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.classes_by_qualname: dict[str, ClassInfo] = {}
+        self._by_name: dict[str, list[FunctionInfo]] = {}
+        self.module_locks: dict[str, dict[str, LockInfo]] = {}
+        for source in project.files:
+            self._index_module(source)
+        self._resolve_cache: dict[int, FunctionInfo | None] = {}
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def _index_module(self, source: SourceFile) -> None:
+        module = module_name(source.path)
+        locks: dict[str, LockInfo] = {}
+        for stmt in source.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(source, module, stmt, class_name=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(source, module, stmt)
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    info = self._lock_from_value(source, stmt.value, attr_env={})
+                    if info is not None:
+                        locks[target.id] = info
+        if locks:
+            self.module_locks[module] = locks
+
+    def _add_function(
+        self,
+        source: SourceFile,
+        module: str,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+    ) -> FunctionInfo:
+        qual = (
+            f"{module}.{class_name}.{node.name}" if class_name
+            else f"{module}.{node.name}"
+        )
+        info = FunctionInfo(
+            qualname=qual, module=module, name=node.name,
+            class_name=class_name, node=node, source=source,
+        )
+        self.functions[qual] = info
+        self._by_name.setdefault(node.name, []).append(info)
+        return info
+
+    def _index_class(self, source: SourceFile, module: str, node: ast.ClassDef) -> None:
+        cls = ClassInfo(
+            name=node.name,
+            qualname=f"{module}.{node.name}",
+            module=module,
+            node=node,
+            source=source,
+        )
+        for deco in node.decorator_list:
+            name = deco.func if isinstance(deco, ast.Call) else deco
+            dotted = source.qualified_name(name) or ""
+            if dotted.split(".")[-1] == "thread_shared":
+                cls.thread_shared = True
+        for base in node.bases:
+            dotted = source.qualified_name(base)
+            if dotted:
+                cls.base_names.append(dotted.split(".")[-1])
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods[stmt.name] = self._add_function(
+                    source, module, stmt, class_name=node.name
+                )
+        init = cls.methods.get("__init__")
+        if init is not None:
+            self._infer_init(cls, init)
+        # `@thread_shared` contracts guarantee a `_lock` even when the
+        # assignment form is unusual; keep the conventional entry.
+        if cls.thread_shared and "_lock" not in cls.lock_attrs:
+            cls.lock_attrs["_lock"] = LockInfo(kind="lock")
+        self.classes.setdefault(node.name, cls)
+        self.classes_by_qualname[cls.qualname] = cls
+
+    def _infer_init(self, cls: ClassInfo, init: FunctionInfo) -> None:
+        """Populate ``attr_types`` and ``lock_attrs`` from ``__init__``."""
+        for stmt in ast.walk(init.node):
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            attr = target.attr
+            lock = self._lock_from_value(
+                init.source, stmt.value, attr_env=cls.lock_attrs
+            )
+            if lock is not None:
+                cls.lock_attrs[attr] = lock
+                continue
+            type_name = self._type_from_value(init, stmt.value)
+            if type_name is not None:
+                cls.attr_types[attr] = type_name
+
+    def _lock_from_value(
+        self, source: SourceFile, value: ast.expr, attr_env: dict[str, LockInfo]
+    ) -> LockInfo | None:
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = source.qualified_name(value.func)
+        kind = _THREADING_LOCKS.get(dotted or "")
+        if kind is None:
+            return None
+        shares = None
+        if kind == "condition" and value.args:
+            arg = value.args[0]
+            if (
+                isinstance(arg, ast.Attribute)
+                and isinstance(arg.value, ast.Name)
+                and arg.value.id == "self"
+                and arg.attr in attr_env
+            ):
+                shares = arg.attr
+        return LockInfo(kind=kind, shares=shares)
+
+    def _type_from_value(self, init: FunctionInfo, value: ast.expr) -> str | None:
+        """Class name constructed/threaded into a ``self.attr = ...``."""
+        candidates: list[ast.expr] = [value]
+        if isinstance(value, ast.BoolOp):
+            candidates = list(value.values)
+        elif isinstance(value, ast.IfExp):
+            candidates = [value.body, value.orelse]
+        for expr in candidates:
+            if isinstance(expr, ast.Call):
+                dotted = init.source.qualified_name(expr.func)
+                if dotted:
+                    tail = dotted.split(".")[-1]
+                    if tail in self.classes:
+                        return tail
+            elif isinstance(expr, ast.Name):
+                for name in _annotation_class_names(
+                    init.param_annotation(expr.id)
+                ):
+                    if name in self.classes:
+                        return name
+        return None
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def class_of(self, info: FunctionInfo) -> ClassInfo | None:
+        if info.class_name is None:
+            return None
+        return self.classes_by_qualname.get(
+            f"{info.module}.{info.class_name}"
+        ) or self.classes.get(info.class_name)
+
+    def method_on(self, cls: ClassInfo | None, name: str) -> FunctionInfo | None:
+        seen: set[str] = set()
+        while cls is not None and cls.qualname not in seen:
+            seen.add(cls.qualname)
+            if name in cls.methods:
+                return cls.methods[name]
+            cls = next(
+                (self.classes[b] for b in cls.base_names if b in self.classes),
+                None,
+            )
+        return None
+
+    def mro(self, cls: ClassInfo) -> list[ClassInfo]:
+        chain: list[ClassInfo] = []
+        seen: set[str] = set()
+        while cls is not None and cls.qualname not in seen:
+            seen.add(cls.qualname)
+            chain.append(cls)
+            cls = next(
+                (self.classes[b] for b in cls.base_names if b in self.classes),
+                None,
+            )
+        return chain
+
+    def _function_by_dotted(self, dotted: str) -> FunctionInfo | None:
+        hit = self.functions.get(dotted)
+        if hit is not None:
+            return hit
+        tail = dotted.split(".")[-1]
+        matches = self._by_name.get(tail, [])
+        if len(matches) == 1:
+            return matches[0]
+        # Disambiguate `pkg.mod.Class.method` / `pkg.mod.func` suffixes.
+        suffix = ".".join(dotted.split(".")[-2:])
+        suffixed = [f for f in matches if f.qualname.endswith("." + suffix)]
+        if len(suffixed) == 1:
+            return suffixed[0]
+        return None
+
+    def _class_by_dotted(self, dotted: str) -> ClassInfo | None:
+        hit = self.classes_by_qualname.get(dotted)
+        if hit is not None:
+            return hit
+        return self.classes.get(dotted.split(".")[-1])
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+    def resolve(self, call: ast.Call, caller: FunctionInfo) -> FunctionInfo | None:
+        key = id(call)
+        if key not in self._resolve_cache:
+            self._resolve_cache[key] = self._resolve(call, caller)
+        return self._resolve_cache[key]
+
+    def _resolve(self, call: ast.Call, caller: FunctionInfo) -> FunctionInfo | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id, caller)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(func, caller)
+        return None
+
+    def _resolve_name(self, name: str, caller: FunctionInfo) -> FunctionInfo | None:
+        local = self.functions.get(f"{caller.module}.{name}")
+        if local is not None:
+            return local
+        # Constructor call: the bare name is itself a class reference
+        # (same module or imported) — not an inferred variable type,
+        # which would conflate `instance(...)` with `__init__`.
+        dotted = caller.source.aliases.get(name, name)
+        cls = self.classes_by_qualname.get(dotted) or self.classes.get(
+            dotted.split(".")[-1]
+        )
+        if cls is not None and (name == cls.name or name in caller.source.aliases):
+            return self.method_on(cls, "__init__")
+        dotted = caller.source.aliases.get(name)
+        if dotted:
+            hit = self._function_by_dotted(dotted)
+            if hit is not None:
+                return hit
+        matches = self._by_name.get(name, [])
+        if len(matches) == 1 and matches[0].class_name is None:
+            return matches[0]
+        return None
+
+    def _resolve_attribute(
+        self, func: ast.Attribute, caller: FunctionInfo
+    ) -> FunctionInfo | None:
+        method = func.attr
+        receiver = func.value
+        cls = self.receiver_class(receiver, caller)
+        if cls is not None:
+            return self.method_on(cls, method)
+        dotted = caller.source.qualified_name(func)
+        if dotted:
+            return self._function_by_dotted(dotted)
+        return None
+
+    def receiver_class(
+        self, receiver: ast.expr, caller: FunctionInfo
+    ) -> ClassInfo | None:
+        """Infer the class of a method-call receiver, or ``None``."""
+        if isinstance(receiver, ast.Name):
+            if receiver.id in ("self", "cls") and caller.class_name:
+                return self.class_of(caller)
+            return self._receiver_class_of_name(receiver.id, caller)
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id in ("self", "cls")
+            and caller.class_name
+        ):
+            cls = self.class_of(caller)
+            for candidate in self.mro(cls) if cls else []:
+                type_name = candidate.attr_types.get(receiver.attr)
+                if type_name is not None:
+                    return self.classes.get(type_name)
+        if isinstance(receiver, (ast.Attribute, ast.Name)):
+            dotted = caller.source.qualified_name(receiver)
+            if dotted:
+                return self._class_by_dotted(dotted)
+        return None
+
+    def _receiver_class_of_name(
+        self, name: str, caller: FunctionInfo
+    ) -> ClassInfo | None:
+        """Class of a bare name: class ref, annotated param, or one-hop
+        local ``var = ClassName(...)``."""
+        dotted = caller.source.aliases.get(name, name)
+        cls = self.classes_by_qualname.get(dotted) or (
+            self.classes.get(dotted.split(".")[-1])
+            if dotted.split(".")[-1] != name or name in self.classes
+            else None
+        )
+        if cls is not None:
+            return cls
+        for type_name in _annotation_class_names(caller.param_annotation(name)):
+            if type_name in self.classes:
+                return self.classes[type_name]
+        for stmt in ast.walk(caller.node):
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == name
+                and isinstance(stmt.value, ast.Call)
+            ):
+                value_dotted = caller.source.qualified_name(stmt.value.func)
+                if value_dotted:
+                    tail = value_dotted.split(".")[-1]
+                    if tail in self.classes:
+                        return self.classes[tail]
+        return None
+
+    # ------------------------------------------------------------------
+    def resolved_calls(
+        self, info: FunctionInfo, include_nested: bool = False
+    ) -> Iterator[tuple[ast.Call, FunctionInfo]]:
+        """``(call node, resolved callee)`` pairs inside one function."""
+        for call in calls_in(info.node, include_nested=include_nested):
+            callee = self.resolve(call, info)
+            if callee is not None and callee.node is not info.node:
+                yield call, callee

@@ -1,0 +1,448 @@
+"""Per-function control-flow graphs over the stdlib ``ast``.
+
+:func:`build_cfg` lowers one ``FunctionDef`` into basic blocks connected
+by *normal* and *exceptional* edges. The design choices, in order of
+load-bearing-ness for the flow rules (RP007-RP011):
+
+- **Blocks hold simple statements plus markers.** Compound statements
+  (``if``/``while``/``for``/``try``/``with``) are decomposed into edges;
+  their condition/iterable expressions are kept as :class:`CondTest`
+  markers so analyses still see the calls inside them. ``with`` items
+  become :class:`WithEnter`/:class:`WithExit` markers on every path that
+  enters or leaves the body — including the exceptional one, because
+  ``__exit__`` runs on exceptions too. That is what makes a lock-set
+  analysis sound for ``with self._lock:`` regions.
+- **Exception flow is statement-precise without block splitting.** Every
+  statement is conservatively may-raise. Rather than splitting a block
+  after each statement, the dataflow engine (:mod:`repro.analysis.dataflow`)
+  computes a block's exceptional out-state as the join of the states
+  *before* each statement, so "acquired then raised before release" is
+  visible while blocks stay readable.
+- **``finally`` bodies are built once and shared** (merged-finally
+  modelling): the finally subgraph gains out-edges to every continuation
+  that routes through it (fallthrough, exception propagation, ``return``
+  unwinding). This over-approximates paths — a normal completion appears
+  to also reach the exceptional exit — which is conservative for the
+  must-release and must-hold analyses built on top, and avoids the code
+  blow-up of duplicating finally bodies per exit kind.
+
+Two distinguished exits: ``cfg.exit`` (returns and fallthrough) and
+``cfg.raise_exit`` (exceptions escaping the function). RP011 demands
+resources be released at both.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+NORMAL = "normal"
+EXCEPTION = "exception"
+
+
+class CondTest:
+    """Marker: evaluation of a branch/loop condition or ``for`` iterable."""
+
+    __slots__ = ("expr", "node")
+
+    def __init__(self, expr: ast.expr, node: ast.stmt):
+        self.expr = expr
+        self.node = node
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.expr, "lineno", getattr(self.node, "lineno", 1))
+
+
+class WithEnter:
+    """Marker: the context managers of one ``with`` statement were entered."""
+
+    __slots__ = ("node", "items")
+
+    def __init__(self, node: ast.With | ast.AsyncWith):
+        self.node = node
+        self.items = list(node.items)
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+class WithExit:
+    """Marker: ``__exit__`` ran for one ``with`` statement (any path)."""
+
+    __slots__ = ("node", "items")
+
+    def __init__(self, enter: WithEnter):
+        self.node = enter.node
+        self.items = enter.items
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+#: Statement kinds a block may contain.
+BlockStmt = object  # ast.stmt | CondTest | WithEnter | WithExit
+
+
+class Block:
+    """A straight-line sequence of statements with labelled out-edges."""
+
+    __slots__ = ("index", "label", "stmts", "succs", "preds")
+
+    def __init__(self, index: int, label: str):
+        self.index = index
+        self.label = label
+        self.stmts: list[BlockStmt] = []
+        self.succs: list[tuple["Block", str]] = []
+        self.preds: list[tuple["Block", str]] = []
+
+    def add_succ(self, other: "Block", kind: str = NORMAL) -> None:
+        if (other, kind) not in self.succs:
+            self.succs.append((other, kind))
+            other.preds.append((self, kind))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Block {self.index} {self.label} stmts={len(self.stmts)}>"
+
+
+class CFG:
+    """Control-flow graph of one function."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.func = func
+        self.blocks: list[Block] = []
+        self.entry = self.new_block("entry")
+        self.exit = self.new_block("exit")
+        self.raise_exit = self.new_block("raise")
+
+    def new_block(self, label: str) -> Block:
+        block = Block(len(self.blocks), label)
+        self.blocks.append(block)
+        return block
+
+    def statements(self) -> Iterator[BlockStmt]:
+        for block in self.blocks:
+            yield from block.stmts
+
+
+class _LoopFrame:
+    __slots__ = ("break_target", "continue_target", "depth")
+
+    def __init__(self, break_target: Block, continue_target: Block, depth: int):
+        self.break_target = break_target
+        self.continue_target = continue_target
+        self.depth = depth
+
+
+class _CleanupFrame:
+    """A ``with`` exit or ``finally`` body every escaping path runs through."""
+
+    __slots__ = ("enter", "leave")
+
+    def __init__(self, enter: Block, leave: Block):
+        self.enter = enter
+        self.leave = leave
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.cfg = CFG(func)
+        # Innermost-last stack of exception destinations: a raising
+        # statement gains an EXCEPTION edge to every block in the top
+        # entry (all handlers that might match, plus the no-match route).
+        self.exc_stack: list[list[Block]] = [[self.cfg.raise_exit]]
+        self.loops: list[_LoopFrame] = []
+        # Cleanup obligations (with-exits, finally bodies) crossed by
+        # return/break/continue, innermost last.
+        self.cleanups: list[_CleanupFrame] = []
+
+    # ------------------------------------------------------------------
+    def build(self) -> CFG:
+        first = self.cfg.new_block("body")
+        self.cfg.entry.add_succ(first)
+        end = self.seq(self.cfg.func.body, first)
+        if end is not None:
+            end.add_succ(self.cfg.exit)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+    def exc_targets(self) -> list[Block]:
+        return self.exc_stack[-1]
+
+    def note_may_raise(self, block: Block) -> None:
+        for target in self.exc_targets():
+            block.add_succ(target, EXCEPTION)
+
+    def unwind(self, block: Block, upto: int = 0) -> Block:
+        """Route ``block`` through cleanup frames above index ``upto``.
+
+        Returns the block from which the final jump should be made.
+        Cleanup blocks are shared, so this accumulates edges rather than
+        duplicating bodies (see module docstring on merged finallys).
+        """
+        current = block
+        for frame in reversed(self.cleanups[upto:]):
+            current.add_succ(frame.enter)
+            current = frame.leave
+        return current
+
+    # ------------------------------------------------------------------
+    def seq(self, stmts: list[ast.stmt], cur: Block | None) -> Block | None:
+        """Lower a statement list; returns the open fallthrough block."""
+        for stmt in stmts:
+            if cur is None:
+                # Unreachable code after return/raise/break: still lower
+                # it (it may contain findings) into a fresh orphan block.
+                cur = self.cfg.new_block("unreachable")
+            cur = self.stmt(stmt, cur)
+        return cur
+
+    def stmt(self, stmt: ast.stmt, cur: Block) -> Block | None:
+        if isinstance(stmt, ast.If):
+            return self.build_if(stmt, cur)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self.build_loop(stmt, cur)
+        if isinstance(stmt, ast.Try):
+            return self.build_try(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.build_with(stmt, cur)
+        if isinstance(stmt, ast.Match):
+            return self.build_match(stmt, cur)
+        if isinstance(stmt, ast.Return):
+            cur.stmts.append(stmt)
+            # Evaluating a bare name or constant cannot raise; anything
+            # richer (a call, an attribute, a comprehension) may.
+            if stmt_may_raise(stmt):
+                self.note_may_raise(cur)
+            self.unwind(cur).add_succ(self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            cur.stmts.append(stmt)
+            self.note_may_raise(cur)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                frame = self.loops[-1]
+                self.unwind(cur, frame.depth).add_succ(frame.break_target)
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                frame = self.loops[-1]
+                self.unwind(cur, frame.depth).add_succ(frame.continue_target)
+            return None
+        # Simple statement (incl. nested def/class, whose bodies do not
+        # execute here): straight-line, conservatively may-raise.
+        cur.stmts.append(stmt)
+        if stmt_may_raise(stmt):
+            self.note_may_raise(cur)
+        return cur
+
+    # ------------------------------------------------------------------
+    def build_if(self, stmt: ast.If, cur: Block) -> Block | None:
+        cur.stmts.append(CondTest(stmt.test, stmt))
+        self.note_may_raise(cur)
+        join = self.cfg.new_block("if.join")
+        then_block = self.cfg.new_block("if.then")
+        cur.add_succ(then_block)
+        then_end = self.seq(stmt.body, then_block)
+        if then_end is not None:
+            then_end.add_succ(join)
+        if stmt.orelse:
+            else_block = self.cfg.new_block("if.else")
+            cur.add_succ(else_block)
+            else_end = self.seq(stmt.orelse, else_block)
+            if else_end is not None:
+                else_end.add_succ(join)
+        else:
+            cur.add_succ(join)
+        if not join.preds:
+            return None
+        return join
+
+    def build_loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, cur: Block
+    ) -> Block | None:
+        header = self.cfg.new_block("loop.head")
+        after = self.cfg.new_block("loop.after")
+        cur.add_succ(header)
+        test_expr = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+        header.stmts.append(CondTest(test_expr, stmt))
+        self.note_may_raise(header)
+        body = self.cfg.new_block("loop.body")
+        header.add_succ(body)
+        infinite = (
+            isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value)
+        )
+        if not infinite:
+            header.add_succ(after)
+        self.loops.append(_LoopFrame(after, header, len(self.cleanups)))
+        body_end = self.seq(stmt.body, body)
+        self.loops.pop()
+        if body_end is not None:
+            body_end.add_succ(header)
+        if stmt.orelse:
+            # else runs on normal loop exit; it already flows into after.
+            else_block = self.cfg.new_block("loop.else")
+            if not infinite:
+                header.add_succ(else_block)
+            else_end = self.seq(stmt.orelse, else_block)
+            if else_end is not None:
+                else_end.add_succ(after)
+        if not after.preds:
+            return None
+        return after
+
+    def build_with(self, stmt: ast.With | ast.AsyncWith, cur: Block) -> Block | None:
+        enter = WithEnter(stmt)
+        # Context-expression evaluation + __enter__ may raise, with
+        # nothing held yet: the pre-state flows to the outer targets.
+        cur.stmts.append(enter)
+        self.note_may_raise(cur)
+        body = self.cfg.new_block("with.body")
+        cur.add_succ(body)
+        # One shared cleanup block runs __exit__ for every way out.
+        cleanup = self.cfg.new_block("with.exit")
+        cleanup.stmts.append(WithExit(enter))
+        # Exceptions inside the body run __exit__ then propagate outward.
+        for target in self.exc_targets():
+            cleanup.add_succ(target, EXCEPTION)
+        self.exc_stack.append([cleanup])
+        self.cleanups.append(_CleanupFrame(cleanup, cleanup))
+        body_end = self.seq(stmt.body, body)
+        self.cleanups.pop()
+        self.exc_stack.pop()
+        after = self.cfg.new_block("with.after")
+        if body_end is not None:
+            body_end.add_succ(cleanup)
+            cleanup.add_succ(after)
+        if not after.preds:
+            return None
+        return after
+
+    def build_try(self, stmt: ast.Try, cur: Block) -> Block | None:
+        after = self.cfg.new_block("try.after")
+        outer_targets = self.exc_targets()
+
+        if stmt.finalbody:
+            # Build the finally body once, in the *outer* exception
+            # context (an exception inside finally propagates outward).
+            fin_in = self.cfg.new_block("finally")
+            fin_out = self.seq(stmt.finalbody, fin_in)
+            if fin_out is None:
+                fin_out = fin_in  # finally always raises/returns
+            # Exceptional route: body/handler exceptions pass through the
+            # finally and continue to the outer targets.
+            for target in outer_targets:
+                fin_out.add_succ(target, EXCEPTION)
+            normal_next: Block = fin_in
+            fin_frame = _CleanupFrame(fin_in, fin_out)
+        else:
+            fin_in = fin_out = None
+            normal_next = after
+            fin_frame = None
+
+        # Handlers: exceptions raised inside a handler body go through
+        # the finally (if any) to the outer context, not to siblings.
+        handler_entries: list[Block] = []
+        for handler in stmt.handlers:
+            h_block = self.cfg.new_block("except")
+            handler_entries.append(h_block)
+            if fin_frame is not None:
+                self.cleanups.append(fin_frame)
+                self.exc_stack.append([fin_frame.enter])
+            h_end = self.seq(handler.body, h_block)
+            if fin_frame is not None:
+                self.exc_stack.pop()
+                self.cleanups.pop()
+            if h_end is not None:
+                h_end.add_succ(normal_next)
+
+        # Body: exceptions may reach any handler, or (matching none)
+        # escape through the finally to the outer context.
+        body_targets = list(handler_entries)
+        if fin_in is not None:
+            body_targets.append(fin_in)
+        elif not handler_entries:
+            body_targets = list(outer_targets)
+        if not body_targets:
+            body_targets = list(outer_targets)
+        body = self.cfg.new_block("try.body")
+        cur.add_succ(body)
+        self.exc_stack.append(body_targets)
+        if fin_frame is not None:
+            self.cleanups.append(fin_frame)
+        body_end = self.seq(stmt.body, body)
+        # orelse runs after a non-raising body, outside handler scope.
+        self.exc_stack.pop()
+        if body_end is not None and stmt.orelse:
+            else_block = self.cfg.new_block("try.else")
+            body_end.add_succ(else_block)
+            if fin_frame is not None:
+                self.exc_stack.append([fin_frame.enter])
+            body_end = self.seq(stmt.orelse, else_block)
+            if fin_frame is not None:
+                self.exc_stack.pop()
+        if fin_frame is not None:
+            self.cleanups.pop()
+        if body_end is not None:
+            body_end.add_succ(normal_next)
+
+        if fin_in is not None and fin_out is not None and (
+            body_end is not None or any(h.preds for h in handler_entries)
+            or fin_in.preds
+        ):
+            fin_out.add_succ(after)
+        if not after.preds:
+            return None
+        return after
+
+    def build_match(self, stmt: ast.Match, cur: Block) -> Block | None:
+        cur.stmts.append(CondTest(stmt.subject, stmt))
+        self.note_may_raise(cur)
+        join = self.cfg.new_block("match.join")
+        exhaustive = False
+        for case in stmt.cases:
+            case_block = self.cfg.new_block("match.case")
+            cur.add_succ(case_block)
+            case_end = self.seq(case.body, case_block)
+            if case_end is not None:
+                case_end.add_succ(join)
+            if isinstance(case.pattern, ast.MatchAs) and case.pattern.pattern is None:
+                exhaustive = True  # a bare wildcard `case _:` arm
+        if not exhaustive:
+            cur.add_succ(join)
+        if not join.preds:
+            return None
+        return join
+
+
+def stmt_may_raise(stmt) -> bool:
+    """Whether evaluating ``stmt`` can raise, conservatively ``True``.
+
+    The builder and the dataflow engine share this predicate: the builder
+    uses it to decide which statements get exception edges, the engine to
+    decide which statements contribute to a block's exceptional out-state.
+    Markers (condition tests, ``__enter__``/``__exit__``) always may
+    raise; so does every real statement except the handful whose
+    evaluation is trivially total.
+    """
+    if not isinstance(stmt, ast.stmt):
+        return True
+    if isinstance(
+        stmt, (ast.Pass, ast.Global, ast.Nonlocal, ast.Break, ast.Continue)
+    ):
+        return False
+    if isinstance(stmt, ast.Return):
+        return stmt.value is not None and not isinstance(
+            stmt.value, (ast.Name, ast.Constant)
+        )
+    return True
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Lower one function body into a :class:`CFG`."""
+    return _Builder(func).build()

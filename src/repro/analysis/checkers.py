@@ -6,7 +6,11 @@ RP002 keeps the error surface catchable, RP003 keeps process-pool tasks
 picklable, RP004 keeps ``@thread_shared`` services data-race free, RP005
 keeps every vectorized kernel pinned to its golden-tested reference twin,
 and RP006 catches the classic python foot-guns (mutable defaults,
-shadowed builtins).
+shadowed builtins). The flow-sensitive rules RP007–RP011 (lock order,
+atomicity, deadline propagation, exception contracts, resource
+discipline) live in :mod:`~repro.analysis.flowrules` on top of the
+CFG/dataflow/call-graph engine and are registered at the bottom of this
+module.
 
 Add a rule by subclassing :class:`~repro.analysis.core.Checker` and
 calling :func:`register_checker` at import time; the CLI, ``make lint``,
@@ -720,3 +724,11 @@ register_checker(PicklabilityChecker())
 register_checker(LockDisciplineChecker())
 register_checker(ReferenceTwinChecker())
 register_checker(HygieneChecker())
+
+# The flow-sensitive suite (RP007-RP011) lives in its own module on top
+# of the cfg/dataflow/callgraph engine; imported last so it can use the
+# core without a cycle.
+from repro.analysis.flowrules import FLOW_CHECKERS  # noqa: E402
+
+for _flow_checker in FLOW_CHECKERS:
+    register_checker(_flow_checker)

@@ -9,19 +9,23 @@ rules and over ``benchmarks``/``examples`` with the hygiene rule.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.analysis.checkers import ALL_CHECKERS, rule_table
 from repro.analysis.core import run_analysis
 from repro.analysis.report import render_json, render_text
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigurationError, ReproError
 
 
 DESCRIPTION = (
     "AST-based invariant analyzer for this repository's standing "
     "contracts (determinism, exception discipline, picklability, lock "
-    "discipline, reference twins, hygiene). Suppress one finding with a "
-    "trailing '# repro: ignore[RPxxx]'."
+    "discipline, reference twins, hygiene) plus the flow-sensitive "
+    "concurrency suite (lock order, atomicity, deadline propagation, "
+    "exception contracts, resource discipline). Suppress one finding "
+    "with a trailing '# repro: ignore[RPxxx]'."
 )
 
 
@@ -40,8 +44,24 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--rule", default=None, metavar="RULES",
+        help="comma-separated rule ids to run, e.g. --rule RP007,RP011 "
+        "(merged with --select when both are given)",
+    )
+    parser.add_argument(
         "--ignore-rules", default=None, metavar="RULES",
         help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="JSON",
+        help="baseline file of known findings (matched by path/rule/"
+        "message); only findings absent from it fail the gate",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="JSON",
+        help="record the current findings into JSON at this path and "
+        "exit 0; feed the file back via --baseline to fail only on new "
+        "violations",
     )
     parser.add_argument(
         "--test-root", action="append", default=None, metavar="DIR",
@@ -66,25 +86,91 @@ def _split(value: str | None) -> list[str] | None:
     return [item.strip() for item in value.split(",") if item.strip()]
 
 
+def _baseline_key(entry: dict) -> tuple[str, str, str]:
+    return (
+        str(entry.get("path", "")),
+        str(entry.get("rule", "")),
+        str(entry.get("message", "")),
+    )
+
+
+def _load_baseline(path: str) -> frozenset[tuple[str, str, str]]:
+    """Known findings from a baseline file (or any ``--format json`` report).
+
+    Baselines match on (path, rule, message) and deliberately *not* on
+    line numbers, so unrelated edits that shift code do not resurrect a
+    baselined finding.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = data.get("findings", data) if isinstance(data, dict) else data
+    if not isinstance(entries, list):
+        raise ConfigurationError(
+            "baseline must hold a JSON list under 'findings'"
+        )
+    return frozenset(_baseline_key(entry) for entry in entries)
+
+
+def _write_baseline(path: str, result) -> None:
+    payload = {
+        "tool": "repro.analysis",
+        "baseline": True,
+        "findings": [
+            {"path": f.path, "rule": f.rule, "message": f.message}
+            for f in result.findings
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
 def run_from_args(args: argparse.Namespace, out) -> int:
     """Execute one analyzer invocation from parsed arguments."""
     if args.list_rules:
         for rule, severity, description in rule_table():
             out.write(f"{rule}  {severity:<7}  {description}\n")
         return 0
+    select = (_split(args.select) or []) + (_split(args.rule) or [])
     try:
         result = run_analysis(
             args.paths,
             ALL_CHECKERS,
-            select=_split(args.select),
+            select=select or None,
             ignore=_split(args.ignore_rules),
             test_roots=args.test_root,
         )
     except ReproError as exc:
         out.write(f"repro lint: {exc}\n")
         return 2
+    if args.write_baseline:
+        _write_baseline(args.write_baseline, result)
+        out.write(
+            f"recorded {len(result.findings)} finding"
+            f"{'s' if len(result.findings) != 1 else ''} "
+            f"to baseline {args.write_baseline}\n"
+        )
+        return 0
+    baselined = 0
+    if args.baseline:
+        try:
+            known = _load_baseline(args.baseline)
+        except (OSError, ValueError, ConfigurationError) as exc:
+            out.write(f"repro lint: cannot read baseline {args.baseline}: {exc}\n")
+            return 2
+        fresh = [
+            finding for finding in result.findings
+            if (finding.path, finding.rule, finding.message) not in known
+        ]
+        baselined = len(result.findings) - len(fresh)
+        result.findings = fresh
     renderer = render_json if args.format == "json" else render_text
     out.write(renderer(result))
+    if baselined and args.format == "text":
+        out.write(
+            f"{baselined} baselined finding"
+            f"{'s' if baselined != 1 else ''} not counted "
+            f"(baseline: {args.baseline})\n"
+        )
     return 0 if result.ok else 1
 
 

@@ -12,7 +12,11 @@ linter machinery — because the rules encode *this repository's* contracts
 Suppressions are explicit and narrow: a trailing ``# repro: ignore[RP004]``
 comment silences exactly the named rule(s) on exactly that line (the line
 the finding anchors to — for a multi-line statement, the line of the
-offending expression). ``# repro: ignore`` with no rule list silences every
+offending expression). One deliberate widening: a suppression written
+anywhere on a ``def``/``class`` header — any decorator line through the
+end of the signature — covers findings anchored anywhere on that header,
+so decorated definitions can be suppressed without guessing which line
+the rule anchors to. ``# repro: ignore`` with no rule list silences every
 rule on its line; use it sparingly, it defeats the audit trail.
 """
 
@@ -104,6 +108,7 @@ class SourceFile:
             self.parse_error = exc
             self.tree = ast.Module(body=[], type_ignores=[])
         self._aliases: dict[str, str] | None = None
+        self._header_spans: list[tuple[int, int, frozenset[str]]] | None = None
 
     # ------------------------------------------------------------------
     # Dotted-name resolution through import aliases
@@ -151,11 +156,51 @@ class SourceFile:
         parts.append(head)
         return ".".join(reversed(parts))
 
+    @property
+    def header_spans(self) -> list[tuple[int, int, frozenset[str]]]:
+        """``(start, end, rules)`` per def/class header carrying a suppression.
+
+        The span runs from the first decorator line through the last line
+        of the signature (the line before the body starts), so a
+        ``# repro: ignore[...]`` trailing either the decorator or the
+        ``def``/``class`` line suppresses findings anchored anywhere on
+        the decorated statement's header.
+        """
+        if self._header_spans is None:
+            spans: list[tuple[int, int, frozenset[str]]] = []
+            for node in ast.walk(self.tree):
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                start = min(
+                    [node.lineno]
+                    + [deco.lineno for deco in node.decorator_list]
+                )
+                if node.body and node.body[0].lineno > node.lineno:
+                    end = node.body[0].lineno - 1
+                else:  # one-liner: ``def f(): return 1``
+                    end = node.lineno
+                rules: set[str] = set()
+                for line in range(start, end + 1):
+                    rules.update(self.suppressions.get(line, ()))
+                if rules:
+                    spans.append((start, end, frozenset(rules)))
+            self._header_spans = spans
+        return self._header_spans
+
     def is_suppressed(self, finding: Finding) -> bool:
         rules = self.suppressions.get(finding.line)
-        if rules is None:
-            return False
-        return rules is _ALL_RULES or "*" in rules or finding.rule in rules
+        if rules is not None and (
+            rules is _ALL_RULES or "*" in rules or finding.rule in rules
+        ):
+            return True
+        for start, end, span_rules in self.header_spans:
+            if start <= finding.line <= end and (
+                "*" in span_rules or finding.rule in span_rules
+            ):
+                return True
+        return False
 
 
 class Project:
@@ -277,6 +322,7 @@ class AnalysisResult:
     findings: list[Finding] = field(default_factory=list)
     suppressed: int = 0
     files_scanned: int = 0
+    suppressed_by_rule: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -341,6 +387,9 @@ def run_analysis(
     for source, finding in raw:
         if source is not None and source.is_suppressed(finding):
             result.suppressed += 1
+            result.suppressed_by_rule[finding.rule] = (
+                result.suppressed_by_rule.get(finding.rule, 0) + 1
+            )
         else:
             result.findings.append(finding)
     result.findings.sort()

@@ -1,0 +1,223 @@
+"""Worklist fixpoint engine over :mod:`repro.analysis.cfg` graphs.
+
+The engine is a forward may/must solver parameterized by an
+:class:`Analysis`: ``initial()`` seeds the entry, ``transfer(stmt, state)``
+folds one block statement, ``join(states)`` merges incoming edges.
+Exceptional out-states are statement-precise without block splitting: a
+block's exceptional out-state is the join of ``exceptional(stmt, pre)``
+over its statements, where ``pre`` is the state *before* that statement —
+an acquire that fails leaves nothing held, while a release is credited
+even if the releasing call itself raises (``close()`` failing still
+closed the descriptor for analysis purposes).
+
+:class:`LockSets` is the must-held lock lattice the concurrency rules
+share: states are frozensets of lock identities, joined by intersection
+(a lock counts as held only when *every* path holds it — the sound
+direction for both "blocking call under lock" and lock-order edges).
+Lock identity resolution is injected, because what counts as a lock
+(``self._lock`` in a ``@thread_shared`` class, a module-level
+``threading.Lock``) is project knowledge, not graph knowledge.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+
+from repro.analysis.cfg import (
+    CFG,
+    EXCEPTION,
+    Block,
+    WithEnter,
+    WithExit,
+    stmt_may_raise,
+)
+
+#: Sentinel for "no path reaches this point yet".
+UNREACHED = object()
+
+
+class Analysis:
+    """One forward dataflow problem; states must be hashable-comparable."""
+
+    def initial(self):
+        raise NotImplementedError
+
+    def transfer(self, stmt, state):
+        raise NotImplementedError
+
+    def join(self, states: list):
+        raise NotImplementedError
+
+    def exceptional(self, stmt, state_before):
+        """State contributed to the exception edge by ``stmt``.
+
+        Defaults to the pre-state; override to credit partial effects
+        (e.g. a release that raises still released).
+        """
+        return state_before
+
+
+class BlockStates:
+    """Solved in/out states per block."""
+
+    __slots__ = ("in_state", "out_normal", "out_exc")
+
+    def __init__(self):
+        self.in_state = UNREACHED
+        self.out_normal = UNREACHED
+        self.out_exc = UNREACHED
+
+
+def run_forward(cfg: CFG, analysis: Analysis) -> dict[Block, BlockStates]:
+    """Iterate to fixpoint; returns per-block solved states."""
+    states = {block: BlockStates() for block in cfg.blocks}
+    states[cfg.entry].in_state = analysis.initial()
+    worklist = [cfg.entry]
+    max_passes = 4 * len(cfg.blocks) * max(1, len(cfg.blocks))
+    passes = 0
+    while worklist and passes < max_passes:
+        passes += 1
+        block = worklist.pop()
+        record = states[block]
+        if record.in_state is UNREACHED:
+            continue
+        out_normal, out_exc = _flow_block(analysis, block, record.in_state)
+        if out_normal == record.out_normal and out_exc == record.out_exc:
+            if record.out_normal is not UNREACHED:
+                continue
+        record.out_normal = out_normal
+        record.out_exc = out_exc
+        for succ, kind in block.succs:
+            incoming = out_exc if kind == EXCEPTION else out_normal
+            if incoming is UNREACHED:
+                continue
+            succ_record = states[succ]
+            merged = _merge_edge(analysis, succ, states)
+            if merged is not UNREACHED and merged != succ_record.in_state:
+                succ_record.in_state = merged
+                worklist.append(succ)
+            elif succ_record.in_state is UNREACHED and merged is not UNREACHED:
+                succ_record.in_state = merged
+                worklist.append(succ)
+    return states
+
+
+def _merge_edge(analysis: Analysis, block: Block, states) -> object:
+    incoming = []
+    for pred, kind in block.preds:
+        record = states[pred]
+        value = record.out_exc if kind == EXCEPTION else record.out_normal
+        if value is not UNREACHED:
+            incoming.append(value)
+    if not incoming:
+        return UNREACHED
+    return analysis.join(incoming)
+
+
+def _flow_block(analysis: Analysis, block: Block, in_state):
+    state = in_state
+    exc_states = []
+    for stmt in block.stmts:
+        # Only statements that can raise feed the exception edge; a
+        # trivially-total statement (``return name``) must not smuggle
+        # its pre-state onto the exceptional path.
+        if stmt_may_raise(stmt):
+            exc_states.append(analysis.exceptional(stmt, state))
+        state = analysis.transfer(stmt, state)
+    out_exc = analysis.join(exc_states) if exc_states else in_state
+    return state, out_exc
+
+
+def iter_with_pre_states(
+    cfg: CFG, analysis: Analysis, states: dict[Block, BlockStates] | None = None
+) -> Iterator[tuple[object, object]]:
+    """Yield ``(stmt, state-before-stmt)`` for every reachable statement."""
+    if states is None:
+        states = run_forward(cfg, analysis)
+    for block in cfg.blocks:
+        state = states[block].in_state
+        if state is UNREACHED:
+            continue
+        for stmt in block.stmts:
+            yield stmt, state
+            state = analysis.transfer(stmt, state)
+
+
+# ----------------------------------------------------------------------
+# The shared must-held lock lattice
+# ----------------------------------------------------------------------
+
+class LockSets(Analysis):
+    """Must-held lock sets: frozensets joined by intersection.
+
+    ``resolve(expr)`` maps an expression to a lock identity string (e.g.
+    ``"ModelRegistry._lock"``) or ``None`` when the expression is not a
+    known lock — ``with open(...)`` and ``with deadline_scope(...)``
+    stay out of the lattice entirely.
+    """
+
+    def __init__(self, resolve: Callable[[ast.expr], str | None]):
+        self.resolve = resolve
+
+    def initial(self) -> frozenset[str]:
+        return frozenset()
+
+    def join(self, states: list) -> frozenset[str]:
+        merged = states[0]
+        for state in states[1:]:
+            merged = merged & state
+        return merged
+
+    def transfer(self, stmt, state: frozenset[str]) -> frozenset[str]:
+        acquired, released = self._events(stmt)
+        if released:
+            state = state - released
+        if acquired:
+            state = state | acquired
+        return state
+
+    def exceptional(self, stmt, state_before: frozenset[str]) -> frozenset[str]:
+        # A failing acquire holds nothing; a failing release still
+        # dropped the lock as far as ordering/blocking rules care.
+        _, released = self._events(stmt)
+        if released:
+            return state_before - released
+        return state_before
+
+    # ------------------------------------------------------------------
+    def _events(self, stmt) -> tuple[frozenset[str], frozenset[str]]:
+        if isinstance(stmt, WithEnter):
+            locks = self._item_locks(stmt)
+            return locks, frozenset()
+        if isinstance(stmt, WithExit):
+            locks = self._item_locks(stmt)
+            return frozenset(), locks
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            if isinstance(call.func, ast.Attribute):
+                if call.func.attr == "acquire":
+                    lock = self.resolve(call.func.value)
+                    if lock is not None:
+                        return frozenset({lock}), frozenset()
+                elif call.func.attr == "release":
+                    lock = self.resolve(call.func.value)
+                    if lock is not None:
+                        return frozenset(), frozenset({lock})
+        return frozenset(), frozenset()
+
+    def _item_locks(self, marker) -> frozenset[str]:
+        locks = set()
+        for item in marker.items:
+            lock = self.resolve(item.context_expr)
+            if lock is not None:
+                locks.add(lock)
+        return locks
+
+
+def held_lock_sets(
+    cfg: CFG, resolve: Callable[[ast.expr], str | None]
+) -> Iterator[tuple[object, frozenset[str]]]:
+    """Yield ``(stmt, must-held lock set before stmt)`` for a function."""
+    analysis = LockSets(resolve)
+    yield from iter_with_pre_states(cfg, analysis)

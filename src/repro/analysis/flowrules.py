@@ -1,0 +1,1378 @@
+"""Flow-sensitive concurrency rules RP007-RP011.
+
+These rules ride on the analysis core built in this package —
+:mod:`repro.analysis.cfg` (per-function control-flow graphs),
+:mod:`repro.analysis.dataflow` (worklist fixpoint, must-held lock sets)
+and :mod:`repro.analysis.callgraph` (project call graph) — and encode
+the runtime's *cross-statement* contracts that the per-node rules
+RP001-RP006 cannot see:
+
+RP007  lock-order consistency: the project-wide lock-acquisition graph
+       (including acquisitions reached through call edges) must be
+       acyclic; re-entering a non-reentrant lock is a self-cycle.
+RP008  atomicity on ``@thread_shared`` state: no check-then-act where
+       the guarding read and the guarded write fall under different
+       lock regions, and no blocking call (I/O, sleeps, pool submits,
+       ``Condition.wait`` on a foreign lock) while holding a shared
+       lock.
+RP009  deadline propagation: a function that binds ``deadline`` must
+       hand it to every deadline-aware project callee, either as an
+       argument or by entering ``deadline_scope(deadline)``.
+RP010  exception-contract flow: interprocedurally, only ``ReproError``
+       subclasses may escape public entry points, and a dispatcher
+       status ladder (a ``try`` whose handlers assign ``status``) must
+       cover every class that can escape its body.
+RP011  resource discipline: files, sockets, executors and locks
+       acquired outside ``with`` must be released on every CFG path,
+       including exceptional ones.
+
+Shared machinery lives in :class:`FlowContext`, built once per
+:class:`~repro.analysis.core.Project` and cached on it, so the five
+rules pay for one call graph and one CFG per function between them.
+
+Known imprecision (deliberate, documented in ARCHITECTURE §8): the call
+graph under-approximates — unresolved calls (dict methods, numpy,
+callables passed as values) are opaque leaves; lock acquisitions inside
+branch conditions are not modelled; nested ``def``/``lambda`` bodies are
+analysed in their lexical parent only where that is sound (RP009
+closures) and skipped where it is not (lock state at call sites).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    ClassInfo,
+    FunctionInfo,
+    calls_in,
+)
+from repro.analysis.cfg import CFG, WithEnter, build_cfg
+from repro.analysis.core import Checker, Finding, Project, SourceFile
+from repro.analysis.dataflow import (
+    UNREACHED,
+    Analysis,
+    LockSets,
+    iter_with_pre_states,
+    run_forward,
+)
+
+#: Container-mutating method names (mirrors RP004's set; kept local so
+#: the flow rules do not import the per-node checker module).
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "pop", "popitem", "clear", "update",
+    "setdefault", "move_to_end", "add", "remove", "discard",
+    "appendleft", "popleft",
+})
+
+#: Dotted names that block the calling thread.
+_BLOCKING_QUALIFIED = frozenset({
+    "time.sleep", "os.fsync", "os.fdatasync", "subprocess.run",
+    "subprocess.check_call", "subprocess.check_output", "subprocess.Popen",
+    "concurrent.futures.wait", "concurrent.futures.as_completed",
+    "shutil.copy", "shutil.copytree", "shutil.rmtree",
+})
+
+#: Attribute/method names that block regardless of receiver type (the
+#: receiver is usually untyped: Path methods, executors, conditions).
+_BLOCKING_METHODS = frozenset({
+    "sleep", "wait", "submit", "shutdown", "iterdir", "is_dir", "is_file",
+    "exists", "stat", "read_text", "read_bytes", "write_text",
+    "write_bytes", "glob", "rglob", "unlink", "mkdir", "replace",
+    "rename", "recv", "send", "sendall", "accept", "connect",
+})
+
+#: Builtin ancestor chains for the handful of builtins raised/caught in
+#: this codebase; anything unknown defaults to ``Exception``.
+_BUILTIN_ANCESTORS = {
+    "ValueError": ("Exception",),
+    "TypeError": ("Exception",),
+    "KeyError": ("LookupError", "Exception"),
+    "IndexError": ("LookupError", "Exception"),
+    "AttributeError": ("Exception",),
+    "RuntimeError": ("Exception",),
+    "NotImplementedError": ("RuntimeError", "Exception"),
+    "OSError": ("Exception",),
+    "IOError": ("OSError", "Exception"),
+    "FileNotFoundError": ("OSError", "Exception"),
+    "FileExistsError": ("OSError", "Exception"),
+    "PermissionError": ("OSError", "Exception"),
+    "BrokenPipeError": ("ConnectionError", "OSError", "Exception"),
+    "ConnectionResetError": ("ConnectionError", "OSError", "Exception"),
+    "ConnectionError": ("OSError", "Exception"),
+    "TimeoutError": ("OSError", "Exception"),
+    "StopIteration": ("Exception",),
+    "ArithmeticError": ("Exception",),
+    "ZeroDivisionError": ("ArithmeticError", "Exception"),
+    "OverflowError": ("ArithmeticError", "Exception"),
+    "MemoryError": ("Exception",),
+    "KeyboardInterrupt": ("BaseException",),
+    "SystemExit": ("BaseException",),
+    "GeneratorExit": ("BaseException",),
+    "BaseException": (),
+}
+
+_CATCH_ALL = frozenset({"Exception", "BaseException"})
+
+#: Calls whose assigned result is a resource needing release (RP011).
+_RESOURCE_ACQUIRERS = {
+    "open": "file",
+    "os.open": "file descriptor",
+    "os.dup": "file descriptor",
+    "socket.socket": "socket",
+    "socket.create_connection": "socket",
+}
+_RESOURCE_ACQUIRER_TAILS = {
+    "ThreadPoolExecutor": "executor",
+    "ProcessPoolExecutor": "executor",
+}
+#: Calls that *use* a tracked resource without taking ownership of it.
+_RESOURCE_NEUTRAL = frozenset({
+    "os.write", "os.read", "os.fsync", "os.fdatasync", "os.lseek",
+    "os.fstat", "os.ftruncate", "os.isatty", "print", "len", "repr",
+    "str", "select.select",
+})
+_RESOURCE_RELEASE_METHODS = frozenset({"close", "shutdown", "release"})
+
+
+# ======================================================================
+# Shared flow context: one call graph + one CFG per function, per run
+# ======================================================================
+
+class FlowContext:
+    """Everything the flow rules share for one project scan."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.graph = CallGraph(project)
+        self._cfgs: dict[int, CFG] = {}
+        self._lock_kinds: dict[str, str] = {}
+        self._thread_shared_locks: set[str] = set()
+        for cls in self.graph.classes_by_qualname.values():
+            for attr, info in cls.lock_attrs.items():
+                lock_id = f"{cls.name}.{attr if info.shares is None else info.shares}"
+                self._lock_kinds.setdefault(f"{cls.name}.{attr}", info.kind)
+                if cls.thread_shared:
+                    self._thread_shared_locks.add(lock_id)
+        for module, locks in self.graph.module_locks.items():
+            for name, info in locks.items():
+                self._lock_kinds.setdefault(f"{module}.{name}", info.kind)
+        self._transitive_acquires: dict[str, frozenset[str]] | None = None
+        self._blocking: dict[str, str] | None = None
+        self._escapes: dict[str, dict[str, tuple[str, int, str]]] | None = None
+
+    @classmethod
+    def of(cls, project: Project) -> "FlowContext":
+        ctx = getattr(project, "_flow_context", None)
+        if ctx is None or ctx.project is not project:
+            ctx = cls(project)
+            project._flow_context = ctx
+        return ctx
+
+    # ------------------------------------------------------------------
+    def cfg(self, info: FunctionInfo) -> CFG:
+        key = id(info.node)
+        if key not in self._cfgs:
+            self._cfgs[key] = build_cfg(info.node)
+        return self._cfgs[key]
+
+    def functions(self) -> Iterable[FunctionInfo]:
+        return self.graph.functions.values()
+
+    # ------------------------------------------------------------------
+    # Lock identity
+    # ------------------------------------------------------------------
+    def lock_resolver(self, info: FunctionInfo):
+        """``expr -> lock id`` resolver bound to one function's scope.
+
+        A ``Condition`` built on a class lock resolves to the underlying
+        lock's identity: ``with self._slots:`` holds ``Cls._lock``.
+        """
+        cls = self.graph.class_of(info)
+        module_locks = self.graph.module_locks.get(info.module, {})
+
+        def resolve(expr: ast.expr) -> str | None:
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id in ("self", "cls")
+                and cls is not None
+            ):
+                for owner in self.graph.mro(cls):
+                    lock = owner.lock_attrs.get(expr.attr)
+                    if lock is not None:
+                        attr = lock.shares if lock.shares else expr.attr
+                        return f"{owner.name}.{attr}"
+                return None
+            if isinstance(expr, ast.Name) and expr.id in module_locks:
+                return f"{info.module}.{expr.id}"
+            return None
+
+        return resolve
+
+    def lock_kind(self, lock_id: str) -> str:
+        return self._lock_kinds.get(lock_id, "lock")
+
+    def is_thread_shared_lock(self, lock_id: str) -> bool:
+        return lock_id in self._thread_shared_locks
+
+    # ------------------------------------------------------------------
+    # Transitive lock acquisitions (RP007 call edges)
+    # ------------------------------------------------------------------
+    def transitive_acquires(self) -> dict[str, frozenset[str]]:
+        if self._transitive_acquires is None:
+            own: dict[str, set[str]] = {}
+            callees: dict[str, list[str]] = {}
+            for info in self.functions():
+                resolve = self.lock_resolver(info)
+                acquired: set[str] = set()
+                for stmt in self.cfg(info).statements():
+                    if isinstance(stmt, WithEnter):
+                        for item in stmt.items:
+                            lock = resolve(item.context_expr)
+                            if lock is not None:
+                                acquired.add(lock)
+                    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                        func = stmt.value.func
+                        if isinstance(func, ast.Attribute) and func.attr == "acquire":
+                            lock = resolve(func.value)
+                            if lock is not None:
+                                acquired.add(lock)
+                own[info.qualname] = acquired
+                callees[info.qualname] = [
+                    callee.qualname for _, callee in
+                    self.graph.resolved_calls(info, include_nested=False)
+                ]
+            table = {qual: set(locks) for qual, locks in own.items()}
+            for _ in range(len(table) + 1):
+                changed = False
+                for qual, locks in table.items():
+                    for callee in callees.get(qual, ()):
+                        extra = table.get(callee)
+                        if extra and not extra <= locks:
+                            locks |= extra
+                            changed = True
+                if not changed:
+                    break
+            self._transitive_acquires = {
+                qual: frozenset(locks) for qual, locks in table.items()
+            }
+        return self._transitive_acquires
+
+    # ------------------------------------------------------------------
+    # Transitively-blocking functions (RP008b)
+    # ------------------------------------------------------------------
+    def blocking_reason(self, qualname: str) -> str | None:
+        """Why a project function blocks, or ``None`` if it does not."""
+        if self._blocking is None:
+            reasons: dict[str, str] = {}
+            callees: dict[str, list[str]] = {}
+            for info in self.functions():
+                for call in calls_in(info.node, include_nested=False):
+                    label = self._blocking_primitive(call, info)
+                    if label is not None:
+                        reasons.setdefault(info.qualname, label)
+                        break
+                callees[info.qualname] = [
+                    callee.qualname for _, callee in
+                    self.graph.resolved_calls(info, include_nested=False)
+                ]
+            for _ in range(len(callees) + 1):
+                changed = False
+                for qual, targets in callees.items():
+                    if qual in reasons:
+                        continue
+                    for target in targets:
+                        if target in reasons:
+                            reasons[qual] = f"calls blocking {target.split('.')[-1]}()"
+                            changed = True
+                            break
+                if not changed:
+                    break
+            self._blocking = reasons
+        return self._blocking.get(qualname)
+
+    def _blocking_primitive(self, call: ast.Call, info: FunctionInfo) -> str | None:
+        dotted = info.source.qualified_name(call.func)
+        if dotted in _BLOCKING_QUALIFIED:
+            return f"{dotted}()"
+        if isinstance(call.func, ast.Attribute) and call.func.attr in _BLOCKING_METHODS:
+            return f".{call.func.attr}()"
+        if dotted == "open":
+            return "open()"
+        return None
+
+    # ------------------------------------------------------------------
+    # Exception class knowledge + interprocedural escape sets (RP010)
+    # ------------------------------------------------------------------
+    def exception_ancestors(self, name: str) -> tuple[str, ...]:
+        cls = self.graph.classes.get(name)
+        if cls is not None:
+            chain = [c.name for c in self.graph.mro(cls)[1:]]
+            tail = self.graph.mro(cls)[-1]
+            for base in tail.base_names:
+                if base not in chain:
+                    chain.append(base)
+                    chain.extend(_BUILTIN_ANCESTORS.get(base, ("Exception",)))
+                    break
+            else:
+                if not tail.base_names:
+                    chain.append("Exception")
+            return tuple(dict.fromkeys(chain))
+        return _BUILTIN_ANCESTORS.get(name, ("Exception",))
+
+    def is_project_exception(self, name: str) -> bool:
+        cls = self.graph.classes.get(name)
+        if cls is None:
+            return False
+        lineage = (name,) + self.exception_ancestors(name)
+        return any(
+            part.endswith("Error") or part.endswith("Exception")
+            or part in ("Exception", "BaseException")
+            for part in lineage
+        )
+
+    def is_repro_error(self, name: str) -> bool:
+        return "ReproError" in (name,) + self.exception_ancestors(name)
+
+    def is_uncatchable_signal(self, name: str) -> bool:
+        """BaseException-derived but not Exception-derived: deliberate
+        crash-simulation / control-flow signals (``SimulatedCrash``,
+        ``KeyboardInterrupt``) designed to bypass handler ladders."""
+        lineage = (name,) + self.exception_ancestors(name)
+        return "BaseException" in lineage and "Exception" not in lineage
+
+    def caught_by(self, exc_name: str, catcher_names: frozenset[str]) -> bool:
+        if not catcher_names:
+            return False
+        if catcher_names & _CATCH_ALL:
+            # `except Exception` misses BaseException-only exceptions.
+            if "BaseException" in catcher_names:
+                return True
+            return "BaseException" not in self.exception_ancestors(exc_name) or (
+                "Exception" in self.exception_ancestors(exc_name)
+            )
+        lineage = {exc_name, *self.exception_ancestors(exc_name)}
+        return bool(lineage & catcher_names)
+
+    @staticmethod
+    def handler_names(handler: ast.ExceptHandler, source: SourceFile) -> set[str]:
+        if handler.type is None:
+            return {"BaseException"}
+        types = (
+            handler.type.elts if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        names: set[str] = set()
+        for node in types:
+            dotted = source.qualified_name(node)
+            if dotted:
+                names.add(dotted.split(".")[-1])
+        return names
+
+    def escapes(self, qualname: str) -> dict[str, tuple[str, int, str]]:
+        """``{exception class: (path, line, origin)}`` escaping a function."""
+        if self._escapes is None:
+            self._compute_escapes()
+        return self._escapes.get(qualname, {})
+
+    def _compute_escapes(self) -> None:
+        local: dict[str, dict[str, tuple[str, int, str]]] = {}
+        call_records: dict[str, list[tuple[str, frozenset[str]]]] = {}
+        for info in self.functions():
+            raises, calls = self._escape_structure(info)
+            local[info.qualname] = raises
+            call_records[info.qualname] = calls
+        table = {qual: dict(raises) for qual, raises in local.items()}
+        for _ in range(len(table) + 1):
+            changed = False
+            for qual, records in call_records.items():
+                mine = table[qual]
+                for callee, catchers in records:
+                    for exc, witness in table.get(callee, {}).items():
+                        if exc not in mine and not self.caught_by(exc, catchers):
+                            mine[exc] = witness
+                            changed = True
+            if not changed:
+                break
+        self._escapes = table
+
+    def _escape_structure(
+        self, info: FunctionInfo
+    ) -> tuple[dict[str, tuple[str, int, str]], list[tuple[str, frozenset[str]]]]:
+        """Local escaping raises + (callee, enclosing catchers) records."""
+        raises: dict[str, tuple[str, int, str]] = {}
+        calls: list[tuple[str, frozenset[str]]] = []
+        self._walk_escapes(info, info.node.body, frozenset(), raises, calls)
+        return raises, calls
+
+    def _walk_escapes(
+        self,
+        info: FunctionInfo,
+        stmts: Iterable[ast.stmt],
+        catchers: frozenset[str],
+        raises: dict[str, tuple[str, int, str]],
+        calls: list[tuple[str, frozenset[str]]],
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # deferred bodies raise at their own call sites
+            if isinstance(stmt, ast.Raise):
+                name = self._raised_name(info, stmt)
+                if name is not None and not self.caught_by(name, catchers):
+                    raises.setdefault(
+                        name, (info.source.display, stmt.lineno, info.qualname)
+                    )
+                self._record_calls(info, stmt, catchers, calls)
+                continue
+            if isinstance(stmt, ast.Try):
+                body_catchers = catchers | frozenset().union(
+                    *(self.handler_names(h, info.source) for h in stmt.handlers)
+                ) if stmt.handlers else catchers
+                self._walk_escapes(info, stmt.body, body_catchers, raises, calls)
+                self._walk_escapes(info, stmt.orelse, catchers, raises, calls)
+                for handler in stmt.handlers:
+                    self._walk_escapes(info, handler.body, catchers, raises, calls)
+                self._walk_escapes(info, stmt.finalbody, catchers, raises, calls)
+                continue
+            self._record_calls(info, stmt, catchers, calls, shallow=True)
+            for field in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, field, None)
+                if inner:
+                    self._walk_escapes(info, inner, catchers, raises, calls)
+            for handler in getattr(stmt, "handlers", ()) or ():
+                self._walk_escapes(info, handler.body, catchers, raises, calls)
+            for case in getattr(stmt, "cases", ()) or ():
+                self._walk_escapes(info, case.body, catchers, raises, calls)
+
+    def _record_calls(
+        self,
+        info: FunctionInfo,
+        stmt: ast.stmt,
+        catchers: frozenset[str],
+        calls: list[tuple[str, frozenset[str]]],
+        shallow: bool = False,
+    ) -> None:
+        roots: list[ast.AST]
+        if shallow and isinstance(
+            stmt,
+            (ast.If, ast.While, ast.For, ast.AsyncFor, ast.With,
+             ast.AsyncWith, ast.Match),
+        ):
+            # Compound statement: only its header expressions execute at
+            # this nesting level; bodies are walked with their own
+            # catcher context by the caller.
+            roots = [
+                n for n in (
+                    getattr(stmt, "test", None), getattr(stmt, "iter", None),
+                    getattr(stmt, "subject", None),
+                ) if n is not None
+            ]
+            roots.extend(
+                item.context_expr for item in getattr(stmt, "items", ()) or ()
+            )
+        else:
+            roots = [stmt]
+        for root in roots:
+            for call in calls_in(root, include_nested=False):
+                callee = self.graph.resolve(call, info)
+                if callee is not None and callee.node is not info.node:
+                    calls.append((callee.qualname, catchers))
+
+    def _raised_name(self, info: FunctionInfo, stmt: ast.Raise) -> str | None:
+        exc = stmt.exc
+        if exc is None:
+            return None  # bare re-raise: already caught here
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        dotted = info.source.qualified_name(exc)
+        if dotted is None:
+            return None
+        name = dotted.split(".")[-1]
+        if name and name[0].islower():
+            return None  # `raise err` of a local variable
+        return name
+
+
+# ======================================================================
+# RP007 — lock-order consistency
+# ======================================================================
+
+class LockOrderChecker(Checker):
+    """The project-wide lock-acquisition graph must be acyclic.
+
+    An edge ``A -> B`` means some path acquires ``B`` while holding
+    ``A`` — directly (``with self._lock:`` nesting, ``acquire()``
+    calls) or through a resolved call edge into a function that
+    transitively acquires ``B``. Any cycle is a potential deadlock and
+    is reported with one witness path per edge. Re-acquiring a held
+    non-reentrant lock is a self-cycle; RLocks are exempt from
+    self-edges only.
+    """
+
+    rule = "RP007"
+    severity = "error"
+    description = (
+        "lock-acquisition order must be globally consistent: cycles in "
+        "the lock-order graph (including via call edges) are potential "
+        "deadlocks"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        ctx = FlowContext.of(project)
+        trans = ctx.transitive_acquires()
+        edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+        findings: list[Finding] = []
+        for info in ctx.functions():
+            resolve = ctx.lock_resolver(info)
+            for stmt, held in iter_with_pre_states(
+                ctx.cfg(info), LockSets(resolve)
+            ):
+                for lock, node, via, same_stmt in self._acquisitions(
+                    ctx, info, stmt, trans
+                ):
+                    for held_lock in held | same_stmt:
+                        if held_lock == lock:
+                            if ctx.lock_kind(lock) == "rlock":
+                                continue
+                            suffix = f" via {via}" if via else ""
+                            findings.append(Finding(
+                                path=info.source.display,
+                                line=getattr(node, "lineno", 1),
+                                col=getattr(node, "col_offset", 0),
+                                rule=self.rule, severity=self.severity,
+                                message=(
+                                    f"{info.qualname} re-acquires "
+                                    f"non-reentrant lock {lock} already "
+                                    f"held{suffix}: guaranteed deadlock"
+                                ),
+                            ))
+                        else:
+                            edges.setdefault(
+                                (held_lock, lock),
+                                (
+                                    info.source.display,
+                                    getattr(node, "lineno", 1),
+                                    f"{info.qualname}"
+                                    + (f" via {via}" if via else ""),
+                                ),
+                            )
+        findings.extend(self._cycle_findings(edges))
+        return findings
+
+    def _acquisitions(
+        self,
+        ctx: FlowContext,
+        info: FunctionInfo,
+        stmt,
+        trans: dict[str, frozenset[str]],
+    ) -> Iterator[tuple[str, ast.AST, str | None, frozenset[str]]]:
+        """Lock acquisitions in one block statement:
+        ``(lock, node, via-call, locks-taken-earlier-in-this-stmt)``."""
+        resolve = ctx.lock_resolver(info)
+        if isinstance(stmt, WithEnter):
+            seen_before: set[str] = set()
+            for item in stmt.items:
+                lock = resolve(item.context_expr)
+                if lock is not None:
+                    # `with a, b:` orders a before b.
+                    yield lock, stmt.node, None, frozenset(seen_before)
+                    seen_before.add(lock)
+            return
+        if isinstance(stmt, ast.stmt):
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                func = stmt.value.func
+                if isinstance(func, ast.Attribute) and func.attr == "acquire":
+                    lock = resolve(func.value)
+                    if lock is not None:
+                        yield lock, stmt, None, frozenset()
+                        return
+            for call in calls_in(stmt, include_nested=False):
+                callee = ctx.graph.resolve(call, info)
+                if callee is None or callee.node is info.node:
+                    continue
+                for lock in trans.get(callee.qualname, ()):
+                    yield lock, call, f"call to {callee.name}()", frozenset()
+
+    def _cycle_findings(
+        self, edges: dict[tuple[str, str], tuple[str, int, str]]
+    ) -> Iterator[Finding]:
+        graph: dict[str, set[str]] = {}
+        for (src, dst) in edges:
+            graph.setdefault(src, set()).add(dst)
+            graph.setdefault(dst, set())
+        for component in _tarjan_sccs(graph):
+            if len(component) < 2:
+                continue
+            members = sorted(component)
+            cycle_edges = sorted(
+                (pair, witness) for pair, witness in edges.items()
+                if pair[0] in component and pair[1] in component
+            )
+            paths = "; ".join(
+                f"{src} -> {dst} at {path}:{line} in {where}"
+                for (src, dst), (path, line, where) in cycle_edges
+            )
+            path, line, _ = cycle_edges[0][1]
+            yield Finding(
+                path=path, line=line, col=0,
+                rule=self.rule, severity=self.severity,
+                message=(
+                    "lock-order cycle between "
+                    + ", ".join(members)
+                    + f" (potential deadlock): {paths}"
+                ),
+            )
+
+
+def _tarjan_sccs(graph: dict[str, set[str]]) -> list[set[str]]:
+    """Strongly connected components, iteratively (no recursion limit)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[set[str]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph[child]))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+# ======================================================================
+# RP008 — atomicity on @thread_shared state
+# ======================================================================
+
+class AtomicityChecker(Checker):
+    """Check-then-act races and blocking calls under shared locks.
+
+    Part (a): a branch tested *outside* the lock must not be the only
+    guard for a write *inside* the lock — unless the locked region
+    re-reads the same attribute first (the sanctioned double-check
+    idiom used by every cache in ``repro.runtime``).
+
+    Part (b): no blocking call (disk I/O, ``time.sleep``, pool
+    submit/shutdown, ``wait``) while holding a ``@thread_shared``
+    class's lock — directly or through a resolved call chain. The one
+    sanctioned waiter: ``Condition.wait`` where the condition was
+    constructed on the held lock, which atomically releases it.
+    """
+
+    rule = "RP008"
+    severity = "error"
+    description = (
+        "@thread_shared atomicity: no check-then-act across lock "
+        "regions without an in-lock re-read, and no blocking calls "
+        "while holding a shared lock"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        ctx = FlowContext.of(project)
+        for info in ctx.functions():
+            cls = ctx.graph.class_of(info)
+            if cls is not None and cls.thread_shared and info.name != "__init__":
+                yield from self._check_check_then_act(ctx, info, cls)
+            yield from self._check_blocking(ctx, info)
+
+    # -- part (a): check-then-act ---------------------------------------
+    def _check_check_then_act(
+        self, ctx: FlowContext, info: FunctionInfo, cls: ClassInfo
+    ) -> Iterator[Finding]:
+        resolve = ctx.lock_resolver(info)
+        derived: dict[str, set[str]] = {}  # local var -> self attrs it reads
+
+        def note_derivations(stmt: ast.stmt) -> None:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                    isinstance(stmt.targets[0], ast.Name):
+                attrs = _self_attrs_read(stmt.value)
+                if attrs:
+                    derived[stmt.targets[0].id] = attrs
+
+        def guard_attrs(test: ast.expr) -> set[str]:
+            attrs = _self_attrs_read(test)
+            for node in ast.walk(test):
+                if isinstance(node, ast.Name):
+                    attrs |= derived.get(node.id, set())
+            return attrs
+
+        def scan(stmts, guards: list[tuple[ast.expr, set[str]]]):
+            guards = list(guards)
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                note_derivations(stmt)
+                if isinstance(stmt, (ast.If, ast.While)):
+                    attrs = guard_attrs(stmt.test)
+                    inner = guards + ([(stmt.test, attrs)] if attrs else [])
+                    yield from scan(stmt.body, inner)
+                    yield from scan(stmt.orelse, inner)
+                    # An early-exit guard (`if self._x: return`) guards
+                    # every following sibling the same way nesting would.
+                    if attrs and stmt.body and isinstance(
+                        stmt.body[-1],
+                        (ast.Return, ast.Raise, ast.Continue, ast.Break),
+                    ):
+                        guards.append((stmt.test, attrs))
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    locked = any(
+                        resolve(item.context_expr) is not None
+                        for item in stmt.items
+                    )
+                    if locked and guards:
+                        yield from self._check_locked_region(
+                            info, stmt, guards
+                        )
+                        # Nested regions under the same guards are covered.
+                        yield from scan(stmt.body, [])
+                    else:
+                        yield from scan(stmt.body, guards)
+                elif isinstance(stmt, ast.Try):
+                    yield from scan(stmt.body, guards)
+                    for handler in stmt.handlers:
+                        yield from scan(handler.body, guards)
+                    yield from scan(stmt.orelse, guards)
+                    yield from scan(stmt.finalbody, guards)
+                elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    yield from scan(stmt.body, guards)
+                    yield from scan(stmt.orelse, guards)
+
+        yield from scan(info.node.body, [])
+
+    def _check_locked_region(
+        self,
+        info: FunctionInfo,
+        region: ast.With | ast.AsyncWith,
+        guards: list[tuple[ast.expr, set[str]]],
+    ) -> Iterator[Finding]:
+        reads = _self_attrs_read_region(region.body)
+        for write_node, attr in _self_attr_writes(region.body):
+            guard = next(
+                (test for test, attrs in guards if attr in attrs), None
+            )
+            if guard is None or attr in reads:
+                continue
+            yield Finding(
+                path=info.source.display,
+                line=write_node.lineno,
+                col=write_node.col_offset,
+                rule=self.rule, severity=self.severity,
+                message=(
+                    f"check-then-act race in {info.qualname}: write to "
+                    f"self.{attr} is guarded by a test at line "
+                    f"{guard.lineno} *outside* the lock and the locked "
+                    f"region never re-reads self.{attr}; re-check under "
+                    "the lock (double-check idiom) or widen the lock"
+                ),
+            )
+
+    # -- part (b): blocking calls under a shared lock --------------------
+    def _check_blocking(
+        self, ctx: FlowContext, info: FunctionInfo
+    ) -> Iterator[Finding]:
+        resolve = ctx.lock_resolver(info)
+        for stmt, held in iter_with_pre_states(
+            ctx.cfg(info), LockSets(resolve)
+        ):
+            shared = sorted(
+                lock for lock in held if ctx.is_thread_shared_lock(lock)
+            )
+            if not shared or not isinstance(stmt, ast.stmt):
+                continue
+            for call in calls_in(stmt, include_nested=False):
+                label = ctx._blocking_primitive(call, info)
+                if label is None:
+                    callee = ctx.graph.resolve(call, info)
+                    if callee is None or callee.node is info.node:
+                        continue
+                    reason = ctx.blocking_reason(callee.qualname)
+                    if reason is None:
+                        continue
+                    label = f"{callee.name}() [{reason}]"
+                elif self._is_sanctioned_wait(call, resolve, held):
+                    continue
+                yield Finding(
+                    path=info.source.display,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    rule=self.rule, severity=self.severity,
+                    message=(
+                        f"{info.qualname} holds {', '.join(shared)} across "
+                        f"blocking call {label}; move the blocking work "
+                        "outside the lock (snapshot under lock, act after)"
+                    ),
+                )
+
+    @staticmethod
+    def _is_sanctioned_wait(
+        call: ast.Call, resolve, held: frozenset[str]
+    ) -> bool:
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in ("wait", "wait_for")
+        ):
+            return False
+        lock = resolve(call.func.value)
+        return lock is not None and lock in held
+
+
+def _self_attrs_read(expr: ast.expr) -> set[str]:
+    """Underscore-attrs of ``self`` read anywhere inside an expression."""
+    attrs: set[str] = set()
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr.startswith("_")
+        ):
+            attrs.add(node.attr)
+    return attrs
+
+
+def _self_attr_writes(stmts: Iterable[ast.stmt]) -> Iterator[tuple[ast.AST, str]]:
+    """(node, attr) for every write/mutation of ``self._x`` in a region."""
+    def attr_of(target: ast.expr) -> str | None:
+        node = target
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr.startswith("_")
+        ):
+            return node.attr
+        return None
+
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    attr = attr_of(target)
+                    if attr is not None:
+                        yield node, attr
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    attr = attr_of(target)
+                    if attr is not None:
+                        yield node, attr
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+            ):
+                attr = attr_of(node.func.value)
+                if attr is not None:
+                    yield node, attr
+
+
+def _self_attrs_read_region(stmts: Iterable[ast.stmt]) -> set[str]:
+    """``self._x`` attrs genuinely *read* in a region (tests, RHS,
+    membership) — excluding reads that only serve as a write target."""
+    write_targets: set[int] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    inner = target
+                    while isinstance(inner, ast.Subscript):
+                        inner = inner.value
+                    write_targets.add(id(inner))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+            ):
+                write_targets.add(id(node.func.value))
+    reads: set[str] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr.startswith("_")
+                and id(node) not in write_targets
+            ):
+                reads.add(node.attr)
+    return reads
+
+
+# ======================================================================
+# RP009 — deadline propagation
+# ======================================================================
+
+class DeadlineChecker(Checker):
+    """A bound ``deadline`` must reach every deadline-aware callee.
+
+    Fires when a function that binds ``deadline`` (parameter or local)
+    calls a resolved project function whose signature accepts
+    ``deadline`` without passing it and without being lexically inside
+    ``with deadline_scope(deadline)`` — the two sanctioned transports.
+    Closures are walked as part of their lexical parent: they inherit
+    the binding and the obligation.
+    """
+
+    rule = "RP009"
+    severity = "error"
+    description = (
+        "deadline propagation: functions that bind 'deadline' must "
+        "forward it to deadline-aware callees (argument or "
+        "deadline_scope)"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        ctx = FlowContext.of(project)
+        for info in ctx.functions():
+            if not self._binds_deadline(info):
+                continue
+            yield from self._scan(ctx, info, info.node.body, in_scope=False)
+
+    @staticmethod
+    def _binds_deadline(info: FunctionInfo) -> bool:
+        if "deadline" in info.params:
+            return True
+        for node in ast.walk(info.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and \
+                    node is not info.node:
+                continue
+            if isinstance(node, ast.Name) and node.id == "deadline" and \
+                    isinstance(node.ctx, ast.Store):
+                return True
+        return False
+
+    def _scan(
+        self, ctx: FlowContext, info: FunctionInfo, body, in_scope: bool
+    ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                entered = in_scope or any(
+                    self._is_deadline_scope(info, item.context_expr)
+                    for item in node.items
+                )
+                yield from self._check_exprs(ctx, info, node.items, in_scope)
+                yield from self._scan(ctx, info, node.body, entered)
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested def: own deadline param shadows the binding.
+                if "deadline" not in [a.arg for a in node.args.args]:
+                    yield from self._scan(ctx, info, node.body, in_scope)
+                continue
+            yield from self._check_exprs(ctx, info, [node], in_scope,
+                                         shallow=True)
+            for field in ("body", "orelse", "finalbody"):
+                inner = getattr(node, field, None)
+                if inner:
+                    yield from self._scan(ctx, info, inner, in_scope)
+            for handler in getattr(node, "handlers", ()) or ():
+                yield from self._scan(ctx, info, handler.body, in_scope)
+            for case in getattr(node, "cases", ()) or ():
+                yield from self._scan(ctx, info, case.body, in_scope)
+
+    def _check_exprs(
+        self, ctx: FlowContext, info: FunctionInfo, roots, in_scope: bool,
+        shallow: bool = False,
+    ) -> Iterator[Finding]:
+        if in_scope:
+            return
+        for root in roots:
+            if shallow and isinstance(
+                root,
+                (ast.If, ast.While, ast.For, ast.AsyncFor, ast.Try, ast.Match),
+            ):
+                headers = [
+                    n for n in (
+                        getattr(root, "test", None),
+                        getattr(root, "iter", None),
+                        getattr(root, "subject", None),
+                    ) if n is not None
+                ]
+            else:
+                headers = [root]
+            for header in headers:
+                for call in calls_in(header, include_nested=True):
+                    yield from self._check_call(ctx, info, call)
+
+    def _check_call(
+        self, ctx: FlowContext, info: FunctionInfo, call: ast.Call
+    ) -> Iterator[Finding]:
+        callee = ctx.graph.resolve(call, info)
+        if callee is None or callee.node is info.node:
+            return
+        if "deadline" not in callee.params:
+            return
+        if self._forwards_deadline(call):
+            return
+        yield Finding(
+            path=info.source.display,
+            line=call.lineno,
+            col=call.col_offset,
+            rule=self.rule, severity=self.severity,
+            message=(
+                f"{info.qualname} binds 'deadline' but calls "
+                f"{callee.name}() without it: pass deadline= or enter "
+                "deadline_scope(deadline) so the budget survives the "
+                "call edge"
+            ),
+        )
+
+    @staticmethod
+    def _forwards_deadline(call: ast.Call) -> bool:
+        for keyword in call.keywords:
+            if keyword.arg == "deadline":
+                return True
+            if keyword.arg is None:  # **kwargs forwarding
+                return True
+        for arg in list(call.args) + [k.value for k in call.keywords]:
+            for node in ast.walk(arg):
+                if isinstance(node, ast.Name) and node.id == "deadline":
+                    return True
+        return False
+
+    @staticmethod
+    def _is_deadline_scope(info: FunctionInfo, expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        dotted = info.source.qualified_name(expr.func)
+        return bool(dotted) and dotted.split(".")[-1] == "deadline_scope"
+
+
+# ======================================================================
+# RP010 — exception-contract flow
+# ======================================================================
+
+class ExceptionFlowChecker(Checker):
+    """Interprocedural exception contracts.
+
+    Part 1: only ``ReproError`` subclasses may escape *public* entry
+    points (every dotted-name segment public). Project-defined
+    exception classes outside the ``ReproError`` tree escaping a public
+    function are reported at the function, with the origin raise site.
+    Builtin raises are RP002's per-site concern and are not duplicated
+    here.
+
+    Part 2: a dispatcher status ladder — a ``try`` whose handlers
+    assign ``status`` (the HTTP-mapping idiom in
+    ``runtime/daemon.py``) — must cover every class that can escape its
+    body; an uncovered class means a request path with no HTTP row.
+    """
+
+    rule = "RP010"
+    severity = "error"
+    description = (
+        "exception contract: only ReproError subclasses may escape "
+        "public entry points, and dispatcher status ladders must cover "
+        "every escapable class"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        ctx = FlowContext.of(project)
+        for info in ctx.functions():
+            if info.is_public:
+                yield from self._check_public_surface(ctx, info)
+            yield from self._check_dispatchers(ctx, info)
+
+    def _check_public_surface(
+        self, ctx: FlowContext, info: FunctionInfo
+    ) -> Iterator[Finding]:
+        if info.name == "__getattr__":
+            return
+        for exc, (path, line, origin) in sorted(ctx.escapes(info.qualname).items()):
+            if not ctx.is_project_exception(exc) or ctx.is_repro_error(exc):
+                continue
+            if ctx.is_uncatchable_signal(exc):
+                continue
+            yield Finding(
+                path=info.source.display,
+                line=info.node.lineno,
+                col=info.node.col_offset,
+                rule=self.rule, severity=self.severity,
+                message=(
+                    f"public entry point {info.qualname} can leak "
+                    f"{exc} (raised at {path}:{line} in {origin}), which "
+                    "is not a ReproError subclass: wrap it or move it "
+                    "into the ReproError hierarchy"
+                ),
+            )
+
+    def _check_dispatchers(
+        self, ctx: FlowContext, info: FunctionInfo
+    ) -> Iterator[Finding]:
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Try) or len(node.handlers) < 2:
+                continue
+            status_handlers = sum(
+                1 for handler in node.handlers
+                if any(
+                    isinstance(inner, ast.Assign) and any(
+                        isinstance(t, ast.Name) and t.id == "status"
+                        for t in inner.targets
+                    )
+                    for inner in ast.walk(handler)
+                )
+            )
+            if status_handlers < 2:
+                continue
+            catcher_names = frozenset().union(
+                *(FlowContext.handler_names(h, info.source)
+                  for h in node.handlers)
+            )
+            raises: dict[str, tuple[str, int, str]] = {}
+            calls: list[tuple[str, frozenset[str]]] = []
+            ctx._walk_escapes(info, node.body, frozenset(), raises, calls)
+            escaping = dict(raises)
+            for callee, catchers in calls:
+                for exc, witness in ctx.escapes(callee).items():
+                    if exc not in escaping and not ctx.caught_by(exc, catchers):
+                        escaping[exc] = witness
+            for exc, (path, line, origin) in sorted(escaping.items()):
+                if ctx.caught_by(exc, catcher_names):
+                    continue
+                if ctx.is_uncatchable_signal(exc):
+                    continue
+                yield Finding(
+                    path=info.source.display,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.rule, severity=self.severity,
+                    message=(
+                        f"status ladder in {info.qualname} has no row "
+                        f"for {exc} (raised at {path}:{line} in "
+                        f"{origin}): add an except mapping it to a "
+                        "status code"
+                    ),
+                )
+
+
+# ======================================================================
+# RP011 — resource discipline
+# ======================================================================
+
+class _ResourceAnalysis(Analysis):
+    """May-leak tracking of resources bound to local names.
+
+    State: frozenset of ``(var, line, kind)`` tokens, joined by union —
+    a resource is a leak candidate if *any* path reaches an exit with
+    the token live. Ownership transfers (return, attribute storage,
+    passing to an unknown call) drop the token: the rule targets
+    resources this function owns on every path.
+    """
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+
+    def initial(self) -> frozenset:
+        return frozenset()
+
+    def join(self, states: list) -> frozenset:
+        merged = states[0]
+        for state in states[1:]:
+            merged = merged | state
+        return merged
+
+    def transfer(self, stmt, state: frozenset) -> frozenset:
+        if isinstance(stmt, WithEnter):
+            for item in stmt.items:
+                if isinstance(item.context_expr, ast.Name):
+                    state = self._drop(state, item.context_expr.id)
+            return state
+        if not isinstance(stmt, ast.stmt):
+            return state
+        state = self._apply_releases(stmt, state)
+        acquired = self._acquisition(stmt)
+        if acquired is not None:
+            var, line, kind = acquired
+            state = self._drop(state, var) | {(var, line, kind)}
+            return state
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            func = stmt.value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "acquire"
+                and isinstance(func.value, ast.Name)
+            ):
+                return state | {(func.value.id, stmt.lineno, "lock")}
+        state = self._apply_escapes(stmt, state)
+        return state
+
+    def exceptional(self, stmt, state_before: frozenset) -> frozenset:
+        # A release that itself raises still counts as released; an
+        # acquisition that raises never produced the resource.
+        if isinstance(stmt, ast.stmt):
+            return self._apply_releases(stmt, state_before)
+        return state_before
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _drop(state: frozenset, var: str) -> frozenset:
+        return frozenset(t for t in state if t[0] != var)
+
+    def _acquisition(self, stmt) -> tuple[str, int, str] | None:
+        if not (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+        ):
+            return None
+        dotted = self.source.qualified_name(stmt.value.func)
+        if dotted is None:
+            return None
+        kind = _RESOURCE_ACQUIRERS.get(dotted)
+        if kind is None:
+            kind = _RESOURCE_ACQUIRER_TAILS.get(dotted.split(".")[-1])
+        if kind is None:
+            return None
+        return stmt.targets[0].id, stmt.lineno, kind
+
+    def _apply_releases(self, stmt: ast.stmt, state: frozenset) -> frozenset:
+        for call in calls_in(stmt, include_nested=False):
+            func = call.func
+            dotted = self.source.qualified_name(func)
+            if dotted == "os.close":
+                if call.args and isinstance(call.args[0], ast.Name):
+                    state = self._drop(state, call.args[0].id)
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _RESOURCE_RELEASE_METHODS
+                and isinstance(func.value, ast.Name)
+            ):
+                state = self._drop(state, func.value.id)
+        return state
+
+    def _apply_escapes(self, stmt: ast.stmt, state: frozenset) -> frozenset:
+        if not state:
+            return state
+        live = {t[0] for t in state}
+
+        def escape(name: str) -> None:
+            nonlocal state
+            state = self._drop(state, name)
+
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            for node in ast.walk(stmt.value):
+                if isinstance(node, ast.Name) and node.id in live and \
+                        isinstance(node.ctx, ast.Load):
+                    escape(node.id)
+        if isinstance(stmt, ast.Assign):
+            # Storing the resource elsewhere transfers ownership.
+            for node in ast.walk(stmt.value):
+                if isinstance(node, ast.Name) and node.id in live:
+                    escape(node.id)
+        # Passing the bare name to an unknown call transfers ownership
+        # (e.g. `closing(sock)`, `json.dump(obj, fh)`); method calls on
+        # the resource and the known os.* accessors do not.
+        for call in calls_in(stmt, include_nested=False):
+            dotted = self.source.qualified_name(call.func) or ""
+            if dotted in _RESOURCE_NEUTRAL or dotted == "os.close":
+                continue
+            if (
+                isinstance(call.func, ast.Attribute)
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id in live
+            ):
+                continue  # fh.write(...): a use, not a transfer
+            for arg in list(call.args) + [k.value for k in call.keywords]:
+                if isinstance(arg, ast.Name) and arg.id in live:
+                    escape(arg.id)
+        return state
+
+
+class ResourceChecker(Checker):
+    """Resources acquired outside ``with`` must be released on all paths."""
+
+    rule = "RP011"
+    severity = "error"
+    description = (
+        "resource discipline: files/sockets/executors/locks acquired "
+        "outside 'with' must be released on every path, including "
+        "exceptional ones"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        ctx = FlowContext.of(project)
+        for info in ctx.functions():
+            cfg = ctx.cfg(info)
+            analysis = _ResourceAnalysis(info.source)
+            states = run_forward(cfg, analysis)
+            leaks: dict[tuple[str, int, str], set[str]] = {}
+            for exit_block, label in (
+                (cfg.exit, "normal"), (cfg.raise_exit, "exceptional"),
+            ):
+                state = states[exit_block].in_state
+                if state is UNREACHED:
+                    continue
+                for token in state:
+                    leaks.setdefault(token, set()).add(label)
+            for (var, line, kind), labels in sorted(leaks.items()):
+                where = (
+                    "an exceptional path"
+                    if labels == {"exceptional"}
+                    else "some path(s)"
+                )
+                yield Finding(
+                    path=info.source.display,
+                    line=line, col=0,
+                    rule=self.rule, severity=self.severity,
+                    message=(
+                        f"{kind} '{var}' acquired in {info.qualname} may "
+                        f"never be released on {where}: use 'with', or "
+                        "release in a finally that covers every exit"
+                    ),
+                )
+
+
+FLOW_CHECKERS: list[Checker] = [
+    LockOrderChecker(),
+    AtomicityChecker(),
+    DeadlineChecker(),
+    ExceptionFlowChecker(),
+    ResourceChecker(),
+]

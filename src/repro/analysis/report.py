@@ -34,6 +34,7 @@ def render_json(result: AnalysisResult) -> str:
         "tool": "repro.analysis",
         "files_scanned": result.files_scanned,
         "suppressed": result.suppressed,
+        "suppressed_by_rule": dict(sorted(result.suppressed_by_rule.items())),
         "counts": result.counts_by_rule(),
         "findings": [finding.to_dict() for finding in result.findings],
     }

@@ -353,7 +353,9 @@ class ParkServiceDaemon:
             if len(parts) == 3 and parts[0] == "models" and parts[2] == "reload":
                 return self._admitted_request(
                     "reload", params,
-                    lambda p, deadline: self._handle_reload(parts[1]),
+                    lambda p, deadline: self._handle_reload(
+                        parts[1], deadline
+                    ),
                 )
         raise _HTTPError(
             404 if method in ("GET", "POST") else 405,
@@ -404,7 +406,7 @@ class ParkServiceDaemon:
                 400, {"error": f"invalid value for '{name}': '{raw}'"}
             ) from None
 
-    def _park_entry(self, params: dict):
+    def _park_entry(self, params: dict, deadline=None):
         park = params.get("park")
         if not park:
             raise _HTTPError(
@@ -418,13 +420,13 @@ class ParkServiceDaemon:
                 {"error": f"no saved model for park '{park}'",
                  "available": self.registry.available()},
             )
-        return self.registry.entry(park)
+        return self.registry.entry(park, deadline=deadline)
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
     def _handle_riskmap(self, params: dict, deadline):
-        entry = self._park_entry(params)
+        entry = self._park_entry(params, deadline)
         effort = self._param(params, "effort", float, None)
         seed = self._param(params, "seed", int, 0)
         scale = self._param(params, "scale", float, 1.0)
@@ -442,7 +444,7 @@ class ParkServiceDaemon:
         }, {}
 
     def _handle_plan(self, params: dict, deadline):
-        entry = self._park_entry(params)
+        entry = self._park_entry(params, deadline)
         beta = self._param(params, "beta", float, 0.8)
         post = self._param(params, "post", int, None)
         seed = self._param(params, "seed", int, 0)
@@ -462,7 +464,7 @@ class ParkServiceDaemon:
             },
         }, {}
 
-    def _handle_reload(self, park: str):
+    def _handle_reload(self, park: str, deadline=None):
         if not self.registry.has_model(park):
             raise _HTTPError(
                 404,
@@ -470,7 +472,7 @@ class ParkServiceDaemon:
                  "available": self.registry.available()},
             )
         try:
-            entry = self.registry.reload(park)
+            entry = self.registry.reload(park, deadline=deadline)
         except PersistenceError as exc:
             # The artifact was rejected; the old model keeps serving.
             raise _HTTPError(

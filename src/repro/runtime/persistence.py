@@ -322,8 +322,12 @@ def _save_lock(path: Path):
                     pass
             time.sleep(0.01)
     try:
-        os.write(fd, str(os.getpid()).encode())
-        os.close(fd)
+        try:
+            os.write(fd, str(os.getpid()).encode())
+        finally:
+            # Close even when the pid-stamp write fails (ENOSPC): the
+            # descriptor must not outlive the lock attempt.
+            os.close(fd)
         yield
     finally:
         try:

@@ -49,7 +49,7 @@ from repro.exceptions import (
 from repro.runtime.breaker import CircuitBreaker
 from repro.runtime.concurrency import thread_shared
 from repro.runtime.persistence import MANIFEST_NAME
-from repro.runtime.resilience import ResilienceStats, collect_stats
+from repro.runtime.resilience import Deadline, ResilienceStats, collect_stats
 from repro.runtime.service import RiskMapService
 
 
@@ -396,9 +396,16 @@ class ModelRegistry:
             verify=verify,
         )
 
-    def _build_entry(self, park: str, verify: bool) -> ParkEntry:
+    def _build_entry(
+        self, park: str, verify: bool, deadline: Deadline | None = None
+    ) -> ParkEntry:
         """Load + verify one park through its load breaker (off-lock)."""
         path = self._path(park)
+        if deadline is not None:
+            # Fail before the expensive disk load, not after: a request
+            # that has already blown its budget must not pay for a model
+            # load whose result it can never use.
+            deadline.check(f"load model for park '{park}'")
         service = self._breaker(park).call(
             lambda: self._load_service(path, verify),
             trip_on=PersistenceError,
@@ -411,7 +418,7 @@ class ModelRegistry:
             park, path, service, version=version, n_jobs=self.n_jobs
         )
 
-    def entry(self, park: str) -> ParkEntry:
+    def entry(self, park: str, deadline: Deadline | None = None) -> ParkEntry:
         """The hot entry for ``park``, loading (and maybe evicting) lazily.
 
         Raises :class:`~repro.exceptions.CircuitOpenError` while the park's
@@ -425,7 +432,7 @@ class ModelRegistry:
                 if park in self._entries:
                     self._entries.move_to_end(park)
             return incumbent
-        entry = self._build_entry(park, verify=self.verify)
+        entry = self._build_entry(park, verify=self.verify, deadline=deadline)
         with self._lock:
             incumbent = self._entries.get(park)
             if incumbent is not None:
@@ -436,7 +443,7 @@ class ModelRegistry:
                 self._evictions += 1
         return entry
 
-    def reload(self, park: str) -> ParkEntry:
+    def reload(self, park: str, deadline: Deadline | None = None) -> ParkEntry:
         """Atomic hot-swap: load-and-verify aside, swap only on success.
 
         The replacement is loaded with ``verify=True`` unconditionally and
@@ -446,7 +453,7 @@ class ModelRegistry:
         """
         current = self._entries.get(park)
         try:
-            entry = self._build_entry(park, verify=True)
+            entry = self._build_entry(park, verify=True, deadline=deadline)
         except PersistenceError:
             with self._lock:
                 self._rejected_reloads += 1
@@ -499,17 +506,24 @@ class ModelRegistry:
 
     def info(self) -> dict:
         """Registry counters for ``/stats``."""
+        # Snapshot the mutable counters under the lock, then walk the
+        # models directory *outside* it: available() is disk I/O, and a
+        # slow filesystem must not stall every thread that touches the
+        # registry (RP008: no blocking calls under a shared lock).
         with self._lock:
-            return {
-                "models_dir": str(self.models_dir),
-                "max_parks": self.max_parks,
-                "available": self.available(),
+            counters = {
                 "loaded": list(self._entries),
                 "loads": self._loads,
                 "reloads": self._reloads,
                 "rejected_reloads": self._rejected_reloads,
                 "evictions": self._evictions,
             }
+        return {
+            "models_dir": str(self.models_dir),
+            "max_parks": self.max_parks,
+            "available": self.available(),
+            **counters,
+        }
 
     def stats(self) -> dict:
         """Per-loaded-park stats (the ``/stats`` parks section)."""

@@ -22,9 +22,8 @@ class GuardedCache:
         return self._cache.get(key)  # reads are lock-free by design
 
     def evict(self, key):
-        if key in self._cache:
-            with self._lock:
-                self._cache.pop(key, None)
+        with self._lock:
+            self._cache.pop(key, None)  # tolerant pop: no outside check needed
 
     def reset(self):
         with self._lock:

@@ -1,0 +1,47 @@
+"""RP007 fixtures: inconsistent lock acquisition orders (deadlock risk)."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+LOCK_C = threading.Lock()
+LOCK_D = threading.Lock()
+PLAIN = threading.Lock()
+
+
+def forward():
+    with LOCK_A:
+        with LOCK_B:
+            return 1
+
+
+def backward():
+    # Direct two-lock cycle with forward(): A->B there, B->A here.
+    with LOCK_B:
+        with LOCK_A:
+            return 2
+
+
+def outer():
+    with LOCK_C:
+        return helper()
+
+
+def helper():
+    with LOCK_D:
+        return 3
+
+
+def crossing():
+    # Call-edge cycle: outer() holds C and acquires D via helper(),
+    # while this path holds D and acquires C.
+    with LOCK_D:
+        with LOCK_C:
+            return 4
+
+
+def stuck():
+    # Re-acquiring a non-reentrant lock self-deadlocks immediately.
+    with PLAIN:
+        with PLAIN:
+            return 5

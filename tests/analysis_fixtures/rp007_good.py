@@ -1,0 +1,33 @@
+"""RP007 fixtures: consistent lock order and reentrant re-acquisition."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+REENTRANT = threading.RLock()
+
+
+def forward():
+    with LOCK_A:
+        with LOCK_B:
+            return 1
+
+
+def also_forward():
+    # Same global order everywhere, including through the call edge.
+    with LOCK_A:
+        return helper()
+
+
+def helper():
+    with LOCK_B:
+        return 2
+
+
+def recursive(n):
+    # RLock re-acquisition is reentrant by design, not a deadlock.
+    with REENTRANT:
+        if n > 0:
+            with REENTRANT:
+                return recursive(n - 1)
+        return 0

@@ -1,0 +1,29 @@
+"""RP008 fixtures: check-then-act races and blocking calls under locks."""
+
+import threading
+import time
+
+from repro.runtime.concurrency import thread_shared
+
+
+@thread_shared
+class LazyCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = None
+
+    def compute(self):
+        # Classic check-then-act: the check runs outside the lock, the
+        # act inside it without re-checking — two threads both pass the
+        # check and both write.
+        if self._value is None:
+            with self._lock:
+                self._value = 42
+        return self._value
+
+    def slow_refresh(self):
+        with self._lock:
+            # Blocking primitive while holding the shared lock stalls
+            # every other thread touching this instance.
+            time.sleep(0.1)
+            self._value = 43

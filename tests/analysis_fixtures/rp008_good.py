@@ -1,0 +1,35 @@
+"""RP008 fixtures: double-check idiom, condition waits, off-lock blocking."""
+
+import threading
+import time
+
+from repro.runtime.concurrency import thread_shared
+
+
+@thread_shared
+class LazyCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._value = None
+
+    def compute(self):
+        # Double-check idiom: the decision is re-made under the lock.
+        if self._value is None:
+            with self._lock:
+                if self._value is None:
+                    self._value = 42
+        return self._value
+
+    def await_value(self):
+        with self._lock:
+            # Waiting on a condition that shares the held lock is the
+            # sanctioned blocking form: wait() releases the lock.
+            self._ready.wait_for(lambda: self._value is not None)
+            return self._value
+
+    def refresh(self):
+        time.sleep(0.1)  # blocking, but no lock held
+        with self._lock:
+            self._value = 43
+            self._ready.notify_all()

@@ -1,0 +1,16 @@
+"""RP009 fixtures: deadlines accepted but dropped at call edges."""
+
+
+def load_model(name, deadline=None):
+    return name
+
+
+def render(template, deadline=None):
+    return template
+
+
+def serve(request, deadline=None):
+    # The callee accepts a deadline and this caller holds one, but the
+    # call edge drops it: the budget silently stops propagating.
+    model = load_model(request)
+    return render(model)

@@ -1,0 +1,32 @@
+"""RP009 fixtures: deadlines forwarded explicitly, via kwargs, or scoped."""
+
+from repro.runtime.resilience import deadline_scope
+
+
+def load_model(name, deadline=None):
+    return name
+
+
+def render(template, deadline=None):
+    return template
+
+
+def serve(request, deadline=None):
+    model = load_model(request, deadline=deadline)
+    return render(model, deadline=deadline)
+
+
+def serve_kwargs(request, deadline=None, **kwargs):
+    return load_model(request, deadline=deadline, **kwargs)
+
+
+def serve_scoped(request, deadline=None):
+    # deadline_scope() installs the budget ambiently; calls inside the
+    # scope are covered without threading the parameter by hand.
+    with deadline_scope(deadline):
+        return render(load_model(request))
+
+
+def no_budget(request):
+    # A caller that never binds a deadline owes nothing to the callee.
+    return load_model(request)

@@ -1,0 +1,38 @@
+"""RP010 fixtures: non-ReproError escapes and incomplete status ladders."""
+
+
+class FixtureError(Exception):
+    """Project-defined, but outside the ReproError hierarchy."""
+
+
+class TeapotError(Exception):
+    """Raised by the worker yet missing from the dispatcher's ladder."""
+
+
+def _brew(request):
+    if request == "coffee":
+        raise TeapotError("short and stout")
+    return request
+
+
+def handle(request):
+    # Public entry point leaking a project exception that is not a
+    # ReproError subclass: callers' `except ReproError` misses it.
+    if not request:
+        raise FixtureError("empty request")
+    return _brew(request)
+
+
+def dispatch(request):
+    try:
+        body = handle(request)
+        status = 200
+    except FixtureError:
+        status = 400
+        body = "bad request"
+    except ValueError:
+        status = 422
+        body = "unprocessable"
+    # TeapotError escapes _brew() and handle() but has no row in this
+    # status ladder, so it bubbles out of the dispatcher unmapped.
+    return status, body

@@ -1,0 +1,44 @@
+"""RP010 fixtures: ReproError discipline and an exhaustive status ladder."""
+
+
+class ReproError(Exception):
+    """Stands in for repro.exceptions.ReproError in this fixture."""
+
+
+class RequestError(ReproError):
+    pass
+
+
+class BrewError(ReproError):
+    pass
+
+
+def _brew(request):
+    if request == "coffee":
+        raise BrewError("short and stout")
+    return request
+
+
+def handle(request):
+    if not request:
+        raise RequestError("empty request")
+    return _brew(request)
+
+
+def dispatch(request):
+    try:
+        body = handle(request)
+        status = 200
+    except RequestError:
+        status = 400
+        body = "bad request"
+    except BrewError:
+        status = 418
+        body = "teapot"
+    return status, body
+
+
+def _internal(request):
+    # Private helpers may raise whatever they like; the contract binds
+    # public entry points only.
+    raise KeyError(request)

@@ -1,0 +1,39 @@
+"""RP011 fixtures: resources acquired outside ``with`` and leaked."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+GUARD = threading.Lock()
+
+
+def never_closed(path):
+    # No close() on any path: the handle dies with the garbage collector,
+    # whenever that is.
+    handle = open(path)
+    handle.write("header\n")
+    return path
+
+
+def leaks_on_error(path):
+    # close() is reached on the straight-line path only; if write()
+    # raises, the handle leaks out of the exceptional exit.
+    handle = open(path)
+    handle.write("header\n")
+    handle.close()
+    return path
+
+
+def lock_left_held(flag):
+    GUARD.acquire()
+    if flag:
+        # Early return skips the release: the lock stays held forever.
+        return False
+    GUARD.release()
+    return True
+
+
+def pool_never_shut_down(jobs):
+    pool = ThreadPoolExecutor(max_workers=2)
+    for job in jobs:
+        pool.submit(job)
+    return len(jobs)

@@ -1,0 +1,50 @@
+"""RP011 fixtures: every acquisition released on all paths."""
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+GUARD = threading.Lock()
+
+
+def context_managed(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def try_finally(path):
+    handle = open(path)
+    try:
+        handle.write("header\n")
+    finally:
+        handle.close()
+    return path
+
+
+def low_level(path):
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        return os.read(fd, 16)
+    finally:
+        os.close(fd)
+
+
+def lock_balanced(flag):
+    GUARD.acquire()
+    try:
+        return bool(flag)
+    finally:
+        GUARD.release()
+
+
+def pool_scoped(jobs):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        for job in jobs:
+            pool.submit(job)
+    return len(jobs)
+
+
+def ownership_transferred(path):
+    # Returning the handle hands ownership to the caller; not a leak here.
+    handle = open(path)
+    return handle

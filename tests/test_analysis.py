@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import io
 import json
+import textwrap
 from pathlib import Path
 
 import pytest
@@ -163,6 +164,45 @@ class TestFrameworkMechanics:
         assert "*" in table[2]
         assert finding.rule == "RP006"
 
+    def test_suppression_covers_decorated_def_headers(self, tmp_path):
+        # A finding anchored on the `def` line must be silenced by a
+        # suppression written on any line of the decorated header — the
+        # decorator, the def itself, or a wrapped signature line.
+        module = tmp_path / "decorated.py"
+        module.write_text(textwrap.dedent("""\
+            def registered(func):
+                return func
+
+            @registered  # repro: ignore[RP006]
+            def list(items=None):
+                return items
+
+            @registered
+            def dict(  # repro: ignore[RP006]
+                items=None,
+            ):
+                return items
+        """), encoding="utf-8")
+        result = run_analysis([module], ALL_CHECKERS, test_roots=[])
+        assert result.ok
+        assert result.suppressed == 2
+        assert result.suppressed_by_rule == {"RP006": 2}
+
+    def test_header_suppression_does_not_leak_into_the_body(self, tmp_path):
+        module = tmp_path / "leaky.py"
+        module.write_text(textwrap.dedent("""\
+            def wrap(func):
+                return func
+
+            @wrap  # repro: ignore[RP006]
+            def fine():
+                list = [1]  # the body shadow is NOT covered by the header
+                return list
+        """), encoding="utf-8")
+        result = run_analysis([module], ALL_CHECKERS, test_roots=[])
+        assert [f.rule for f in result.findings] == ["RP006"]
+        assert result.findings[0].line == 6
+
     def test_select_runs_only_named_rules(self):
         result = analyze("rp001_bad.py", "rp006_bad.py", select=["RP006"])
         assert rules_of(result) == {"RP006"}
@@ -182,7 +222,10 @@ class TestFrameworkMechanics:
 
     def test_rule_table_lists_all_rules(self):
         rules = [row[0] for row in rule_table()]
-        assert rules == ["RP001", "RP002", "RP003", "RP004", "RP005", "RP006"]
+        assert rules == [
+            "RP001", "RP002", "RP003", "RP004", "RP005", "RP006",
+            "RP007", "RP008", "RP009", "RP010", "RP011",
+        ]
 
 
 class TestCli:
@@ -227,6 +270,72 @@ class TestCli:
         for rule in ("RP001", "RP002", "RP003", "RP004", "RP005", "RP006"):
             assert rule in text
 
+    def test_rule_flag_filters_like_select(self):
+        out = io.StringIO()
+        code = lint_main(
+            [str(FIXTURES / "rp001_bad.py"), str(FIXTURES / "rp006_bad.py"),
+             "--rule", "RP006"],
+            out=out,
+        )
+        assert code == 1
+        assert "RP006" in out.getvalue()
+        assert "RP001" not in out.getvalue()
+
+    def test_json_reports_suppressions_by_rule(self):
+        out = io.StringIO()
+        code = lint_main(
+            [str(FIXTURES / "suppressed.py"), "--format", "json"], out=out
+        )
+        assert code == 0
+        payload = json.loads(out.getvalue())
+        assert payload["suppressed"] == 5
+        assert payload["suppressed_by_rule"]
+        assert sum(payload["suppressed_by_rule"].values()) == 5
+
+    def test_baseline_roundtrip_masks_known_findings_only(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        out = io.StringIO()
+        code = lint_main(
+            [str(FIXTURES / "rp001_bad.py"),
+             "--write-baseline", str(baseline)],
+            out=out,
+        )
+        assert code == 0
+        assert "recorded 7 findings" in out.getvalue()
+        # every recorded finding is masked: the gate passes
+        out = io.StringIO()
+        code = lint_main(
+            [str(FIXTURES / "rp001_bad.py"), "--baseline", str(baseline)],
+            out=out,
+        )
+        assert code == 0
+        assert "7 baselined findings not counted" in out.getvalue()
+        # a file with findings NOT in the baseline still fails
+        out = io.StringIO()
+        code = lint_main(
+            [str(FIXTURES / "rp001_bad.py"), str(FIXTURES / "rp006_bad.py"),
+             "--baseline", str(baseline)],
+            out=out,
+        )
+        assert code == 1
+        assert "RP006" in out.getvalue()
+        assert "RP001" not in out.getvalue()  # old findings stay masked
+
+    def test_unreadable_baseline_is_a_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"findings\": 7}", encoding="utf-8")
+        out = io.StringIO()
+        assert lint_main(
+            [str(FIXTURES / "rp001_good.py"), "--baseline", str(bad)],
+            out=out,
+        ) == 2
+        out = io.StringIO()
+        assert lint_main(
+            [str(FIXTURES / "rp001_good.py"),
+             "--baseline", str(tmp_path / "missing.json")],
+            out=out,
+        ) == 2
+
     def test_repro_cli_lint_subcommand(self):
         from repro.cli import main as repro_main
 
@@ -251,10 +360,11 @@ class TestSelfRun:
         assert result.findings == []
         assert result.files_scanned > 70
 
-    def test_benchmarks_and_examples_pass_hygiene(self):
+    def test_benchmarks_examples_scripts_pass_hygiene(self):
         result = run_analysis(
-            [REPO_ROOT / "benchmarks", REPO_ROOT / "examples"],
-            ALL_CHECKERS, select=["RP006"], test_roots=[],
+            [REPO_ROOT / "benchmarks", REPO_ROOT / "examples",
+             REPO_ROOT / "scripts"],
+            ALL_CHECKERS, select=["RP001", "RP006"], test_roots=[],
         )
         assert result.findings == []
 

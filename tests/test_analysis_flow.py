@@ -1,0 +1,367 @@
+"""Tests for the flow-sensitive analysis engine and rules RP007-RP011.
+
+The engine layers (CFG construction, dataflow fixpoint, call-graph
+resolution) are unit-tested independently of any rule; each flow rule is
+then pinned by a caught-violation fixture and a clean fixture under
+``tests/analysis_fixtures/``, and a self-run pins ``src/repro`` at zero
+violations under the whole RP007-RP011 suite — the ``make lint-flow``
+gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis import ALL_CHECKERS, run_analysis
+from repro.analysis.callgraph import CallGraph, module_name
+from repro.analysis.cfg import EXCEPTION, build_cfg, stmt_may_raise
+from repro.analysis.core import Project
+from repro.analysis.dataflow import (
+    UNREACHED,
+    LockSets,
+    iter_with_pre_states,
+    run_forward,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+
+FLOW_RULES = ["RP007", "RP008", "RP009", "RP010", "RP011"]
+
+
+def fn_cfg(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(
+        node for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+    )
+    return build_cfg(func)
+
+
+def resolve_upper(expr):
+    """Lock resolver for unit tests: ALL-CAPS names are locks."""
+    if isinstance(expr, ast.Name) and expr.id.isupper():
+        return expr.id
+    return None
+
+
+def pre_state_at_call(cfg, analysis, func_name):
+    """Must-held lock set immediately before the call to ``func_name``."""
+    for stmt, state in iter_with_pre_states(cfg, analysis):
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Name)
+            and stmt.value.func.id == func_name
+        ):
+            return state
+    raise AssertionError(f"no call to {func_name}() found")
+
+
+def analyze_fixture(*names, select):
+    paths = [FIXTURES / name for name in names]
+    return run_analysis(paths, ALL_CHECKERS, select=select, test_roots=[])
+
+
+# ---------------------------------------------------------------------------
+# CFG construction
+# ---------------------------------------------------------------------------
+
+class TestCfg:
+    def test_straight_line_reaches_exit(self):
+        cfg = fn_cfg("""
+            def f():
+                a = 1
+                b = a + 1
+                return b
+        """)
+        assert any(pred is not cfg.entry for pred, _ in cfg.exit.preds) or (
+            cfg.exit.preds
+        )
+        assert len(list(cfg.statements())) == 3
+
+    def test_every_raising_stmt_feeds_raise_exit(self):
+        cfg = fn_cfg("""
+            def f(x):
+                y = g(x)
+                return h(y)
+        """)
+        # both the call statements can raise, so raise_exit is reachable
+        assert cfg.raise_exit.preds
+
+    def test_stmt_may_raise_is_precise_for_trivial_returns(self):
+        ret_name = ast.parse("def f(x):\n    return x").body[0].body[0]
+        ret_call = ast.parse("def f(x):\n    return g(x)").body[0].body[0]
+        bare = ast.parse("def f():\n    pass").body[0].body[0]
+        assert not stmt_may_raise(ret_name)
+        assert stmt_may_raise(ret_call)
+        assert not stmt_may_raise(bare)
+
+    def test_while_true_without_break_has_no_loop_exit(self):
+        cfg = fn_cfg("""
+            def f():
+                while True:
+                    spin()
+        """)
+        # the only way out is an exception inside the body
+        assert not cfg.exit.preds
+        assert cfg.raise_exit.preds
+
+    def test_break_escapes_the_loop(self):
+        cfg = fn_cfg("""
+            def f(items):
+                for item in items:
+                    if item:
+                        break
+                return None
+        """)
+        assert cfg.exit.preds
+
+
+# ---------------------------------------------------------------------------
+# Dataflow: the worklist engine and the must-held lock lattice
+# ---------------------------------------------------------------------------
+
+class TestLockSets:
+    def test_with_statement_holds_inside_releases_after(self):
+        cfg = fn_cfg("""
+            def f():
+                with LOCK:
+                    touch()
+                after()
+        """)
+        analysis = LockSets(resolve_upper)
+        assert pre_state_at_call(cfg, analysis, "touch") == {"LOCK"}
+        assert pre_state_at_call(cfg, analysis, "after") == frozenset()
+
+    def test_exception_inside_with_still_releases(self):
+        cfg = fn_cfg("""
+            def f():
+                with LOCK:
+                    touch()
+        """)
+        analysis = LockSets(resolve_upper)
+        states = run_forward(cfg, analysis)
+        # __exit__ runs on the exceptional path too, so nothing is held
+        # by the time the exception leaves the function
+        assert states[cfg.raise_exit].in_state == frozenset()
+
+    def test_acquire_release_through_try_finally(self):
+        cfg = fn_cfg("""
+            def f():
+                LOCK.acquire()
+                try:
+                    touch()
+                finally:
+                    LOCK.release()
+                after()
+        """)
+        analysis = LockSets(resolve_upper)
+        assert pre_state_at_call(cfg, analysis, "touch") == {"LOCK"}
+        assert pre_state_at_call(cfg, analysis, "after") == frozenset()
+        states = run_forward(cfg, analysis)
+        assert states[cfg.raise_exit].in_state == frozenset()
+
+    def test_join_is_must_intersection(self):
+        cfg = fn_cfg("""
+            def f(flag):
+                if flag:
+                    LOCK.acquire()
+                touch()
+        """)
+        analysis = LockSets(resolve_upper)
+        # held on one branch only -> not must-held at the join
+        assert pre_state_at_call(cfg, analysis, "touch") == frozenset()
+
+    def test_unreachable_blocks_stay_unreached(self):
+        cfg = fn_cfg("""
+            def f():
+                while True:
+                    spin()
+        """)
+        states = run_forward(cfg, LockSets(resolve_upper))
+        assert states[cfg.exit].in_state is UNREACHED
+
+
+# ---------------------------------------------------------------------------
+# Call graph
+# ---------------------------------------------------------------------------
+
+CALLGRAPH_SRC = '''
+import threading
+
+from helpers import polish
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def public(self):
+        return self._helper()
+
+    def _helper(self):
+        with self._lock:
+            return self._value
+
+def make():
+    svc = Service()
+    return svc.public()
+
+def alias_call(x):
+    return polish(x)
+'''
+
+
+class TestCallGraph:
+    def build(self, tmp_path):
+        module = tmp_path / "svc.py"
+        module.write_text(CALLGRAPH_SRC, encoding="utf-8")
+        return CallGraph(Project([module], test_roots=[]))
+
+    def test_module_name_strips_src_roots(self):
+        assert module_name("src/repro/runtime/daemon.py") == (
+            "repro.runtime.daemon"
+        )
+        assert module_name("somewhere/else/svc.py") == "svc"
+        assert module_name("src/repro/__init__.py") == "repro"
+
+    def test_functions_and_classes_are_indexed(self, tmp_path):
+        graph = self.build(tmp_path)
+        assert "svc.Service.public" in graph.functions
+        assert "svc.make" in graph.functions
+        assert graph.classes["Service"].lock_attrs  # _lock was recorded
+
+    def test_self_calls_resolve_to_methods(self, tmp_path):
+        graph = self.build(tmp_path)
+        public = graph.functions["svc.Service.public"]
+        resolved = [callee.qualname for _, callee in graph.resolved_calls(public)]
+        assert resolved == ["svc.Service._helper"]
+
+    def test_constructor_and_inferred_receiver_resolve(self, tmp_path):
+        graph = self.build(tmp_path)
+        make = graph.functions["svc.make"]
+        resolved = {callee.qualname for _, callee in graph.resolved_calls(make)}
+        # Service() hits __init__; svc.public() resolves through the
+        # one-hop `svc = Service()` inference
+        assert resolved == {"svc.Service.__init__", "svc.Service.public"}
+
+    def test_imported_names_stay_unresolved(self, tmp_path):
+        graph = self.build(tmp_path)
+        alias = graph.functions["svc.alias_call"]
+        # helpers.polish is outside the project: no resolution, no lies
+        assert list(graph.resolved_calls(alias)) == []
+
+    def test_public_visibility_honours_every_dotted_part(self, tmp_path):
+        graph = self.build(tmp_path)
+        assert graph.functions["svc.Service.public"].is_public
+        assert not graph.functions["svc.Service._helper"].is_public
+
+
+# ---------------------------------------------------------------------------
+# RP007 — lock-order consistency
+# ---------------------------------------------------------------------------
+
+class TestRP007:
+    def test_catches_direct_cycle_call_edge_cycle_and_reacquire(self):
+        result = analyze_fixture("rp007_bad.py", select=["RP007"])
+        assert len(result.findings) == 3
+        messages = " ".join(f.message for f in result.findings)
+        # direct two-lock cycle, with both orders cited
+        assert "LOCK_A -> rp007_bad.LOCK_B" in messages
+        assert "LOCK_B -> rp007_bad.LOCK_A" in messages
+        # interprocedural cycle reports the call edge explicitly
+        assert "via call to helper()" in messages
+        # non-reentrant self re-acquisition
+        assert "re-acquires non-reentrant lock" in messages
+
+    def test_consistent_order_and_rlock_are_clean(self):
+        assert analyze_fixture("rp007_good.py", select=["RP007"]).ok
+
+
+# ---------------------------------------------------------------------------
+# RP008 — atomicity on @thread_shared state
+# ---------------------------------------------------------------------------
+
+class TestRP008:
+    def test_catches_check_then_act_and_blocking_under_lock(self):
+        result = analyze_fixture("rp008_bad.py", select=["RP008"])
+        assert len(result.findings) == 2
+        messages = " ".join(f.message for f in result.findings)
+        assert "check-then-act race" in messages
+        assert "double-check idiom" in messages
+        assert "blocking call time.sleep()" in messages
+
+    def test_double_check_and_condition_wait_are_clean(self):
+        assert analyze_fixture("rp008_good.py", select=["RP008"]).ok
+
+
+# ---------------------------------------------------------------------------
+# RP009 — deadline propagation
+# ---------------------------------------------------------------------------
+
+class TestRP009:
+    def test_catches_deadline_dropped_at_call_edges(self):
+        result = analyze_fixture("rp009_bad.py", select=["RP009"])
+        assert len(result.findings) == 2
+        messages = " ".join(f.message for f in result.findings)
+        assert "load_model()" in messages
+        assert "render()" in messages
+        assert "deadline_scope" in messages  # the fix is named
+
+    def test_forwarding_kwargs_and_scope_are_clean(self):
+        assert analyze_fixture("rp009_good.py", select=["RP009"]).ok
+
+
+# ---------------------------------------------------------------------------
+# RP010 — exception-contract flow
+# ---------------------------------------------------------------------------
+
+class TestRP010:
+    def test_catches_escapes_and_unmapped_ladder_rows(self):
+        result = analyze_fixture("rp010_bad.py", select=["RP010"])
+        assert len(result.findings) == 4
+        messages = " ".join(f.message for f in result.findings)
+        # the local raise and the one reached through a call edge
+        assert "can leak FixtureError" in messages
+        assert "can leak TeapotError" in messages
+        # the raise site is named even when it sits in a callee
+        assert "in rp010_bad._brew" in messages
+        assert "status ladder" in messages
+
+    def test_reproerror_hierarchy_and_private_raises_are_clean(self):
+        assert analyze_fixture("rp010_good.py", select=["RP010"]).ok
+
+
+# ---------------------------------------------------------------------------
+# RP011 — resource discipline
+# ---------------------------------------------------------------------------
+
+class TestRP011:
+    def test_catches_leaks_across_kinds_and_paths(self):
+        result = analyze_fixture("rp011_bad.py", select=["RP011"])
+        assert len(result.findings) == 4
+        messages = " ".join(f.message for f in result.findings)
+        assert "file 'handle'" in messages
+        assert "on an exceptional path" in messages  # close() skipped by a raise
+        assert "lock 'GUARD'" in messages
+        assert "executor 'pool'" in messages
+
+    def test_with_try_finally_and_ownership_transfer_are_clean(self):
+        assert analyze_fixture("rp011_good.py", select=["RP011"]).ok
+
+
+# ---------------------------------------------------------------------------
+# The gate: src/repro is clean under the whole flow suite
+# ---------------------------------------------------------------------------
+
+class TestFlowSelfRun:
+    def test_src_repro_clean_under_flow_rules(self):
+        result = run_analysis(
+            [REPO_ROOT / "src" / "repro"], ALL_CHECKERS,
+            select=FLOW_RULES,
+            test_roots=[REPO_ROOT / "tests", REPO_ROOT / "benchmarks"],
+        )
+        assert result.findings == []
+        assert result.files_scanned > 70
